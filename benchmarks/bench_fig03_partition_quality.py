@@ -1,0 +1,83 @@
+"""Figure 3 — visual quality of naive partition vs SZ3 vs STZ on the
+Nyx field at matched compression ratio (paper: CR ~205, partition
+SSIM 0.67 / PSNR 107 vs SZ3 0.95/118 vs STZ 0.95/120).
+
+The claim reproduced: at the same CR, naive partitioning loses
+significant quality and STZ's hierarchical prediction recovers it to
+SZ3's level.
+"""
+
+import numpy as np
+
+from repro.core.ablation import get_config
+from repro.core.pipeline import stz_compress, stz_decompress
+from repro.datasets import load
+from repro.metrics import psnr, ssim
+from repro.sz3 import sz3_compress, sz3_decompress
+
+from conftest import eb_for_target_cr, fmt_table
+
+TARGET_CR = 60.0  # smaller grids sustain lower CR than the paper's 512^3
+
+
+def _at_cr(name, compress, decompress, data, artifact_rows):
+    eb = eb_for_target_cr(compress, data, TARGET_CR)
+    blob = compress(data, eb)
+    rec = decompress(blob)
+    cr = data.nbytes / len(blob)
+    # the paper evaluates a 2D slice zoom; use the central slice
+    mid = data.shape[0] // 2
+    s = ssim(
+        data[mid].astype(np.float64), rec[mid].astype(np.float64)
+    )
+    p = psnr(data, rec)
+    artifact_rows.append([name, cr, p, s])
+    return p, s
+
+
+def test_fig03_partition_vs_sz3_vs_stz(benchmark, artifact):
+    data = load("nyx")
+    rows: list[list] = []
+
+    part_cfg = get_config("partition")
+    _at_cr(
+        "Partition",
+        lambda d, e: stz_compress(d, e, "rel", config=part_cfg),
+        stz_decompress,
+        data,
+        rows,
+    )
+    _at_cr(
+        "SZ3",
+        lambda d, e: sz3_compress(d, e, "rel"),
+        sz3_decompress,
+        data,
+        rows,
+    )
+
+    stz_eb = eb_for_target_cr(
+        lambda d, e: stz_compress(d, e, "rel"), data, TARGET_CR
+    )
+    blob = benchmark(stz_compress, data, stz_eb, "rel")
+    rec = stz_decompress(blob)
+    mid = data.shape[0] // 2
+    rows.append(
+        [
+            "STZ (ours)",
+            data.nbytes / len(blob),
+            psnr(data, rec),
+            ssim(data[mid].astype(np.float64), rec[mid].astype(np.float64)),
+        ]
+    )
+
+    artifact(
+        "fig03_partition_quality",
+        fmt_table(["method", "CR", "PSNR (dB)", "slice SSIM"], rows)
+        + "\npaper (512^3, CR~205): Partition SSIM 0.67 / 107 dB; "
+        "SZ3 0.95 / 118 dB; STZ 0.95 / 120 dB\n",
+    )
+
+    by = {r[0]: (r[2], r[3]) for r in rows}
+    # shape claims: STZ ~ SZ3, both clearly above naive partitioning
+    assert by["STZ (ours)"][0] > by["Partition"][0] + 1.0
+    assert abs(by["STZ (ours)"][0] - by["SZ3"][0]) < 5.0

@@ -1,0 +1,60 @@
+"""Table 1 — feature matrix of the five compressors.
+
+Progressive / random-access capability comes from the codec classes;
+speed and quality classes are cross-checked by the measuring benchmarks
+(Tables 3, Figure 11), so this bench asserts the capability pattern the
+paper's whole argument rests on: STZ is the only codec with both
+streaming features.
+"""
+
+from repro.core.api import STZCompressor
+from repro.mgard import MGARDCompressor
+from repro.sperr import SPERRCompressor
+from repro.sz3 import SZ3Compressor
+from repro.zfp import ZFPCompressor
+
+from conftest import fmt_table
+
+#: the paper's Table 1 speed/quality classes (measured benches verify)
+PAPER_CLASSES = {
+    "SZ3": ("mid", "high"),
+    "SPERR": ("very low", "very high"),
+    "MGARD-X": ("low", "mid"),
+    "ZFP": ("very high", "low"),
+    "STZ": ("high", "high"),
+}
+
+ALL = [SZ3Compressor, SPERRCompressor, MGARDCompressor, ZFPCompressor, STZCompressor]
+
+
+def test_table1_feature_matrix(benchmark, artifact):
+    def build():
+        rows = []
+        for cls in ALL:
+            speed, quality = PAPER_CLASSES[cls.name]
+            rows.append(
+                [
+                    cls.name,
+                    "yes" if cls.supports_progressive else "no",
+                    "yes" if cls.supports_random_access else "no",
+                    speed,
+                    quality,
+                ]
+            )
+        return rows
+
+    rows = benchmark(build)
+    artifact(
+        "table1_features",
+        fmt_table(
+            ["compressor", "progressive", "random-access", "speed", "quality"],
+            rows,
+        ),
+    )
+    flags = {r[0]: (r[1], r[2]) for r in rows}
+    # the paper's Table 1, exactly
+    assert flags["STZ"] == ("yes", "yes")
+    assert flags["SZ3"] == ("no", "no")
+    assert flags["SPERR"] == ("yes", "no")
+    assert flags["MGARD-X"] == ("yes", "no")
+    assert flags["ZFP"] == ("no", "yes")

@@ -1,0 +1,54 @@
+"""Serial vs threaded ("OMP mode") throughput, and the SZ3-OMP
+compression-ratio penalty (paper Table 3's asterisk).
+
+STZ's sub-block tasks are independent once the coarser level is
+reconstructed, so its threaded mode compresses the *identical* stream.
+SZ3 must domain-split to parallelize, and each chunk pays its own
+anchors and Huffman table — the CR drops.
+
+Run:  python examples/parallel_throughput.py
+"""
+
+import time
+
+from repro.core.pipeline import stz_compress, stz_decompress
+from repro.datasets import load
+from repro.sz3 import sz3_compress, sz3_compress_omp
+
+THREADS = 8
+
+
+def timed(fn, *args, **kw):
+    fn(*args, **kw)  # warm-up
+    t0 = time.perf_counter()
+    out = fn(*args, **kw)
+    return out, time.perf_counter() - t0
+
+
+def main() -> None:
+    data = load("miranda", shape=(128, 128, 128))
+    mb = data.nbytes / 2**20
+    print(f"field: {data.shape}, {mb:.0f} MiB\n")
+
+    blob_s, t_s = timed(stz_compress, data, 1e-3, "rel")
+    blob_p, t_p = timed(stz_compress, data, 1e-3, "rel", threads=THREADS)
+    _, t_d = timed(stz_decompress, blob_s)
+    print(f"STZ serial   : comp {t_s:.3f}s ({mb / t_s:6.1f} MiB/s), "
+          f"dec {t_d:.3f}s, CR {data.nbytes / len(blob_s):.1f}")
+    print(f"STZ {THREADS} threads: comp {t_p:.3f}s ({mb / t_p:6.1f} MiB/s), "
+          f"stream identical to serial: {blob_s == blob_p}")
+
+    z_s, tz_s = timed(sz3_compress, data, 1e-3, "rel")
+    z_p, tz_p = timed(sz3_compress_omp, data, 1e-3, "rel", threads=THREADS)
+    print(f"\nSZ3 serial   : comp {tz_s:.3f}s, CR {data.nbytes / len(z_s):.2f}")
+    print(f"SZ3 {THREADS} chunks : comp {tz_p:.3f}s, "
+          f"CR {data.nbytes / len(z_p):.2f}  <- ratio drops (*)")
+
+    print("\nNote: in this pure-numpy reproduction the thread pool gains "
+          "far less than the paper's\nOpenMP build (Python glue holds the "
+          "GIL between kernels) — the structural contrast\nis that STZ "
+          "parallelizes without touching the stream while SZ3 cannot.")
+
+
+if __name__ == "__main__":
+    main()

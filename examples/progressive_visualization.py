@@ -1,0 +1,52 @@
+"""Progressive decompression workflow (paper Figure 13).
+
+A Miranda-like turbulence volume is compressed once; an analyst then
+pulls increasingly fine previews out of the *same file*, paying I/O and
+compute only for the resolution they need.  With a real 1024^3 dump the
+coarsest preview touches ~1.6% of the bytes.
+
+Run:  python examples/progressive_visualization.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.core.api import STZFile
+from repro.core.progressive import upsample_nearest
+from repro.datasets import load
+from repro.metrics import ssim
+
+
+def main() -> None:
+    data = load("miranda", shape=(96, 96, 96))
+    with tempfile.TemporaryDirectory() as td:
+        path = os.path.join(td, "miranda.stz")
+        f = STZFile.write(path, data, eb=2e-3, eb_mode="rel")
+        size = os.path.getsize(path)
+        print(f"wrote {path}: {size} bytes (CR {data.nbytes / size:.0f})")
+
+        print(f"{'resolution':>14} {'time':>8} {'payload read':>13} "
+              f"{'SSIM vs orig':>13}")
+        import time
+
+        for level in range(1, f.levels + 1):
+            before = f.bytes_read
+            t0 = time.perf_counter()
+            coarse = f.decompress(level=level)
+            elapsed = time.perf_counter() - t0
+            read = f.bytes_read - before
+            up = upsample_nearest(coarse.astype(np.float64), data.shape)
+            score = ssim(data.astype(np.float64), up)
+            print(f"{'x'.join(map(str, coarse.shape)):>14} "
+                  f"{elapsed * 1e3:7.1f}ms {read:12d}B {score:13.3f}")
+        f.close()
+
+    print("\nThe coarse rungs read a fraction of the file and of the "
+          "decode time,\nyet already show the flow structure — exactly the "
+          "paper's Figure 13 story.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Quickstart: compress a scientific field with STZ, decompress it
+fully, progressively, and by region of interest.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro.core as stz
+from repro.datasets import load
+from repro.metrics import psnr
+
+
+def main() -> None:
+    # a Nyx-like cosmology density field (synthetic stand-in, see
+    # DESIGN.md); any float32/float64 numpy array works
+    data = load("nyx", shape=(64, 64, 64))
+    print(f"field: {data.shape} {data.dtype}, {data.nbytes / 2**20:.1f} MiB")
+
+    # --- compress with a relative error bound of 1e-3 ------------------
+    blob = stz.compress(data, eb=1e-3, eb_mode="rel")
+    print(f"compressed: {len(blob)} bytes, CR = {data.nbytes / len(blob):.1f}")
+
+    # --- full decompression --------------------------------------------
+    rec = stz.decompress(blob)
+    abs_eb = 1e-3 * float(data.max() - data.min())
+    err = float(np.abs(rec.astype(np.float64) - data.astype(np.float64)).max())
+    print(f"full reconstruction: PSNR {psnr(data, rec):.1f} dB, "
+          f"max error {err:.3g} (bound {abs_eb:.3g})")
+    assert err <= abs_eb
+
+    # --- progressive: coarse previews without full reconstruction ------
+    for level in (1, 2):
+        coarse = stz.decompress_progressive(blob, level=level)
+        print(f"progressive level {level}: {coarse.shape} "
+              f"({coarse.size / data.size:.1%} of the data)")
+
+    # --- random access: one 2D slice at full resolution -----------------
+    z = data.shape[0] // 2
+    sl = stz.decompress_roi(blob, (z, slice(None), slice(None)))
+    assert np.array_equal(sl[0], rec[z])  # identical to cropping a full pass
+    print(f"ROI slice z={z}: {sl.shape}, bit-identical to full decompression")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Compare all five compressors on one dataset across error bounds —
+a miniature of the paper's Figure 11.
+
+Run:  python examples/rate_distortion_sweep.py [dataset]
+where dataset is one of: nyx, warpx, magrec, miranda (default nyx).
+"""
+
+import sys
+
+from repro.core.pipeline import stz_compress, stz_decompress
+from repro.datasets import load
+from repro.metrics.rate import rd_curve
+from repro.mgard import mgard_compress, mgard_decompress
+from repro.sperr import sperr_compress, sperr_decompress
+from repro.sz3 import sz3_compress, sz3_decompress
+from repro.zfp import zfp_compress, zfp_decompress
+
+CODECS = {
+    "STZ": (lambda d, e: stz_compress(d, e, "rel"), stz_decompress),
+    "SZ3": (lambda d, e: sz3_compress(d, e, "rel"), sz3_decompress),
+    "SPERR": (lambda d, e: sperr_compress(d, e, "rel"), sperr_decompress),
+    "MGARD-X": (lambda d, e: mgard_compress(d, e, "rel"), mgard_decompress),
+    "ZFP": (lambda d, e: zfp_compress(d, e, "rel"), zfp_decompress),
+}
+EBS = (1e-2, 3e-3, 1e-3, 3e-4, 1e-4)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "nyx"
+    data = load(name)
+    print(f"dataset {name}: {data.shape} {data.dtype}\n")
+    print(f"{'codec':>8} {'rel eb':>8} {'CR':>8} {'bits/val':>9} "
+          f"{'PSNR (dB)':>10} {'max err':>10}")
+    for codec, (comp, dec) in CODECS.items():
+        for p in rd_curve(comp, dec, data, EBS):
+            print(f"{codec:>8} {p.eb:8.0e} {p.cr:8.1f} {p.bitrate:9.2f} "
+                  f"{p.psnr:10.2f} {p.max_err:10.3g}")
+        print()
+    print("read the table at a fixed CR: STZ tracks SZ3 while also "
+          "supporting progressive + random access;\nZFP trails badly; "
+          "SPERR leads on high-frequency fields at the cost of speed.")
+
+
+if __name__ == "__main__":
+    main()

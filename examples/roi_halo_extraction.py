@@ -1,0 +1,65 @@
+"""Region-of-interest workflow on a cosmology field (paper Figure 10).
+
+1. compress the full Nyx-like density field once;
+2. decompress only a *coarse preview* (progressive);
+3. find halo candidates on the preview with the ROI module's
+   max-value thresholding (the paper's halo threshold 81.66);
+4. random-access decompress only those regions at full resolution.
+
+The final full-resolution data touched is a fraction of a percent of
+the volume.
+
+Run:  python examples/roi_halo_extraction.py
+"""
+
+import numpy as np
+
+import repro.core as stz
+from repro.core.roi import capture_recall, select_blocks
+from repro.datasets import load
+from repro.datasets.nyx import HALO_THRESHOLD
+
+
+def main() -> None:
+    data = load("nyx", shape=(96, 96, 96), seed=7)
+    blob = stz.compress(data, eb=1e-3, eb_mode="rel")
+    print(f"compressed {data.shape} field: CR {data.nbytes / len(blob):.0f}")
+
+    # coarse preview (level 2 = 1/8 of the points) to scout for halos
+    preview = stz.decompress_progressive(blob, level=2)
+    print(f"preview: {preview.shape}, max density {preview.max():.0f}")
+
+    # threshold the *preview* — halos are huge over-densities, so they
+    # survive 2x downsampling; dilate the threshold a little for safety
+    candidates = select_blocks(
+        preview, block=4, stat="max", threshold=HALO_THRESHOLD * 0.5
+    )
+    print(f"{len(candidates)} candidate blocks on the preview "
+          f"({candidates.fraction:.2%} of the coarse volume)")
+
+    # map preview blocks to full-resolution boxes and fetch them
+    fetched = 0
+    halo_cells = 0
+    for box in candidates.boxes:
+        full_box = tuple(slice(2 * s.start, min(2 * s.stop, n))
+                         for s, n in zip(box, data.shape))
+        roi = stz.decompress_roi(blob, full_box)
+        fetched += roi.size
+        halo_cells += int((roi >= HALO_THRESHOLD).sum())
+    print(f"fetched {fetched} cells at full resolution "
+          f"({fetched / data.size:.2%} of the volume), "
+          f"{halo_cells} halo cells found")
+
+    # verify against ground truth: every halo cell is inside a candidate
+    sel_full = select_blocks(
+        data, block=8, stat="max", threshold=HALO_THRESHOLD
+    )
+    recall = capture_recall(data, sel_full, HALO_THRESHOLD)
+    truth = int((data >= HALO_THRESHOLD).sum())
+    print(f"ground truth: {truth} halo cells; direct-selection recall "
+          f"{recall:.2f} (paper: 0.69% of data captures all halos)")
+    assert halo_cells >= truth * 0.95
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin shim: metadata lives in pyproject.toml.
+
+Kept so the package installs in offline environments whose pip lacks the
+`wheel` package needed for PEP 660 editable builds
+(`python setup.py develop` / `pip install -e . --no-build-isolation`).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,2 @@
+"""repro: reproduction of STZ (SC'25) — streaming error-bounded lossy compression."""
+__version__ = "1.0.0"

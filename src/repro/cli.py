@@ -1,0 +1,174 @@
+"""Command-line interface for the STZ compressor.
+
+Installed as ``stz`` (see pyproject).  Works on ``.npy`` arrays or raw
+binary with explicit ``--shape``/``--dtype``.
+
+Examples::
+
+    stz compress field.npy field.stz --eb 1e-3 --mode rel
+    stz info field.stz
+    stz decompress field.stz out.npy --level 1        # coarse preview
+    stz roi field.stz slab.npy --box 10:20,:,64       # random access
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.api import decompress, decompress_progressive, decompress_roi
+from repro.core.config import STZConfig
+from repro.core.pipeline import stz_compress
+from repro.core.stream import KIND_NAMES, StreamReader
+
+
+def _load_array(
+    path: str, shape: str | None, dtype: str | None
+) -> np.ndarray:
+    p = Path(path)
+    if p.suffix == ".npy":
+        return np.load(p)
+    if shape is None or dtype is None:
+        raise SystemExit(
+            "raw binary input needs --shape and --dtype (or use .npy)"
+        )
+    dims = tuple(int(s) for s in shape.split(","))
+    return np.fromfile(p, dtype=np.dtype(dtype)).reshape(dims)
+
+
+def _save_array(path: str, arr: np.ndarray) -> None:
+    p = Path(path)
+    if p.suffix == ".npy":
+        np.save(p, arr)
+    else:
+        arr.tofile(p)
+
+
+def _parse_box(spec: str, ndim: int) -> tuple:
+    """Parse 'a:b,c:d,e' into a ROI tuple of slices/ints."""
+    parts = spec.split(",")
+    if len(parts) != ndim:
+        raise SystemExit(f"--box needs {ndim} comma-separated entries")
+    roi = []
+    for part in parts:
+        if part == ":":
+            roi.append(slice(None))
+        elif ":" in part:
+            lo, hi = part.split(":")
+            roi.append(slice(int(lo) if lo else None, int(hi) if hi else None))
+        else:
+            roi.append(int(part))
+    return tuple(roi)
+
+
+def cmd_compress(args: argparse.Namespace) -> int:
+    data = _load_array(args.input, args.shape, args.dtype)
+    config = STZConfig(levels=args.levels, interp=args.interp)
+    blob = stz_compress(
+        data, args.eb, args.mode, config=config, threads=args.threads
+    )
+    Path(args.output).write_bytes(blob)
+    print(
+        f"{args.input}: {data.nbytes} B -> {len(blob)} B "
+        f"(CR {data.nbytes / len(blob):.2f})"
+    )
+    return 0
+
+
+def cmd_decompress(args: argparse.Namespace) -> int:
+    blob = Path(args.input).read_bytes()
+    if args.level is not None:
+        arr = decompress_progressive(blob, args.level, threads=args.threads)
+    else:
+        arr = decompress(blob, threads=args.threads)
+    _save_array(args.output, arr)
+    print(f"{args.output}: {arr.shape} {arr.dtype}")
+    return 0
+
+
+def cmd_roi(args: argparse.Namespace) -> int:
+    blob = Path(args.input).read_bytes()
+    reader = StreamReader(blob)
+    roi = _parse_box(args.box, reader.header.ndim)
+    arr = decompress_roi(reader, roi, threads=args.threads)
+    _save_array(args.output, arr)
+    print(f"{args.output}: {arr.shape} {arr.dtype}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    reader = StreamReader(Path(args.input).read_bytes())
+    h = reader.header
+    cfg = h.config
+    print(f"shape      : {'x'.join(map(str, h.shape))} ({h.dtype})")
+    print(f"levels     : {cfg.levels} (interp={cfg.interp}, "
+          f"mode={cfg.cubic_mode}, residual={cfg.residual_codec})")
+    print(f"error bound: {h.abs_eb:g} (adaptive={cfg.adaptive_eb}, "
+          f"ratio={cfg.eb_ratio})")
+    print(f"segments   : {len(h.segments)}")
+    for s in h.segments:
+        print(
+            f"  level {s.level}  eps={''.join(map(str, s.eps))}  "
+            f"{KIND_NAMES[s.kind]:14s} {s.length:>10d} B"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="stz",
+        description="STZ streaming error-bounded lossy compressor "
+        "(SC'25 reproduction)",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("compress", help="compress an array")
+    c.add_argument("input", help=".npy file or raw binary")
+    c.add_argument("output", help="output .stz container")
+    c.add_argument("--eb", type=float, required=True, help="error bound")
+    c.add_argument("--mode", choices=("abs", "rel"), default="rel")
+    c.add_argument("--levels", type=int, default=3)
+    c.add_argument(
+        "--interp", choices=("direct", "linear", "cubic"), default="cubic"
+    )
+    c.add_argument("--shape", help="dims for raw input, e.g. 64,64,64")
+    c.add_argument("--dtype", help="dtype for raw input, e.g. float32")
+    c.add_argument("--threads", type=int, default=None)
+    c.set_defaults(fn=cmd_compress)
+
+    d = sub.add_parser("decompress", help="reconstruct (optionally coarse)")
+    d.add_argument("input")
+    d.add_argument("output", help=".npy or raw binary output")
+    d.add_argument(
+        "--level", type=int, default=None,
+        help="progressive level (1 = coarsest; default full)",
+    )
+    d.add_argument("--threads", type=int, default=None)
+    d.set_defaults(fn=cmd_decompress)
+
+    r = sub.add_parser("roi", help="random-access decompress a region")
+    r.add_argument("input")
+    r.add_argument("output")
+    r.add_argument(
+        "--box", required=True,
+        help="per-axis slices, e.g. '10:20,:,64' (ints pick one index)",
+    )
+    r.add_argument("--threads", type=int, default=None)
+    r.set_defaults(fn=cmd_roi)
+
+    i = sub.add_parser("info", help="show container metadata")
+    i.add_argument("input")
+    i.set_defaults(fn=cmd_info)
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

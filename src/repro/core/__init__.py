@@ -1,0 +1,29 @@
+"""STZ core: hierarchical partition + prediction streaming compressor.
+
+Public entry points:
+
+* :class:`repro.core.config.STZConfig` — all knobs (levels, interpolation,
+  adaptive error-bound ratio, ablation switches),
+* :func:`repro.core.api.compress` / :func:`repro.core.api.decompress`,
+* :class:`repro.core.api.STZCompressor` — object API with progressive and
+  random-access decompression,
+* :mod:`repro.core.roi` — region-of-interest selection (Fig. 10).
+"""
+
+from repro.core.config import STZConfig
+
+__all__ = ["STZConfig"]
+
+
+def __getattr__(name):  # lazy: api pulls in every submodule
+    if name in (
+        "STZCompressor",
+        "compress",
+        "decompress",
+        "decompress_progressive",
+        "decompress_roi",
+    ):
+        from repro.core import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

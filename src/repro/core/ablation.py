@@ -1,0 +1,38 @@
+"""Figure 5 ablation ladder.
+
+Maps the paper's legend labels to :class:`STZConfig` instances so the
+rate-distortion ablation benchmark and the tests iterate the exact
+sequence of §3.1's five prediction optimizations plus the 3-level
+design.  ``SZ3`` itself (the gray reference curve) is run through
+:mod:`repro.sz3` directly by the benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ABLATION_CONFIGS, STZConfig
+
+#: paper legend label per variant key, in Figure 5 order
+VARIANT_LABELS: dict[str, str] = {
+    "partition": "Partition",
+    "direct_pred": "Direct pred",
+    "multidim_interp": "Multi-dim Interp",
+    "multidim_qt": "Multi-dim + Qt",
+    "cubic_multi_qt": "Cubic-Multi + Qt",
+    "cubic_multi_qt_adp": "Cubic-Multi-Qt + Adp",
+    "three_level_all": "3-level + All",
+}
+
+
+def variant_names() -> list[str]:
+    """Ablation keys in ladder order."""
+    return list(VARIANT_LABELS)
+
+
+def get_config(name: str) -> STZConfig:
+    try:
+        return ABLATION_CONFIGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown ablation variant {name!r}; choose from "
+            f"{sorted(ABLATION_CONFIGS)}"
+        ) from None

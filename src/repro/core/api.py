@@ -1,0 +1,170 @@
+"""Public STZ API.
+
+Functional entry points (:func:`compress`, :func:`decompress`,
+:func:`decompress_progressive`, :func:`decompress_roi`) plus the
+:class:`STZCompressor` object used by the cross-compressor benchmarks
+and :class:`STZFile` for on-disk streaming access.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import STZConfig
+from repro.core.pipeline import stz_compress, stz_decompress
+from repro.core.progressive import progressive_ladder
+from repro.core.random_access import RandomAccessResult, stz_decompress_roi
+from repro.core.stream import StreamReader
+
+
+def compress(
+    data: np.ndarray,
+    eb: float,
+    eb_mode: str = "abs",
+    config: STZConfig | None = None,
+    threads: int | None = None,
+) -> bytes:
+    """Compress with the STZ streaming pipeline.
+
+    ``eb`` is the finest-level error bound; ``eb_mode`` is ``"abs"`` or
+    ``"rel"`` (relative to the value range).  ``threads`` enables the
+    paper's OMP mode.
+    """
+    return stz_compress(data, eb, eb_mode, config, threads)
+
+
+def decompress(
+    source: bytes | memoryview | StreamReader, threads: int | None = None
+) -> np.ndarray:
+    """Full-resolution reconstruction."""
+    return stz_decompress(source, threads=threads)
+
+
+def decompress_progressive(
+    source: bytes | memoryview | StreamReader,
+    level: int,
+    threads: int | None = None,
+) -> np.ndarray:
+    """Coarse reconstruction at ``level`` (1 = coarsest lattice)."""
+    return stz_decompress(source, level=level, threads=threads)
+
+
+def decompress_roi(
+    source: bytes | memoryview | StreamReader,
+    roi: tuple[slice | int, ...],
+    threads: int | None = None,
+) -> np.ndarray:
+    """Random-access reconstruction of a full-resolution ROI box/slice."""
+    return stz_decompress_roi(source, roi, threads=threads).data
+
+
+def decompress_roi_detailed(
+    source: bytes | memoryview | StreamReader,
+    roi: tuple[slice | int, ...],
+    threads: int | None = None,
+) -> RandomAccessResult:
+    """Like :func:`decompress_roi` but returns the full accounting
+    (stage timings, segments decoded/skipped, bytes read)."""
+    return stz_decompress_roi(source, roi, threads=threads)
+
+
+class STZCompressor:
+    """Object API with the Table 1 capability flags."""
+
+    name = "STZ"
+    supports_progressive = True
+    supports_random_access = True
+
+    def __init__(
+        self,
+        eb: float,
+        eb_mode: str = "abs",
+        config: STZConfig | None = None,
+        threads: int | None = None,
+    ):
+        self.eb = eb
+        self.eb_mode = eb_mode
+        self.config = config or STZConfig()
+        self.threads = threads
+
+    def compress(self, data: np.ndarray) -> bytes:
+        return compress(data, self.eb, self.eb_mode, self.config, self.threads)
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        return decompress(blob, threads=self.threads)
+
+    def decompress_progressive(self, blob: bytes, level: int) -> np.ndarray:
+        return decompress_progressive(blob, level, threads=self.threads)
+
+    def decompress_roi(
+        self, blob: bytes, roi: tuple[slice | int, ...]
+    ) -> np.ndarray:
+        return decompress_roi(blob, roi, threads=self.threads)
+
+
+class STZFile:
+    """Streaming access to an STZ container on disk.
+
+    Only the header/table is read on open; progressive and ROI requests
+    seek to exactly the segments they need (``bytes_read`` reports the
+    payload I/O actually performed).
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh: io.IOBase = open(self.path, "rb")
+        self.reader = StreamReader(self._fh)
+
+    # -- writing -----------------------------------------------------------
+    @staticmethod
+    def write(
+        path: str | Path,
+        data: np.ndarray,
+        eb: float,
+        eb_mode: str = "abs",
+        config: STZConfig | None = None,
+        threads: int | None = None,
+    ) -> "STZFile":
+        blob = compress(data, eb, eb_mode, config, threads)
+        Path(path).write_bytes(blob)
+        return STZFile(path)
+
+    # -- reading -----------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.reader.header.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.reader.header.dtype
+
+    @property
+    def levels(self) -> int:
+        return self.reader.header.config.levels
+
+    @property
+    def bytes_read(self) -> int:
+        return self.reader.bytes_read
+
+    def decompress(self, level: int | None = None) -> np.ndarray:
+        return stz_decompress(self.reader, level=level)
+
+    def decompress_roi(
+        self, roi: tuple[slice | int, ...]
+    ) -> RandomAccessResult:
+        return stz_decompress_roi(self.reader, roi)
+
+    def ladder(self):
+        return progressive_ladder(self.reader)
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "STZFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

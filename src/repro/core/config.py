@@ -1,0 +1,112 @@
+"""Configuration for the STZ compressor.
+
+The defaults reproduce the paper's final design: 3-level hierarchical
+partition, diagonal multi-dimensional cubic interpolation, residual
+quantization without a second SZ3 pass, and adaptive per-level error
+bounds with ratio 2.5 (§3.1 Optimization 5).  The ablation benchmark
+(Figure 5) builds the intermediate designs by overriding fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.encoding.quantizer import DEFAULT_RADIUS
+
+#: residual compression backends for levels >= 2
+RESIDUAL_CODECS = ("quantize", "sz3")
+
+
+@dataclass(frozen=True)
+class STZConfig:
+    """All knobs of the STZ pipeline.
+
+    Attributes
+    ----------
+    levels:
+        Number of hierarchy levels (2 or 3 in the paper; any >= 2 works,
+        the paper sketches 4+ for 4096^3-scale data as future work).
+    interp:
+        Prediction operator for levels >= 2: ``"direct"``, ``"linear"``
+        or ``"cubic"`` (Optimizations 1/2/4).
+    cubic_mode:
+        ``"diagonal"`` (paper Eqs. 7-8) or ``"tensor"`` (separable
+        product; design-choice ablation, no random-access support).
+    residual_codec:
+        ``"quantize"`` = quantize+Huffman only (Optimization 3);
+        ``"sz3"`` = run the full SZ3 pipeline on the residuals (the
+        pre-Optimization-3 design, kept for the Figure 5 ablation).
+    adaptive_eb:
+        Apply the per-level error-bound schedule (Optimization 5).
+    eb_ratio:
+        Ratio between consecutive level bounds; level ``l`` of ``L``
+        gets ``eb / eb_ratio**(L - l)`` so the user bound holds at the
+        finest level and coarser levels are kept cleaner.
+    quant_radius:
+        Quantizer code radius (alphabet = 2*radius+1 symbols max).
+    zlib_level:
+        Lossless backend effort for encoded segments (0 disables).
+    partition_only:
+        Figure 5 "Partition" baseline: compress every sub-block
+        independently with SZ3 and skip cross-level prediction.
+    sz3_interp:
+        Interpolator used by the embedded SZ3 codec (level 1, and
+        residuals when ``residual_codec="sz3"``).
+    """
+
+    levels: int = 3
+    interp: str = "cubic"
+    cubic_mode: str = "diagonal"
+    residual_codec: str = "quantize"
+    adaptive_eb: bool = True
+    eb_ratio: float = 2.5
+    quant_radius: int = DEFAULT_RADIUS
+    zlib_level: int = 1
+    partition_only: bool = False
+    sz3_interp: str = "cubic"
+
+    def __post_init__(self) -> None:
+        if self.levels < 2:
+            raise ValueError("STZ needs at least 2 levels")
+        if self.interp not in ("direct", "linear", "cubic"):
+            raise ValueError(f"unknown interp {self.interp!r}")
+        if self.cubic_mode not in ("diagonal", "tensor"):
+            raise ValueError(f"unknown cubic_mode {self.cubic_mode!r}")
+        if self.residual_codec not in RESIDUAL_CODECS:
+            raise ValueError(f"unknown residual_codec {self.residual_codec!r}")
+        if self.eb_ratio < 1.0:
+            raise ValueError("eb_ratio must be >= 1")
+        if not (0 <= self.zlib_level <= 9):
+            raise ValueError("zlib_level must be in [0, 9]")
+
+    def level_eb(self, eb: float, level: int) -> float:
+        """Error bound applied at ``level`` (1 = coarsest)."""
+        if not self.adaptive_eb:
+            return eb
+        return eb / self.eb_ratio ** (self.levels - level)
+
+    def with_(self, **kw) -> "STZConfig":
+        """Functional update (convenience for ablations)."""
+        return replace(self, **kw)
+
+
+#: Figure 5 ablation ladder, in the paper's legend order.
+ABLATION_CONFIGS: dict[str, STZConfig] = {
+    "partition": STZConfig(levels=2, partition_only=True, adaptive_eb=False),
+    "direct_pred": STZConfig(
+        levels=2, interp="direct", residual_codec="sz3", adaptive_eb=False
+    ),
+    "multidim_interp": STZConfig(
+        levels=2, interp="linear", residual_codec="sz3", adaptive_eb=False
+    ),
+    "multidim_qt": STZConfig(
+        levels=2, interp="linear", residual_codec="quantize", adaptive_eb=False
+    ),
+    "cubic_multi_qt": STZConfig(
+        levels=2, interp="cubic", residual_codec="quantize", adaptive_eb=False
+    ),
+    "cubic_multi_qt_adp": STZConfig(
+        levels=2, interp="cubic", residual_codec="quantize", adaptive_eb=True
+    ),
+    "three_level_all": STZConfig(levels=3),
+}

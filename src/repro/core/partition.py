@@ -1,0 +1,121 @@
+"""Hierarchical stride partition (paper §3.1-3.2, Figures 4 and 9).
+
+A level-``L`` partition decimates the grid with strides ``2**(L-1), ...,
+2, 1``.  Level 1 is the single coarsest sub-block ``A = data[::2**(L-1),
+...]``.  Each refinement step from the level-``l-1`` lattice (stride
+``2t``) to the level-``l`` lattice (stride ``t``) adds ``2**d - 1``
+sub-blocks, one per nonzero parity offset ``eps in {0,1}**d``:
+``data[eps*t :: 2*t]`` along each axis.  The union of all sub-blocks
+tiles the grid exactly once for any shape (odd sizes produce ragged,
+possibly empty sub-blocks, which every function here tolerates).
+
+All helpers operate on *lattice index space*: the level-``l`` lattice of
+a grid of shape ``s`` has shape ``ceil(s / 2**(L-l))``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+Offset = tuple[int, ...]
+
+
+def nonzero_offsets(ndim: int) -> list[Offset]:
+    """The ``2**ndim - 1`` nonzero parity offsets, in binary order.
+
+    Binary order means offset ``(0,...,0,1)`` first; the paper's 3D
+    sub-block letters b..h correspond to these in its Figure 7.
+    """
+    if ndim < 1:
+        raise ValueError("ndim must be >= 1")
+    offs = list(itertools.product((0, 1), repeat=ndim))
+    return [o for o in offs if any(o)]
+
+
+def ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def lattice_shape(shape: tuple[int, ...], stride: int) -> tuple[int, ...]:
+    """Shape of the decimated lattice ``data[::stride, ...]``."""
+    return tuple(ceil_div(n, stride) for n in shape)
+
+
+def subblock_shape(fine_shape: tuple[int, ...], eps: Offset) -> tuple[int, ...]:
+    """Shape of the parity-``eps`` sub-block of a lattice of ``fine_shape``.
+
+    Sub-block points are the lattice points with index ``= eps (mod 2)``
+    per axis; counts can be zero for size-1 axes with ``eps=1``.
+    """
+    return tuple(max(0, ceil_div(n - e, 2)) for n, e in zip(fine_shape, eps))
+
+
+def take_subblock(fine: np.ndarray, eps: Offset) -> np.ndarray:
+    """Extract (as a contiguous copy) the parity-``eps`` sub-block."""
+    sl = tuple(slice(e, None, 2) for e in eps)
+    return np.ascontiguousarray(fine[sl])
+
+
+def subblock_view_in(data: np.ndarray, eps: Offset, stride: int) -> np.ndarray:
+    """View of the parity-``eps`` sub-block of the stride-``stride``
+    lattice, taken directly from the original array (no intermediate
+    lattice materialization): ``data[eps*stride :: 2*stride, ...]``."""
+    sl = tuple(slice(e * stride, None, 2 * stride) for e in eps)
+    return data[sl]
+
+
+def place_subblock(fine: np.ndarray, eps: Offset, values: np.ndarray) -> None:
+    """Scatter a sub-block back into its lattice positions."""
+    sl = tuple(slice(e, None, 2) for e in eps)
+    fine[sl] = values
+
+
+def interleave(
+    coarse: np.ndarray,
+    blocks: dict[Offset, np.ndarray],
+    fine_shape: tuple[int, ...],
+) -> np.ndarray:
+    """Rebuild the stride-``t`` lattice from the stride-``2t`` lattice
+    plus the ``2**d - 1`` refinement sub-blocks (inverse of partition).
+
+    This is the paper's "reassemble" stage (Table 4's ``L2 rec.`` /
+    ``L3 rec.`` columns).
+    """
+    ndim = coarse.ndim
+    out = np.empty(fine_shape, dtype=coarse.dtype)
+    zero = (0,) * ndim
+    place_subblock(out, zero, coarse)
+    for eps in nonzero_offsets(ndim):
+        place_subblock(out, eps, blocks[eps])
+    return out
+
+
+def deinterleave(
+    fine: np.ndarray,
+) -> tuple[np.ndarray, dict[Offset, np.ndarray]]:
+    """Split a lattice into its stride-2 coarse lattice and refinement
+    sub-blocks (the partition of Figure 4)."""
+    ndim = fine.ndim
+    zero = (0,) * ndim
+    coarse = take_subblock(fine, zero)
+    blocks = {eps: take_subblock(fine, eps) for eps in nonzero_offsets(ndim)}
+    return coarse, blocks
+
+
+def level_strides(nlevels: int) -> list[int]:
+    """Grid stride of each level's lattice, coarsest first.
+
+    For 3 levels: ``[4, 2, 1]`` — level 1 is the stride-4 lattice (1.6%
+    of a 3D grid), level 3 is the full grid.
+    """
+    if nlevels < 1:
+        raise ValueError("nlevels must be >= 1")
+    return [2 ** (nlevels - l) for l in range(1, nlevels + 1)]
+
+
+def level_fraction(ndim: int, nlevels: int) -> float:
+    """Fraction of the dataset owned by the coarsest level (the paper's
+    12.5% for 2-level 3D, 1.6% for 3-level 3D)."""
+    return float(2 ** (-(ndim * (nlevels - 1))))

@@ -1,0 +1,390 @@
+"""The STZ compression/decompression pipeline (paper §3.1-3.2, Figure 2).
+
+Compression walks the hierarchy coarsest-first:
+
+1. level 1 (the stride ``2**(levels-1)`` lattice) is compressed with the
+   embedded SZ3 codec at the tightest error bound of the adaptive
+   schedule, then *decompressed* so every later prediction uses exactly
+   the values the decompressor will have;
+2. each finer level's ``2**d - 1`` parity sub-blocks are predicted from
+   the reconstructed coarser lattice (multi-dimensional interpolation),
+   their residuals quantized and Huffman-encoded per sub-block — the
+   per-sub-block segmentation is what later enables selective decoding;
+3. the reconstructed sub-blocks are interleaved with the coarse lattice
+   to form the next level's prediction basis.
+
+Decompression mirrors this and may stop at any level (progressive).
+All per-sub-block work at one level is independent, so both directions
+accept a ``threads`` argument (the paper's OMP mode).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.config import STZConfig
+from repro.core.partition import (
+    Offset,
+    interleave,
+    lattice_shape,
+    level_strides,
+    nonzero_offsets,
+    subblock_shape,
+    subblock_view_in,
+)
+from repro.core.parallel import pmap
+from repro.core.predict import predict_block
+from repro.core.stream import (
+    KIND_L1_SZ3,
+    KIND_RESIDUAL_Q,
+    KIND_RESIDUAL_SZ3,
+    KIND_SZ3_BLOCK,
+    SegmentInfo,
+    StreamReader,
+    StreamWriter,
+)
+from repro.encoding.huffman import (
+    huffman_decode,
+    huffman_decode_many,
+    huffman_encode,
+)
+from repro.encoding.lossless import compress_bytes, decompress_bytes
+from repro.encoding.quantizer import dequantize, quantize
+from repro.sz3.compressor import sz3_compress, sz3_decompress
+from repro.util.sections import pack_sections, unpack_sections
+from repro.util.timer import StageTimer
+from repro.util.validation import as_float_array, resolve_eb
+
+_ZERO_EPS_LIMIT = 8  # eps mask fits u8
+
+
+# ---------------------------------------------------------------------------
+# residual segment payloads
+# ---------------------------------------------------------------------------
+
+def _encode_residual_q(
+    values: np.ndarray,
+    pred: np.ndarray,
+    eb: float,
+    config: STZConfig,
+) -> tuple[bytes, np.ndarray]:
+    """Quantize + Huffman one sub-block; returns (payload, recon)."""
+    qb = quantize(values, pred, eb, config.quant_radius)
+    payload = pack_sections(
+        [
+            compress_bytes(huffman_encode(qb.codes), config.zlib_level),
+            struct.pack("<Q", qb.outlier_pos.size)
+            + qb.outlier_pos.astype(np.uint32).tobytes()
+            + qb.outlier_val.tobytes(),
+        ]
+    )
+    return payload, qb.recon.reshape(values.shape)
+
+
+def _split_residual_payload(
+    payload: bytes | memoryview, dtype: np.dtype
+) -> tuple[bytes, np.ndarray, np.ndarray]:
+    """Parse one sub-block payload into (huffman blob, out_pos, out_val)."""
+    sections = unpack_sections(payload)
+    blob = bytes(sections[1])
+    (n_out,) = struct.unpack_from("<Q", blob, 0)
+    pos = np.frombuffer(blob, dtype=np.uint32, count=n_out, offset=8).astype(
+        np.int64
+    )
+    val = np.frombuffer(blob, dtype=dtype, offset=8 + 4 * n_out)
+    return decompress_bytes(sections[0]), pos, val
+
+
+def _decode_residual_codes(
+    payload: bytes | memoryview, dtype: np.dtype
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Huffman-decode one sub-block; returns (codes, out_pos, out_val).
+
+    This is the paper's "L{2,3} dec." stage: it decodes the *whole*
+    sub-block (intra-sub-block encoding has dependencies) but performs
+    no prediction work.
+    """
+    huff, pos, val = _split_residual_payload(payload, dtype)
+    return huffman_decode(huff), pos, val
+
+
+# ---------------------------------------------------------------------------
+# compression
+# ---------------------------------------------------------------------------
+
+def stz_compress(
+    data: np.ndarray,
+    eb: float,
+    eb_mode: str = "abs",
+    config: STZConfig | None = None,
+    threads: int | None = None,
+) -> bytes:
+    """Compress ``data`` with finest-level absolute bound ``abs(eb)``.
+
+    Every reconstructed value is within the user bound: finer levels use
+    exactly ``abs_eb`` and coarser levels tighter bounds (when
+    ``config.adaptive_eb``), so the container-wide guarantee is
+    ``max|x - x_hat| <= abs_eb``.
+    """
+    config = config or STZConfig()
+    data = as_float_array(data)
+    if data.ndim > _ZERO_EPS_LIMIT:
+        raise ValueError("STZ supports at most 8 dimensions")
+    abs_eb = resolve_eb(data, eb, eb_mode)
+    writer = StreamWriter(data.shape, data.dtype, config, abs_eb)
+    offsets = nonzero_offsets(data.ndim)
+    strides = level_strides(config.levels)
+
+    if config.partition_only:
+        _compress_partition_only(data, abs_eb, config, writer, threads)
+        return writer.tobytes()
+
+    # level 1: embedded SZ3 on the coarsest lattice
+    eb1 = config.level_eb(abs_eb, 1)
+    A = np.ascontiguousarray(data[tuple(slice(0, None, strides[0]) for _ in data.shape)])
+    seg1 = sz3_compress(
+        A, eb1, "abs", config.sz3_interp, config.quant_radius, config.zlib_level
+    )
+    writer.add_segment(1, (0,) * data.ndim, KIND_L1_SZ3, seg1)
+    C = sz3_decompress(seg1)
+
+    for level in range(2, config.levels + 1):
+        stride = strides[level - 1]
+        fine_shape = lattice_shape(data.shape, stride)
+        ebl = config.level_eb(abs_eb, level)
+
+        def work(eps: Offset, _C=C, _stride=stride, _ebl=ebl, _fs=fine_shape):
+            B = np.ascontiguousarray(subblock_view_in(data, eps, _stride))
+            ts = subblock_shape(_fs, eps)
+            if B.size == 0:
+                return eps, b"", np.empty(ts, dtype=data.dtype)
+            pred = predict_block(
+                _C, eps, ts, config.interp, config.cubic_mode
+            )
+            if config.residual_codec == "quantize":
+                payload, recon = _encode_residual_q(B, pred, _ebl, config)
+                return eps, payload, recon
+            diff = B - pred
+            payload = sz3_compress(
+                diff,
+                _ebl,
+                "abs",
+                config.sz3_interp,
+                config.quant_radius,
+                config.zlib_level,
+            )
+            recon = pred + sz3_decompress(payload)
+            return eps, payload, recon
+
+        kind = (
+            KIND_RESIDUAL_Q
+            if config.residual_codec == "quantize"
+            else KIND_RESIDUAL_SZ3
+        )
+        results = pmap(work, offsets, threads)
+        blocks = {}
+        for eps, payload, recon in results:
+            writer.add_segment(level, eps, kind, payload)
+            blocks[eps] = recon
+        C = interleave(C, blocks, fine_shape)
+
+    return writer.tobytes()
+
+
+def _compress_partition_only(
+    data: np.ndarray,
+    abs_eb: float,
+    config: STZConfig,
+    writer: StreamWriter,
+    threads: int | None,
+) -> None:
+    """Figure 5 "Partition" baseline: every sub-block through SZ3
+    independently, no cross-level prediction."""
+    strides = level_strides(config.levels)
+    tasks: list[tuple[int, Offset, np.ndarray]] = []
+    A = np.ascontiguousarray(
+        data[tuple(slice(0, None, strides[0]) for _ in data.shape)]
+    )
+    tasks.append((1, (0,) * data.ndim, A))
+    for level in range(2, config.levels + 1):
+        stride = strides[level - 1]
+        for eps in nonzero_offsets(data.ndim):
+            B = np.ascontiguousarray(subblock_view_in(data, eps, stride))
+            tasks.append((level, eps, B))
+
+    def work(task):
+        level, eps, block = task
+        ebl = config.level_eb(abs_eb, level)
+        if block.size == 0:
+            return level, eps, b""
+        return level, eps, sz3_compress(
+            block,
+            ebl,
+            "abs",
+            config.sz3_interp,
+            config.quant_radius,
+            config.zlib_level,
+        )
+
+    for level, eps, payload in pmap(work, tasks, threads):
+        writer.add_segment(level, eps, KIND_SZ3_BLOCK, payload)
+
+
+# ---------------------------------------------------------------------------
+# decompression (full / progressive)
+# ---------------------------------------------------------------------------
+
+def stz_decompress(
+    source: bytes | memoryview | "StreamReader",
+    level: int | None = None,
+    threads: int | None = None,
+    timer: StageTimer | None = None,
+) -> np.ndarray:
+    """Reconstruct up to ``level`` (None = full resolution).
+
+    ``level=1`` returns the coarsest lattice (1/64th of a 3D grid for 3
+    levels) — the paper's progressive preview.  ``timer`` (optional)
+    collects the per-stage breakdown of Table 4.
+    """
+    reader = source if isinstance(source, StreamReader) else StreamReader(source)
+    header = reader.header
+    config = header.config
+    target = config.levels if level is None else level
+    if not (1 <= target <= config.levels):
+        raise ValueError(
+            f"level must be in [1, {config.levels}], got {target}"
+        )
+    timer = timer if timer is not None else StageTimer()
+    strides = level_strides(config.levels)
+    offsets = nonzero_offsets(header.ndim)
+
+    if config.partition_only:
+        return _decompress_partition_only(reader, target, threads)
+
+    seg1 = header.segments_at(1)[0]
+    with timer.time("l1_sz3"):
+        C = sz3_decompress(reader.read_segment(seg1))
+    for lvl in range(2, target + 1):
+        fine_shape = lattice_shape(header.shape, strides[lvl - 1])
+        ebl = config.level_eb(header.abs_eb, lvl)
+        segs = {s.eps: s for s in header.segments_at(lvl)}
+
+        with timer.time(f"l{lvl}_decode"):
+            decoded = _decode_level(reader, segs, offsets, header, config, threads)
+        with timer.time(f"l{lvl}_predict"):
+
+            def reconstruct(item, _C=C, _fs=fine_shape, _ebl=ebl):
+                eps, decoded_payload = item
+                ts = subblock_shape(_fs, eps)
+                if decoded_payload is None:
+                    return eps, np.empty(ts, dtype=header.dtype)
+                pred = predict_block(
+                    _C, eps, ts, config.interp, config.cubic_mode
+                )
+                if config.residual_codec == "quantize":
+                    codes, pos, val = decoded_payload
+                    rec = dequantize(
+                        codes, pred, _ebl, pos, val, config.quant_radius
+                    )
+                    return eps, rec.reshape(ts)
+                return eps, pred + decoded_payload  # sz3 residual array
+
+            blocks = dict(pmap(reconstruct, decoded, threads))
+        with timer.time(f"l{lvl}_reassemble"):
+            C = interleave(C, blocks, fine_shape)
+    return C
+
+
+def _decode_payload(
+    reader: StreamReader,
+    seg: SegmentInfo,
+    dtype: np.dtype,
+    config: STZConfig,
+):
+    """Entropy-decode one segment (no prediction)."""
+    if seg.length == 0:
+        return None
+    payload = reader.read_segment(seg)
+    if seg.kind == KIND_RESIDUAL_Q:
+        return _decode_residual_codes(payload, dtype)
+    if seg.kind == KIND_RESIDUAL_SZ3:
+        return sz3_decompress(payload)
+    raise ValueError(f"unexpected segment kind {seg.kind}")
+
+
+def _decode_level(
+    reader: StreamReader,
+    segs: dict[Offset, SegmentInfo],
+    offsets: list[Offset],
+    header,
+    config: STZConfig,
+    threads: int | None,
+) -> list[tuple[Offset, object]]:
+    """Entropy-decode all sub-blocks of one level.
+
+    Quantized sub-blocks are batched into one
+    :func:`huffman_decode_many` call — a single interleaved decode loop
+    for the whole level, which beats per-segment decoding even against
+    a thread pool (the loop is numpy-dispatch-bound, and batching
+    amortizes the dispatch across every stream at once).
+    """
+    if config.residual_codec != "quantize":
+        return pmap(
+            lambda eps: (
+                eps,
+                _decode_payload(reader, segs[eps], header.dtype, config),
+            ),
+            offsets,
+            threads,
+        )
+    parts = []
+    huffs = []
+    for eps in offsets:
+        seg = segs[eps]
+        if seg.length == 0:
+            parts.append((eps, None, None, None))
+            continue
+        huff, pos, val = _split_residual_payload(
+            reader.read_segment(seg), header.dtype
+        )
+        parts.append((eps, len(huffs), pos, val))
+        huffs.append(huff)
+    decoded_codes = huffman_decode_many(huffs) if huffs else []
+    out: list[tuple[Offset, object]] = []
+    for eps, idx, pos, val in parts:
+        if idx is None:
+            out.append((eps, None))
+        else:
+            out.append((eps, (decoded_codes[idx], pos, val)))
+    return out
+
+
+def _decompress_partition_only(
+    reader: StreamReader, target: int, threads: int | None
+) -> np.ndarray:
+    header = reader.header
+    strides = level_strides(header.config.levels)
+    seg1 = header.segments_at(1)[0]
+    C = sz3_decompress(reader.read_segment(seg1))
+    for lvl in range(2, target + 1):
+        fine_shape = lattice_shape(header.shape, strides[lvl - 1])
+        segs = header.segments_at(lvl)
+
+        def work(seg, _fs=fine_shape):
+            ts = subblock_shape(_fs, seg.eps)
+            if seg.length == 0:
+                return seg.eps, np.empty(ts, dtype=header.dtype)
+            return seg.eps, sz3_decompress(reader.read_segment(seg))
+
+        blocks = dict(pmap(work, segs, threads))
+        C = interleave(C, blocks, fine_shape)
+    return C
+
+
+def level_output_shape(
+    shape: tuple[int, ...], levels: int, level: int
+) -> tuple[int, ...]:
+    """Shape returned by :func:`stz_decompress` at ``level``."""
+    return lattice_shape(shape, level_strides(levels)[level - 1])

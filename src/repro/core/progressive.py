@@ -1,0 +1,79 @@
+"""Progressive (resolution-ladder) decompression helpers (§3.3, Fig 13).
+
+``stz_decompress(level=k)`` already stops at any level; this module adds
+the workflow conveniences the paper demonstrates: walking the whole
+resolution ladder with timings, and upsampling a coarse preview back to
+full resolution for visual/SSIM comparison against the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import level_output_shape, stz_decompress
+from repro.core.stream import StreamReader
+from repro.util.timer import Timer
+
+
+@dataclass(frozen=True)
+class ProgressiveStep:
+    """One rung of the resolution ladder."""
+
+    level: int
+    shape: tuple[int, ...]
+    seconds: float
+    data: np.ndarray
+
+
+def decompress_progressive(
+    source: bytes | memoryview | StreamReader,
+    level: int,
+    threads: int | None = None,
+) -> np.ndarray:
+    """Reconstruct the coarse lattice of ``level`` (1 = coarsest)."""
+    return stz_decompress(source, level=level, threads=threads)
+
+
+def progressive_ladder(
+    source: bytes | memoryview | StreamReader,
+    threads: int | None = None,
+) -> list[ProgressiveStep]:
+    """Decompress every level 1..L from scratch, timing each — the data
+    behind Figure 13 (decompression time vs resolution).
+
+    Each rung re-reads from the container (as a fresh progressive
+    request would), so timings are directly comparable.
+    """
+    reader = source if isinstance(source, StreamReader) else StreamReader(source)
+    levels = reader.header.config.levels
+    steps = []
+    for level in range(1, levels + 1):
+        with Timer() as t:
+            arr = stz_decompress(reader, level=level, threads=threads)
+        steps.append(
+            ProgressiveStep(level, arr.shape, t.elapsed, arr)
+        )
+    return steps
+
+
+def upsample_nearest(
+    coarse: np.ndarray, full_shape: tuple[int, ...]
+) -> np.ndarray:
+    """Nearest-neighbor upsample of a stride-``s`` lattice back to the
+    full grid (for comparing a coarse preview against the original, as
+    the paper's Figure 1/13 renderings do)."""
+    out = coarse
+    for axis, (c, f) in enumerate(zip(coarse.shape, full_shape)):
+        if c == f:
+            continue
+        reps = -(-f // c)
+        out = np.repeat(out, reps, axis=axis)
+        out = out[
+            tuple(
+                slice(0, f) if a == axis else slice(None)
+                for a in range(out.ndim)
+            )
+        ]
+    return out

@@ -1,0 +1,238 @@
+"""STZ streaming container format.
+
+The container is built for *partial reads*: a fixed-size segment table
+up front records (level, parity offset, kind, offset, length) for every
+compressed segment, so progressive decompression reads a prefix of the
+segments and random-access decompression seeks directly to the
+sub-blocks it needs — from bytes or from a file on disk without loading
+the payload.
+
+Layout (little-endian)::
+
+    magic 'STZ1' | u8 version | u8 dtype | u8 ndim | u8 levels
+    u8 interp | u8 cubic_mode | u8 residual_codec | u8 flags
+    f64 abs_eb | f64 eb_ratio | u32 quant_radius | u32 nseg
+    u64 shape[ndim]
+    nseg x { u8 level, u8 eps_mask, u8 kind, u8 _pad, u64 offset, u64 length }
+    payload bytes (segments back to back)
+
+``eps_mask`` packs the parity offset bitwise (bit a = offset along axis
+a); segment kinds are in :data:`KIND_NAMES`.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import STZConfig
+from repro.core.partition import Offset
+from repro.util.validation import dtype_code, dtype_from_code
+
+MAGIC = b"STZ1"
+VERSION = 1
+
+KIND_L1_SZ3 = 0  # coarsest level, full SZ3 container
+KIND_RESIDUAL_Q = 1  # quantized prediction residuals (+ Huffman)
+KIND_SZ3_BLOCK = 2  # independent SZ3 sub-block ("partition" ablation)
+KIND_RESIDUAL_SZ3 = 3  # residuals compressed by full SZ3 (ablation)
+KIND_NAMES = {
+    KIND_L1_SZ3: "l1-sz3",
+    KIND_RESIDUAL_Q: "residual-quant",
+    KIND_SZ3_BLOCK: "sz3-block",
+    KIND_RESIDUAL_SZ3: "residual-sz3",
+}
+
+_INTERP_CODE = {"direct": 0, "linear": 1, "cubic": 2}
+_INTERP_NAME = {v: k for k, v in _INTERP_CODE.items()}
+_MODE_CODE = {"diagonal": 0, "tensor": 1}
+_MODE_NAME = {v: k for k, v in _MODE_CODE.items()}
+_RESID_CODE = {"quantize": 0, "sz3": 1}
+_RESID_NAME = {v: k for k, v in _RESID_CODE.items()}
+
+_FLAG_PARTITION_ONLY = 1
+_FLAG_ADAPTIVE = 2
+
+_FIXED = struct.Struct("<4sBBBBBBBBddII")
+_SEG = struct.Struct("<BBBBQQ")
+
+
+def eps_to_mask(eps: Offset) -> int:
+    return sum(b << a for a, b in enumerate(eps))
+
+
+def mask_to_eps(mask: int, ndim: int) -> Offset:
+    return tuple((mask >> a) & 1 for a in range(ndim))
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One entry of the segment table."""
+
+    level: int
+    eps: Offset
+    kind: int
+    offset: int  # relative to payload start
+    length: int
+
+
+@dataclass(frozen=True)
+class StreamHeader:
+    """Everything needed to interpret the payload."""
+
+    shape: tuple[int, ...]
+    dtype: np.dtype
+    config: STZConfig
+    abs_eb: float
+    segments: tuple[SegmentInfo, ...]
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def segments_at(self, level: int) -> list[SegmentInfo]:
+        return [s for s in self.segments if s.level == level]
+
+
+class StreamWriter:
+    """Accumulates segments, then serializes the container."""
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        config: STZConfig,
+        abs_eb: float,
+    ):
+        if len(shape) > 8:
+            raise ValueError("eps_mask packing supports at most 8 dims")
+        self.shape = tuple(int(n) for n in shape)
+        self.dtype = np.dtype(dtype)
+        self.config = config
+        self.abs_eb = float(abs_eb)
+        self._segs: list[tuple[int, Offset, int, bytes]] = []
+
+    def add_segment(
+        self, level: int, eps: Offset, kind: int, payload: bytes
+    ) -> None:
+        if kind not in KIND_NAMES:
+            raise ValueError(f"unknown segment kind {kind}")
+        self._segs.append((level, eps, kind, payload))
+
+    def tobytes(self) -> bytes:
+        cfg = self.config
+        flags = (_FLAG_PARTITION_ONLY if cfg.partition_only else 0) | (
+            _FLAG_ADAPTIVE if cfg.adaptive_eb else 0
+        )
+        fixed = _FIXED.pack(
+            MAGIC,
+            VERSION,
+            dtype_code(self.dtype),
+            len(self.shape),
+            cfg.levels,
+            _INTERP_CODE[cfg.interp],
+            _MODE_CODE[cfg.cubic_mode],
+            _RESID_CODE[cfg.residual_codec],
+            flags,
+            self.abs_eb,
+            cfg.eb_ratio,
+            cfg.quant_radius,
+            len(self._segs),
+        )
+        shape_bytes = struct.pack(f"<{len(self.shape)}Q", *self.shape)
+        table = bytearray()
+        off = 0
+        for level, eps, kind, payload in self._segs:
+            table += _SEG.pack(
+                level, eps_to_mask(eps), kind, 0, off, len(payload)
+            )
+            off += len(payload)
+        body = b"".join(p for _, _, _, p in self._segs)
+        return b"".join([fixed, shape_bytes, bytes(table), body])
+
+
+class StreamReader:
+    """Parses the header/table and reads segments lazily.
+
+    Accepts in-memory bytes or a binary file object; file mode seeks to
+    each requested segment so untouched sub-blocks are never read — the
+    I/O half of the paper's random-access story.
+    """
+
+    def __init__(self, source: bytes | memoryview | io.IOBase):
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            self._buf: memoryview | None = memoryview(source)
+            self._file: io.IOBase | None = None
+        else:
+            self._buf = None
+            self._file = source
+        head = self._read_at(0, _FIXED.size)
+        (
+            magic,
+            version,
+            dt,
+            ndim,
+            levels,
+            interp_c,
+            mode_c,
+            resid_c,
+            flags,
+            abs_eb,
+            eb_ratio,
+            radius,
+            nseg,
+        ) = _FIXED.unpack(head)
+        if magic != MAGIC:
+            raise ValueError("not an STZ container")
+        if version != VERSION:
+            raise ValueError(f"unsupported STZ container version {version}")
+        shape = struct.unpack(
+            f"<{ndim}Q", self._read_at(_FIXED.size, 8 * ndim)
+        )
+        table_off = _FIXED.size + 8 * ndim
+        table = self._read_at(table_off, _SEG.size * nseg)
+        segs = []
+        for i in range(nseg):
+            level, mask, kind, _pad, off, length = _SEG.unpack_from(
+                table, i * _SEG.size
+            )
+            segs.append(
+                SegmentInfo(level, mask_to_eps(mask, ndim), kind, off, length)
+            )
+        self._payload_start = table_off + _SEG.size * nseg
+        config = STZConfig(
+            levels=levels,
+            interp=_INTERP_NAME[interp_c],
+            cubic_mode=_MODE_NAME[mode_c],
+            residual_codec=_RESID_NAME[resid_c],
+            adaptive_eb=bool(flags & _FLAG_ADAPTIVE),
+            eb_ratio=eb_ratio,
+            quant_radius=radius,
+            partition_only=bool(flags & _FLAG_PARTITION_ONLY),
+        )
+        self.header = StreamHeader(
+            shape=tuple(shape),
+            dtype=dtype_from_code(dt),
+            config=config,
+            abs_eb=abs_eb,
+            segments=tuple(segs),
+        )
+        self.bytes_read = 0  # payload bytes actually fetched
+
+    def _read_at(self, offset: int, length: int) -> bytes:
+        if self._buf is not None:
+            if offset + length > len(self._buf):
+                raise ValueError("truncated STZ container")
+            return bytes(self._buf[offset : offset + length])
+        self._file.seek(offset)
+        data = self._file.read(length)
+        if len(data) != length:
+            raise ValueError("truncated STZ container")
+        return data
+
+    def read_segment(self, seg: SegmentInfo) -> bytes:
+        self.bytes_read += seg.length
+        return self._read_at(self._payload_start + seg.offset, seg.length)

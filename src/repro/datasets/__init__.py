@@ -1,0 +1,38 @@
+"""Synthetic stand-ins for the paper's four evaluation datasets.
+
+The real datasets (Nyx 512^3, WarpX 256^2x2048 FP64, Magnetic
+Reconnection 512^3, Miranda 1024^3 — Table 2) are multi-GB simulation
+dumps that cannot be redistributed or downloaded offline.  Each
+generator here synthesizes a field with the *statistical features the
+compressors react to* — smoothness, spectra, anisotropy, localized
+structures — so compressor rankings reproduce while absolute PSNR
+values differ (substitution documented in DESIGN.md §3).
+
+All generators are deterministic given a seed.
+"""
+
+from repro.datasets.magrec import magnetic_reconnection
+from repro.datasets.miranda import miranda_density
+from repro.datasets.nyx import nyx_baryon_density
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load,
+    table2_rows,
+)
+from repro.datasets.synthetic import gaussian_random_field
+from repro.datasets.warpx import warpx_field
+
+__all__ = [
+    "gaussian_random_field",
+    "nyx_baryon_density",
+    "warpx_field",
+    "miranda_density",
+    "magnetic_reconnection",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load",
+    "table2_rows",
+]

@@ -1,0 +1,129 @@
+"""Dataset registry — the reproduction of the paper's Table 2.
+
+Maps dataset names to generators, records the paper's original
+dimensions alongside our bench-scale defaults, and exposes
+:func:`load` (scaled, seeded) plus :func:`table2_rows` for the Table 2
+benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.magrec import magnetic_reconnection
+from repro.datasets.miranda import miranda_density
+from repro.datasets.nyx import nyx_baryon_density
+from repro.datasets.warpx import warpx_field
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table 2 plus our synthesis configuration."""
+
+    name: str
+    generator: Callable[..., np.ndarray]
+    dtype: str
+    paper_dims: tuple[int, ...]
+    paper_size: str
+    bench_dims: tuple[int, ...]
+    domain: str
+
+    def generate(
+        self, shape: tuple[int, ...] | None = None, seed: int = 0
+    ) -> np.ndarray:
+        return self.generator(shape=shape or self.bench_dims, seed=seed)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "nyx": DatasetSpec(
+        name="Nyx",
+        generator=nyx_baryon_density,
+        dtype="float32",
+        paper_dims=(512, 512, 512),
+        paper_size="512 MB",
+        bench_dims=(64, 64, 64),
+        domain="Cosmology",
+    ),
+    "warpx": DatasetSpec(
+        name="WarpX",
+        generator=warpx_field,
+        dtype="float64",
+        paper_dims=(256, 256, 2048),
+        paper_size="1024 MB",
+        bench_dims=(32, 32, 256),
+        domain="Accelerator Physics",
+    ),
+    "magrec": DatasetSpec(
+        name="Mag._Rec.",
+        generator=magnetic_reconnection,
+        dtype="float32",
+        paper_dims=(512, 512, 512),
+        paper_size="512 MB",
+        bench_dims=(64, 64, 64),
+        domain="Plasma Physics",
+    ),
+    "miranda": DatasetSpec(
+        name="Miranda",
+        generator=miranda_density,
+        dtype="float32",
+        paper_dims=(1024, 1024, 1024),
+        paper_size="4096 MB",
+        bench_dims=(64, 64, 64),
+        domain="Turbulence",
+    ),
+}
+
+
+def dataset_names() -> list[str]:
+    return list(DATASETS)
+
+
+def bench_scale() -> int:
+    """Global integer scale factor for benchmark grids (env REPRO_SCALE).
+
+    1 = defaults (64^3-class grids, seconds per run); 2 doubles every
+    axis (8x the data) and so on, for users who want paper-scale runs.
+    """
+    return max(1, int(os.environ.get("REPRO_SCALE", "1")))
+
+
+def load(
+    name: str,
+    shape: tuple[int, ...] | None = None,
+    seed: int = 0,
+    scale: int | None = None,
+) -> np.ndarray:
+    """Generate a dataset by registry key, optionally scaled."""
+    key = name.lower()
+    if key not in DATASETS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    spec = DATASETS[key]
+    if shape is None:
+        s = scale if scale is not None else bench_scale()
+        shape = tuple(n * s for n in spec.bench_dims)
+    return spec.generate(shape=shape, seed=seed)
+
+
+def table2_rows() -> list[dict[str, str]]:
+    """The paper's Table 2, extended with our synthesis scale."""
+    rows = []
+    for key, spec in DATASETS.items():
+        data = load(key)
+        rows.append(
+            {
+                "dataset": spec.name,
+                "type": spec.dtype,
+                "paper_dims": "x".join(map(str, spec.paper_dims)),
+                "paper_size": spec.paper_size,
+                "our_dims": "x".join(map(str, data.shape)),
+                "our_size_mb": f"{data.nbytes / 2**20:.1f} MB",
+                "domain": spec.domain,
+            }
+        )
+    return rows

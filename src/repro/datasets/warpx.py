@@ -1,0 +1,53 @@
+"""WarpX-like laser-wakefield field.
+
+WarpX (2022 Gordon Bell winner) simulates laser-plasma acceleration on
+strongly anisotropic grids (the paper uses a 256 x 256 x 2048 FP64
+field).  The dominant structure is a modulated laser pulse: a carrier
+wave under a localized envelope travelling along the long axis, with a
+weak broadband plasma background.  Compressors see exactly the features
+that matter: a smooth background (easy), an oscillatory packet
+(mid-frequency), FP64 precision, and anisotropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import gaussian_random_field
+
+
+def warpx_field(
+    shape: tuple[int, ...] = (32, 32, 256),
+    seed: int = 0,
+    wavelength: float = 24.0,
+    noise: float = 0.02,
+) -> np.ndarray:
+    """Longitudinal electric field of a laser pulse, dtype float64.
+
+    The long axis is the last one (propagation direction); the packet
+    sits at 40% of the domain with a Gaussian envelope, and carrier
+    ``wavelength`` is in grid cells.
+    """
+    if len(shape) != 3:
+        raise ValueError("warpx_field generates 3D data")
+    nx, ny, nz = shape
+    x = np.linspace(-1, 1, nx)[:, None, None]
+    y = np.linspace(-1, 1, ny)[None, :, None]
+    z = np.arange(nz)[None, None, :]
+
+    z0 = 0.4 * nz
+    env_len = 0.12 * nz
+    envelope = np.exp(
+        -((z - z0) ** 2) / (2 * env_len**2) - (x**2 + y**2) / 0.18
+    )
+    carrier = np.sin(2 * np.pi * z / wavelength)
+    pulse = envelope * carrier
+
+    wake = 0.15 * np.exp(-(x**2 + y**2) / 0.5) * np.sin(
+        2 * np.pi * (z - z0) / (4.0 * wavelength)
+    ) * (z > z0)
+
+    background = noise * gaussian_random_field(
+        shape, gamma=2.5, seed=seed, cutoff=0.5
+    )
+    return (pulse + wake + background).astype(np.float64)

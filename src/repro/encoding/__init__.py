@@ -1,0 +1,39 @@
+"""Entropy coding and quantization substrates.
+
+Every compressor in this repository (STZ, SZ3-like, ZFP-like, MGARD-like,
+SPERR-like) is assembled from the primitives in this package:
+
+* :mod:`repro.encoding.bitstream` — vectorized variable-length bit packing,
+* :mod:`repro.encoding.huffman` — canonical Huffman codec with a chunked,
+  gather-based decoder (no per-symbol Python loop),
+* :mod:`repro.encoding.quantizer` — SZ-style error-bounded linear quantizer
+  with exact outlier storage,
+* :mod:`repro.encoding.lossless` — zlib-backed lossless byte backend
+  (stands in for zstd, which is unavailable offline),
+* :mod:`repro.encoding.rle` — run-length coding for sparse integer streams.
+"""
+
+from repro.encoding.bitstream import pack_bits, unpack_bits
+from repro.encoding.huffman import HuffmanCodec, huffman_decode, huffman_encode
+from repro.encoding.lossless import compress_bytes, decompress_bytes
+from repro.encoding.quantizer import (
+    QuantizedBatch,
+    dequantize,
+    quantize,
+)
+from repro.encoding.rle import rle_decode, rle_encode
+
+__all__ = [
+    "pack_bits",
+    "unpack_bits",
+    "HuffmanCodec",
+    "huffman_encode",
+    "huffman_decode",
+    "compress_bytes",
+    "decompress_bytes",
+    "QuantizedBatch",
+    "quantize",
+    "dequantize",
+    "rle_encode",
+    "rle_decode",
+]

@@ -1,0 +1,122 @@
+"""Vectorized variable-length bit packing.
+
+The Huffman encoder needs to concatenate ``n`` codewords of varying bit
+length into one bitstream.  A per-symbol Python loop would dominate the
+whole compressor, so we scatter all bits with numpy:
+
+* ``np.repeat(starts, lengths)`` expands per-symbol start offsets to one
+  entry per emitted bit,
+* ``arange(total) - repeat(starts)`` recovers the bit index *within* each
+  codeword,
+* a single shift/mask extracts the bit values, and ``np.packbits`` packs.
+
+Bit order is MSB-first within a byte (``np.packbits`` convention).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pack_bits(codes: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, int]:
+    """Pack variable-length codewords into a byte array.
+
+    Parameters
+    ----------
+    codes:
+        Unsigned integer codewords; only the low ``lengths[i]`` bits of
+        ``codes[i]`` are emitted (MSB of the codeword first).
+    lengths:
+        Bit length of each codeword (0 is allowed and emits nothing).
+
+    Returns
+    -------
+    (packed, nbits):
+        ``packed`` is a uint8 array (padded with zero bits to a byte
+        boundary) and ``nbits`` the exact number of meaningful bits.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if codes.shape != lengths.shape:
+        raise ValueError("codes and lengths must have identical shapes")
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.uint8), 0
+
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    # one row per emitted bit
+    sym = np.repeat(np.arange(codes.size, dtype=np.int64), lengths)
+    bit_in_code = np.arange(total, dtype=np.int64) - starts[sym]
+    shift = (lengths[sym] - 1 - bit_in_code).astype(np.uint64)
+    bits = ((codes[sym] >> shift) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits), total
+
+
+def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, int]:
+    """Fast path of :func:`pack_bits` for codewords of <= 16 bits.
+
+    Instead of expanding to one entry per bit, each codeword is placed in
+    a 32-bit container aligned to its start byte (16-bit code + 7-bit
+    in-byte offset spans at most 3 bytes).  Because no two codewords
+    share a bit, the three container byte planes can be accumulated into
+    the output with ``np.bincount`` — a single C-speed scatter per plane.
+    """
+    codes = np.asarray(codes, dtype=np.uint32)
+    lengths64 = np.asarray(lengths, dtype=np.int64)
+    if codes.shape != lengths64.shape:
+        raise ValueError("codes and lengths must have identical shapes")
+    if lengths64.size and int(lengths64.max()) > 16:
+        raise ValueError("pack_codes requires code lengths <= 16")
+    ends = np.cumsum(lengths64)
+    total = int(ends[-1]) if ends.size else 0
+    if total == 0:
+        return np.zeros(0, dtype=np.uint8), 0
+    starts = ends - lengths64
+    rem = (starts & 7).astype(np.uint32)
+    byte_idx = starts >> 3
+    shift = np.uint32(32) - lengths64.astype(np.uint32) - rem
+    w = codes << shift
+    nbytes = (total + 7) >> 3
+    out = np.zeros(nbytes + 3, dtype=np.float64)
+    for k in range(3):
+        plane = ((w >> np.uint32(8 * (3 - k))) & np.uint32(0xFF)).astype(
+            np.float64
+        )
+        out += np.bincount(byte_idx + k, weights=plane, minlength=nbytes + 3)
+    return out[:nbytes].astype(np.uint8), total
+
+
+def unpack_bits(packed: np.ndarray, nbits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits` down to the raw bit array."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    bits = np.unpackbits(packed, count=nbits)
+    return bits
+
+
+def windows_at(
+    packed: np.ndarray, positions: np.ndarray, width: int = 16
+) -> np.ndarray:
+    """Return the ``width``-bit big-endian window starting at each bit
+    position.
+
+    Used by the Huffman decoder: the window at a codeword boundary is
+    looked up in a ``2**width`` table to resolve (symbol, length) in one
+    gather.  ``packed`` must be padded with at least 3 spare bytes past
+    the last meaningful bit (the encoder segment format guarantees this).
+    """
+    if width > 16:
+        raise ValueError("window width above 16 bits is not supported")
+    positions = np.asarray(positions, dtype=np.int64)
+    byte = positions >> 3
+    r = (positions & 7).astype(np.uint32)
+    b = packed
+    u = (
+        (b[byte].astype(np.uint32) << np.uint32(16))
+        | (b[byte + 1].astype(np.uint32) << np.uint32(8))
+        | b[byte + 2].astype(np.uint32)
+    )
+    win = (u >> (np.uint32(8) - r)) & np.uint32(0xFFFF)
+    if width < 16:
+        win >>= np.uint32(16 - width)
+    return win

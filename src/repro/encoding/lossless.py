@@ -1,0 +1,38 @@
+"""Lossless byte backend.
+
+SZ3 finishes with zstd; zstd is not installable offline so we use zlib
+(same DEFLATE family).  All compressors in this repo go through this one
+backend so cross-compressor ratio comparisons stay fair.  A one-byte tag
+lets us fall back to raw storage when DEFLATE does not help
+(incompressible outlier payloads, tiny segments).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+_RAW = b"\x00"
+_ZLIB = b"\x01"
+
+
+def compress_bytes(data: bytes, level: int = 1) -> bytes:
+    """Compress ``data``; never grows by more than one byte."""
+    if level < 0 or level > 9:
+        raise ValueError("zlib level must be in [0, 9]")
+    if level == 0 or len(data) < 64:
+        return _RAW + data
+    z = zlib.compress(data, level)
+    if len(z) >= len(data):
+        return _RAW + data
+    return _ZLIB + z
+
+
+def decompress_bytes(blob: bytes | memoryview) -> bytes:
+    blob = memoryview(blob)
+    tag = bytes(blob[:1])
+    body = blob[1:]
+    if tag == _RAW:
+        return bytes(body)
+    if tag == _ZLIB:
+        return zlib.decompress(body)
+    raise ValueError(f"unknown lossless tag {tag!r}")

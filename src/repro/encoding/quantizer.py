@@ -1,0 +1,114 @@
+"""SZ-style error-bounded linear quantizer.
+
+Prediction residuals are mapped to integer codes ``q = round(diff/2eb)``
+so that reconstructing ``pred + 2*eb*q`` is within ``eb`` of the input.
+Code 0 is reserved for *outliers*: points whose residual exceeds the code
+radius, or whose reconstruction — recomputed here in exactly the
+arithmetic the decompressor will use — violates the bound (possible for
+float32 payloads near the bound edge).  Outliers are stored exactly, so
+the error bound is a hard guarantee, not a probabilistic one.
+
+The code radius defaults to 16384 which keeps the worst-case distinct
+alphabet (2*radius+1 symbols) within the Huffman codec's 16-bit code
+length limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+DEFAULT_RADIUS = 16384
+
+
+@dataclass
+class QuantizedBatch:
+    """Quantization result for one batch of predicted values.
+
+    Attributes
+    ----------
+    codes:
+        uint32 array, same length as the batch; 0 marks an outlier,
+        otherwise ``codes - radius`` is the signed quantization bin.
+    outlier_pos:
+        int64 flat indices (into the batch) of outliers.
+    outlier_val:
+        exact values of the outliers, in the payload dtype.
+    recon:
+        the reconstruction the decompressor will produce (same dtype as
+        the input batch) — callers feed this back as the basis for
+        predicting finer levels so that compression and decompression
+        see bit-identical predictor inputs.
+    """
+
+    codes: np.ndarray
+    outlier_pos: np.ndarray
+    outlier_val: np.ndarray
+    recon: np.ndarray
+    radius: int
+
+
+def _reconstruct(
+    pred: np.ndarray, q: np.ndarray, eb: float, dtype: np.dtype
+) -> np.ndarray:
+    """The one true reconstruction formula, shared by both directions."""
+    return (pred.astype(np.float64) + q * (2.0 * eb)).astype(dtype)
+
+
+def quantize(
+    values: np.ndarray,
+    pred: np.ndarray,
+    eb: float,
+    radius: int = DEFAULT_RADIUS,
+) -> QuantizedBatch:
+    """Quantize ``values - pred`` with absolute error bound ``eb``."""
+    if eb <= 0:
+        raise ValueError(f"error bound must be > 0, got {eb}")
+    values = np.asarray(values)
+    pred = np.asarray(pred)
+    if values.shape != pred.shape:
+        raise ValueError("values and pred shapes differ")
+    dtype = values.dtype
+    flat = values.reshape(-1)
+    pflat = pred.reshape(-1)
+
+    diff = flat.astype(np.float64) - pflat.astype(np.float64)
+    finite_diff = np.where(np.isfinite(diff), diff, 0.0)
+    q = np.rint(finite_diff / (2.0 * eb)).astype(np.int64)
+    recon = _reconstruct(pflat, q, eb, dtype)
+    ok = (np.abs(q) < radius) & (
+        np.abs(recon.astype(np.float64) - flat.astype(np.float64)) <= eb
+    )
+    # non-finite inputs are always stored exactly
+    finite = np.isfinite(flat)
+    ok &= finite
+
+    codes = np.where(ok, q + radius, 0).astype(np.uint32)
+    bad = np.flatnonzero(~ok)
+    outlier_val = flat[bad].copy()
+    recon[bad] = flat[bad]
+    return QuantizedBatch(
+        codes=codes,
+        outlier_pos=bad.astype(np.int64),
+        outlier_val=outlier_val,
+        recon=recon,
+        radius=radius,
+    )
+
+
+def dequantize(
+    codes: np.ndarray,
+    pred: np.ndarray,
+    eb: float,
+    outlier_pos: np.ndarray,
+    outlier_val: np.ndarray,
+    radius: int = DEFAULT_RADIUS,
+) -> np.ndarray:
+    """Invert :func:`quantize`; returns the reconstruction, flat."""
+    pflat = np.asarray(pred).reshape(-1)
+    q = codes.astype(np.int64) - radius
+    recon = _reconstruct(pflat, q, eb, np.asarray(pred).dtype)
+    if outlier_pos.size:
+        recon[outlier_pos] = outlier_val
+    return recon

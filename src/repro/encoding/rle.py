@@ -1,0 +1,33 @@
+"""Run-length coding for integer arrays.
+
+Used by the embedded bit-plane coders (ZFP-like / SPERR-like) where high
+bit planes are overwhelmingly zero, and available as a standalone
+primitive.  Fully vectorized via run-boundary detection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rle_encode(arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return (values, run_lengths) such that ``repeat(values, runs)``
+    reproduces ``arr``."""
+    arr = np.asarray(arr).reshape(-1)
+    if arr.size == 0:
+        return arr[:0].copy(), np.zeros(0, dtype=np.int64)
+    boundaries = np.flatnonzero(arr[1:] != arr[:-1]) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [arr.size]])
+    return arr[starts].copy(), (ends - starts).astype(np.int64)
+
+
+def rle_decode(values: np.ndarray, runs: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`rle_encode`."""
+    values = np.asarray(values)
+    runs = np.asarray(runs, dtype=np.int64)
+    if values.shape != runs.shape:
+        raise ValueError("values and runs must have the same length")
+    if np.any(runs < 0):
+        raise ValueError("run lengths must be non-negative")
+    return np.repeat(values, runs)

@@ -1,0 +1,24 @@
+"""Quality and rate metrics used throughout the paper's evaluation:
+PSNR and SSIM for distortion (Figures 3, 5, 11-13), compression ratio /
+bitrate for rate, plus rate-distortion curve assembly."""
+
+from repro.metrics.error import max_abs_error, mse, nrmse, psnr
+from repro.metrics.rate import (
+    RDPoint,
+    bitrate,
+    compression_ratio,
+    rd_curve,
+)
+from repro.metrics.ssim import ssim
+
+__all__ = [
+    "psnr",
+    "mse",
+    "nrmse",
+    "max_abs_error",
+    "ssim",
+    "RDPoint",
+    "bitrate",
+    "compression_ratio",
+    "rd_curve",
+]

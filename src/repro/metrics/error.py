@@ -1,0 +1,50 @@
+"""Point-wise error metrics (PSNR convention of the SZ/ZFP literature:
+peak = value range of the original field)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    return a, b
+
+
+def mse(orig: np.ndarray, rec: np.ndarray) -> float:
+    a, b = _pair(orig, rec)
+    return float(np.mean((a - b) ** 2))
+
+
+def max_abs_error(orig: np.ndarray, rec: np.ndarray) -> float:
+    a, b = _pair(orig, rec)
+    return float(np.max(np.abs(a - b))) if a.size else 0.0
+
+
+def psnr(
+    orig: np.ndarray, rec: np.ndarray, data_range: float | None = None
+) -> float:
+    """Peak signal-to-noise ratio in dB; peak = value range of ``orig``
+    (the convention of the paper's rate-distortion plots).  Returns
+    ``inf`` for exact reconstructions."""
+    a, b = _pair(orig, rec)
+    if data_range is None:
+        data_range = float(a.max() - a.min())
+    err = mse(a, b)
+    if err == 0:
+        return float("inf")
+    if data_range <= 0:
+        raise ValueError("data_range must be positive")
+    return float(20.0 * np.log10(data_range) - 10.0 * np.log10(err))
+
+
+def nrmse(orig: np.ndarray, rec: np.ndarray) -> float:
+    """Root-mean-square error normalized by the value range."""
+    a, b = _pair(orig, rec)
+    rng = float(a.max() - a.min())
+    if rng == 0:
+        return 0.0 if mse(a, b) == 0 else float("inf")
+    return float(np.sqrt(mse(a, b)) / rng)

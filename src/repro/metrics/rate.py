@@ -1,0 +1,78 @@
+"""Rate metrics and rate-distortion curve assembly.
+
+In lossy compression quality and ratio are interchangeable (§2.2 of the
+paper), so every quality comparison is made *along the rate axis*:
+:func:`rd_curve` sweeps error bounds and records (CR, bitrate, PSNR)
+triples, which is exactly how Figures 5 and 11 are built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.metrics.error import max_abs_error, psnr
+
+
+@dataclass(frozen=True)
+class RDPoint:
+    """One rate-distortion sample."""
+
+    eb: float  # error bound handed to the compressor
+    cr: float  # compression ratio (original bytes / compressed bytes)
+    bitrate: float  # compressed bits per value
+    psnr: float  # dB
+    max_err: float  # measured L-infinity error
+
+    def as_row(self) -> tuple[float, float, float, float, float]:
+        return (self.eb, self.cr, self.bitrate, self.psnr, self.max_err)
+
+
+def compression_ratio(original_bytes: int, compressed_bytes: int) -> float:
+    if compressed_bytes <= 0:
+        raise ValueError("compressed size must be positive")
+    return original_bytes / compressed_bytes
+
+
+def bitrate(data: np.ndarray, blob: bytes) -> float:
+    """Compressed bits per scalar value."""
+    return 8.0 * len(blob) / data.size
+
+
+def rd_curve(
+    compress: Callable[[np.ndarray, float], bytes],
+    decompress: Callable[[bytes], np.ndarray],
+    data: np.ndarray,
+    ebs: Sequence[float],
+) -> list[RDPoint]:
+    """Sweep error bounds and collect rate-distortion points."""
+    points = []
+    for eb in ebs:
+        blob = compress(data, eb)
+        rec = decompress(blob)
+        points.append(
+            RDPoint(
+                eb=float(eb),
+                cr=compression_ratio(data.nbytes, len(blob)),
+                bitrate=bitrate(data, blob),
+                psnr=psnr(data, rec),
+                max_err=max_abs_error(data, rec),
+            )
+        )
+    return points
+
+
+def interpolate_psnr_at_cr(points: list[RDPoint], cr: float) -> float:
+    """PSNR at a given CR by piecewise-linear interpolation in log-CR —
+    used to compare compressors "at the same compression ratio" as the
+    paper does in its figures."""
+    pts = sorted(points, key=lambda p: p.cr)
+    crs = np.array([p.cr for p in pts])
+    ps = np.array([p.psnr for p in pts])
+    if cr <= crs[0]:
+        return float(ps[0])
+    if cr >= crs[-1]:
+        return float(ps[-1])
+    return float(np.interp(np.log(cr), np.log(crs), ps))

@@ -1,0 +1,18 @@
+"""MGARD-like multigrid error-controlled compressor.
+
+From-scratch reproduction of the MGARD design (Ainsworth et al.;
+MGARD-X is its accelerated implementation): a *transform-style*
+multilevel decomposition — decimate, predict with multilinear
+interpolation, keep the hierarchical surpluses as detail coefficients,
+optionally apply an L2-projection-like correction to the coarse level —
+followed by level-scaled quantization and Huffman coding.
+
+Character reproduced from the paper's evaluation: resolution-progressive
+decompression (Table 1), mid compression quality (linear basis < the
+cubic prediction of SZ3/STZ, Figure 11), and low speed (full-grid
+decompose/recompose passes plus tridiagonal solves per level, Table 3).
+"""
+
+from repro.mgard.codec import MGARDCompressor, mgard_compress, mgard_decompress
+
+__all__ = ["MGARDCompressor", "mgard_compress", "mgard_decompress"]

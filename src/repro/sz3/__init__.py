@@ -1,0 +1,27 @@
+"""SZ3-style error-bounded lossy compressor.
+
+A from-scratch reproduction of the interpolation-based SZ3 design
+(Zhao et al., ICDE'21; Liang et al.): multi-level cascaded 1D spline
+interpolation prediction, error-bounded linear quantization, Huffman
+encoding, and a DEFLATE lossless pass.  It serves three roles here:
+
+1. the paper's main *non-streaming* quality/speed baseline,
+2. the codec STZ applies to its coarsest level (§3.1),
+3. the residual codec of the pre-Optimization-3 ablation designs.
+"""
+
+from repro.sz3.compressor import (
+    SZ3Compressor,
+    sz3_compress,
+    sz3_compress_omp,
+    sz3_decompress,
+    sz3_decompress_omp,
+)
+
+__all__ = [
+    "SZ3Compressor",
+    "sz3_compress",
+    "sz3_decompress",
+    "sz3_compress_omp",
+    "sz3_decompress_omp",
+]

@@ -1,0 +1,95 @@
+"""SZ3's cascaded multi-level 1D interpolation schedule.
+
+SZ3 predicts the grid coarse-to-fine: at stride level ``s`` (halving
+each level down to 2) it fills, axis by axis, the lattice points whose
+coordinate along the processed axis is an odd multiple of ``s/2`` while
+axes already processed at this level sit on the ``s/2`` lattice and
+remaining axes on the ``s`` lattice.  Every batch is a 1D midpoint
+interpolation (cubic spline with not-a-knot-style interior stencil,
+linear at edges) between already-*reconstructed* values — using
+reconstructed values is what stops quantization error from compounding
+past the bound (§4.4 of the STZ paper discusses this dependency).
+
+The schedule is expressed as a deterministic list of batches so the
+compressor and decompressor iterate identically; each batch is realized
+as strided views into one shared reconstruction buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.predict import interp_axis_midpoints
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One (stride, axis) interpolation batch of the schedule."""
+
+    stride: int  # lattice spacing of the *known* points along `axis`
+    axis: int
+    known_sel: tuple[slice, ...]  # known points, in array coordinates
+    target_sel: tuple[slice, ...]  # points predicted by this batch
+    size: int  # number of predicted points
+
+
+def anchor_stride(shape: tuple[int, ...], target_points: int = 4) -> int:
+    """Anchor lattice stride: power of two such that the losslessly
+    stored anchor grid has roughly ``target_points`` points per axis."""
+    longest = max(shape)
+    s = 1
+    while longest / (2 * s) > target_points:
+        s *= 2
+    return max(2, s)
+
+
+def schedule(shape: tuple[int, ...], astride: int) -> list[Batch]:
+    """The full coarse-to-fine batch list for a grid of ``shape``."""
+    ndim = len(shape)
+    batches: list[Batch] = []
+    s = astride
+    while s >= 2:
+        half = s // 2
+        for axis in range(ndim):
+            known, target = [], []
+            for a in range(ndim):
+                if a == axis:
+                    known.append(slice(0, None, s))
+                    target.append(slice(half, None, s))
+                elif a < axis:
+                    known.append(slice(0, None, half))
+                    target.append(slice(0, None, half))
+                else:
+                    known.append(slice(0, None, s))
+                    target.append(slice(0, None, s))
+            t_sel = tuple(target)
+            size = 1
+            for a in range(ndim):
+                ext = _slice_len(t_sel[a], shape[a])
+                size *= ext
+            if size:
+                batches.append(Batch(s, axis, tuple(known), t_sel, size))
+        s = half
+    return batches
+
+
+def _slice_len(sl: slice, n: int) -> int:
+    return len(range(*sl.indices(n)))
+
+
+def predict_batch(
+    recon: np.ndarray, batch: Batch, interp: str
+) -> np.ndarray:
+    """Predict the batch's target points from the known lattice.
+
+    ``recon`` is the shared reconstruction buffer; known points must
+    already hold reconstructed values.  Returns a contiguous array of
+    the target shape.
+    """
+    known = recon[batch.known_sel]
+    target_shape = recon[batch.target_sel].shape
+    t = target_shape[batch.axis]
+    pred = interp_axis_midpoints(known, batch.axis, t, interp)
+    return pred

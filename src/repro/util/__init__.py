@@ -1,0 +1,20 @@
+"""Shared utilities: timers, validation helpers."""
+
+from repro.util.timer import Timer, StageTimer
+from repro.util.validation import (
+    as_float_array,
+    check_ndim,
+    check_positive,
+    dtype_code,
+    dtype_from_code,
+)
+
+__all__ = [
+    "Timer",
+    "StageTimer",
+    "as_float_array",
+    "check_ndim",
+    "check_positive",
+    "dtype_code",
+    "dtype_from_code",
+]

@@ -1,0 +1,49 @@
+"""Length-prefixed byte sections.
+
+All container formats in this repo serialize a list of byte blobs with
+u64 length prefixes; keeping the framing in one place keeps the codecs'
+formats trivial to evolve and test.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_LEN = struct.Struct("<Q")
+
+
+def pack_sections(sections: list[bytes]) -> bytes:
+    """Concatenate sections with u64 length prefixes."""
+    parts: list[bytes] = [_LEN.pack(len(sections))]
+    for s in sections:
+        parts.append(_LEN.pack(len(s)))
+        parts.append(bytes(s))
+    return b"".join(parts)
+
+
+def unpack_sections(blob: bytes | memoryview) -> list[memoryview]:
+    """Inverse of :func:`pack_sections`; returns zero-copy views.
+
+    Raises ``ValueError`` (never ``struct.error``) on malformed input so
+    codec callers surface one uniform exception type.
+    """
+    blob = memoryview(blob)
+    if len(blob) < _LEN.size:
+        raise ValueError("not a section container (too short)")
+    (count,) = _LEN.unpack(blob[: _LEN.size])
+    off = _LEN.size
+    if count > len(blob):  # cheap sanity bound: each section needs 8B
+        raise ValueError("not a section container (bad count)")
+    out: list[memoryview] = []
+    for _ in range(count):
+        if off + _LEN.size > len(blob):
+            raise ValueError("truncated section container")
+        (n,) = _LEN.unpack(blob[off : off + _LEN.size])
+        off += _LEN.size
+        if off + n > len(blob):
+            raise ValueError("truncated section container")
+        out.append(blob[off : off + n])
+        off += n
+    if off != len(blob):
+        raise ValueError("trailing bytes after last section")
+    return out

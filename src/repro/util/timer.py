@@ -1,0 +1,66 @@
+"""Lightweight wall-clock timers used by the speed benchmarks and the
+Table-4 decompression-stage breakdown."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class StageTimer:
+    """Accumulates named stage durations (seconds).
+
+    Used to reproduce the paper's Table 4, which breaks random-access
+    decompression into L1-SZ3 / L2-decode / L2-predict / L2-reassemble /
+    L3-decode / L3-predict / L3-reassemble stages.
+    """
+
+    stages: dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.stages[name] = self.stages.get(name, 0.0) + seconds
+
+    def time(self, name: str) -> "_StageCtx":
+        return _StageCtx(self, name)
+
+    @property
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+    def row(self, names: list[str]) -> list[float]:
+        """Stage values in a fixed column order (missing stages are 0)."""
+        return [self.stages.get(n, 0.0) for n in names]
+
+
+class _StageCtx:
+    def __init__(self, timer: StageTimer, name: str):
+        self._timer = timer
+        self._name = name
+
+    def __enter__(self) -> "_StageCtx":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.add(self._name, time.perf_counter() - self._start)

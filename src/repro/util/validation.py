@@ -1,0 +1,69 @@
+"""Input validation and dtype bookkeeping shared by all codecs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Stable on-disk dtype codes for the container formats.  Only floating
+# point payloads are supported by the compressors (the paper targets FP32
+# and FP64 simulation fields).
+_DTYPE_CODES: dict[str, int] = {"float32": 1, "float64": 2}
+_CODE_DTYPES: dict[int, np.dtype] = {v: np.dtype(k) for k, v in _DTYPE_CODES.items()}
+
+
+def dtype_code(dtype: np.dtype) -> int:
+    """Return the container code for a supported floating dtype."""
+    name = np.dtype(dtype).name
+    try:
+        return _DTYPE_CODES[name]
+    except KeyError:
+        raise TypeError(
+            f"unsupported dtype {name!r}: compressors accept float32/float64"
+        ) from None
+
+
+def dtype_from_code(code: int) -> np.dtype:
+    try:
+        return _CODE_DTYPES[code]
+    except KeyError:
+        raise ValueError(f"unknown dtype code {code}") from None
+
+
+def as_float_array(data: np.ndarray) -> np.ndarray:
+    """Validate and return a C-contiguous float32/float64 ndarray."""
+    arr = np.asarray(data)
+    if arr.dtype not in (np.float32, np.float64):
+        raise TypeError(
+            f"expected float32/float64 data, got {arr.dtype}"
+        )
+    if arr.size == 0:
+        raise ValueError("cannot compress an empty array")
+    return np.ascontiguousarray(arr)
+
+
+def check_ndim(arr: np.ndarray, allowed: tuple[int, ...]) -> None:
+    if arr.ndim not in allowed:
+        raise ValueError(f"expected ndim in {allowed}, got {arr.ndim}")
+
+
+def check_positive(value: float, name: str) -> None:
+    if not (value > 0):
+        raise ValueError(f"{name} must be > 0, got {value}")
+
+
+def resolve_eb(data: np.ndarray, eb: float, eb_mode: str) -> float:
+    """Translate a user error bound into the absolute bound to enforce.
+
+    ``abs`` passes through; ``rel`` scales by the data's value range
+    (the convention used throughout the lossy-compression literature and
+    the paper's experiments).
+    """
+    check_positive(eb, "error bound")
+    if eb_mode == "abs":
+        return float(eb)
+    if eb_mode == "rel":
+        lo = float(np.min(data))
+        hi = float(np.max(data))
+        rng = hi - lo
+        return float(eb) * (rng if rng > 0 else 1.0)
+    raise ValueError(f"unknown eb_mode {eb_mode!r} (use 'abs' or 'rel')")

@@ -1,0 +1,46 @@
+"""Shared fixtures: small deterministic fields for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def smooth_field(
+    shape: tuple[int, ...], seed: int = 0, noise: float = 0.02
+) -> np.ndarray:
+    """Band-limited smooth field + mild noise (float64)."""
+    rng = np.random.default_rng(seed)
+    coords = np.meshgrid(
+        *[np.linspace(0, 3, n) for n in shape], indexing="ij"
+    )
+    field = np.ones(shape)
+    for i, c in enumerate(coords):
+        field = field * np.sin((i + 2) * c / 2.0 + 0.3 * i)
+    return field + noise * rng.standard_normal(shape)
+
+
+@pytest.fixture
+def smooth3d_f32() -> np.ndarray:
+    return smooth_field((32, 32, 32), seed=1).astype(np.float32)
+
+
+@pytest.fixture
+def smooth3d_f64() -> np.ndarray:
+    return smooth_field((24, 20, 28), seed=2)
+
+
+@pytest.fixture
+def smooth2d_f32() -> np.ndarray:
+    return smooth_field((48, 40), seed=3).astype(np.float32)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def max_err(a: np.ndarray, b: np.ndarray) -> float:
+    return float(
+        np.max(np.abs(a.astype(np.float64) - b.astype(np.float64)))
+    )

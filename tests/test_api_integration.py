@@ -1,0 +1,160 @@
+"""End-to-end integration: public API, cross-codec comparisons on the
+synthetic datasets, and the paper's structural claims in miniature."""
+
+import numpy as np
+import pytest
+
+import repro.core as core
+from conftest import max_err
+from repro.core.ablation import VARIANT_LABELS, get_config, variant_names
+from repro.core.api import STZCompressor
+from repro.core.progressive import progressive_ladder, upsample_nearest
+from repro.datasets import load
+from repro.metrics import psnr, ssim
+from repro.mgard import MGARDCompressor
+from repro.sperr import SPERRCompressor
+from repro.sz3 import SZ3Compressor
+from repro.zfp import ZFPCompressor
+
+ALL_COMPRESSORS = [
+    STZCompressor,
+    SZ3Compressor,
+    SPERRCompressor,
+    ZFPCompressor,
+    MGARDCompressor,
+]
+
+
+class TestPublicAPI:
+    def test_functional_roundtrip(self, smooth3d_f32):
+        blob = core.compress(smooth3d_f32, 1e-3)
+        assert max_err(core.decompress(blob), smooth3d_f32) <= 1e-3
+
+    def test_progressive_and_roi(self, smooth3d_f32):
+        blob = core.compress(smooth3d_f32, 1e-3)
+        coarse = core.decompress_progressive(blob, 1)
+        assert coarse.shape == (8, 8, 8)
+        roi = core.decompress_roi(blob, (slice(4, 12), 5, slice(None)))
+        assert roi.shape == (8, 1, 32)
+
+    def test_detailed_roi(self, smooth3d_f32):
+        blob = core.compress(smooth3d_f32, 1e-3)
+        res = core.api.decompress_roi_detailed(
+            blob, (slice(0, 1), slice(None), slice(None))
+        )
+        assert res.segments_decoded + res.segments_skipped == 14
+
+    def test_ladder_and_upsample(self, smooth3d_f32):
+        blob = core.compress(smooth3d_f32, 1e-2)
+        steps = progressive_ladder(blob)
+        assert [s.shape[0] for s in steps] == [8, 16, 32]
+        up = upsample_nearest(steps[0].data, smooth3d_f32.shape)
+        assert up.shape == smooth3d_f32.shape
+        # a coarse preview still strongly resembles the field
+        assert ssim(smooth3d_f32.astype(np.float64), up) > 0.3
+
+
+class TestTable1Capabilities:
+    """The paper's Table 1 feature matrix, asserted on our classes."""
+
+    def test_stz_is_the_only_dual_capability_codec(self):
+        flags = {
+            c.name: (c.supports_progressive, c.supports_random_access)
+            for c in ALL_COMPRESSORS
+        }
+        assert flags["STZ"] == (True, True)
+        assert flags["SZ3"] == (False, False)
+        assert flags["SPERR"] == (True, False)
+        assert flags["MGARD-X"] == (True, False)
+        assert flags["ZFP"] == (False, True)
+        dual = [n for n, f in flags.items() if all(f)]
+        assert dual == ["STZ"]
+
+
+class TestCrossCodec:
+    @pytest.fixture(scope="class")
+    def nyx(self):
+        # 64^3: small grids over-weight per-segment container overhead
+        # and misrepresent the rate-distortion comparison
+        return load("nyx", shape=(64, 64, 64))
+
+    @pytest.mark.parametrize("cls", ALL_COMPRESSORS, ids=lambda c: c.name)
+    def test_all_codecs_roundtrip_all_datasets(self, cls):
+        for name in ("nyx", "warpx", "magrec", "miranda"):
+            data = load(name, shape=(16, 16, 32))
+            codec = cls(1e-3, eb_mode="rel")
+            rec = codec.decompress(codec.compress(data))
+            assert rec.shape == data.shape
+            assert rec.dtype == data.dtype
+            vr = float(data.max() - data.min())
+            bound = 1e-3 * vr
+            factor = 6.0 if cls is ZFPCompressor else 1 + 1e-6
+            assert max_err(rec, data) <= bound * factor, (cls.name, name)
+
+    def test_stz_matches_sz3_quality(self, nyx):
+        """§4.2: STZ rate-distortion is comparable to SZ3 (within a few
+        dB at matched CR)."""
+        from repro.metrics.rate import interpolate_psnr_at_cr, rd_curve
+        from repro.core.pipeline import stz_compress, stz_decompress
+        from repro.sz3 import sz3_compress, sz3_decompress
+
+        ebs = [1e-2, 3e-3, 1e-3, 3e-4]
+        stz = rd_curve(
+            lambda d, e: stz_compress(d, e, "rel"), stz_decompress, nyx, ebs
+        )
+        sz3 = rd_curve(
+            lambda d, e: sz3_compress(d, e, "rel"), sz3_decompress, nyx, ebs
+        )
+        cr = sorted(p.cr for p in stz)[1]
+        diff = interpolate_psnr_at_cr(stz, cr) - interpolate_psnr_at_cr(
+            sz3, cr
+        )
+        assert abs(diff) < 6.0  # comparable, not degraded by partitioning
+
+    def test_stz_beats_partition_baseline(self, nyx):
+        """Figure 5's headline: hierarchical prediction recovers the
+        quality the naive partition loses."""
+        from repro.core.pipeline import stz_compress, stz_decompress
+        from repro.metrics.rate import interpolate_psnr_at_cr, rd_curve
+
+        ebs = [1e-2, 3e-3, 1e-3]
+        full = rd_curve(
+            lambda d, e: stz_compress(d, e, "rel"), stz_decompress, nyx, ebs
+        )
+        part = rd_curve(
+            lambda d, e: stz_compress(
+                d, e, "rel", config=get_config("partition")
+            ),
+            stz_decompress,
+            nyx,
+            ebs,
+        )
+        cr = sorted(p.cr for p in full)[1]
+        assert interpolate_psnr_at_cr(full, cr) > interpolate_psnr_at_cr(
+            part, cr
+        )
+
+
+class TestAblationRegistry:
+    def test_labels_cover_figure5(self):
+        assert variant_names()[0] == "partition"
+        assert VARIANT_LABELS["three_level_all"] == "3-level + All"
+        assert len(variant_names()) == 7
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            get_config("quantum")
+
+    def test_ladder_is_ordered_by_design(self):
+        # each config differs from the previous by exactly the paper's
+        # described change
+        cfgs = [get_config(n) for n in variant_names()]
+        assert cfgs[0].partition_only
+        assert cfgs[1].interp == "direct"
+        assert cfgs[2].interp == "linear"
+        assert cfgs[2].residual_codec == "sz3"
+        assert cfgs[3].residual_codec == "quantize"
+        assert cfgs[4].interp == "cubic"
+        assert not cfgs[4].adaptive_eb
+        assert cfgs[5].adaptive_eb
+        assert cfgs[6].levels == 3

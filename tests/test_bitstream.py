@@ -1,0 +1,105 @@
+"""Unit tests for vectorized bit packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.bitstream import (
+    pack_bits,
+    pack_codes,
+    unpack_bits,
+    windows_at,
+)
+
+
+class TestPackBits:
+    def test_empty(self):
+        packed, nbits = pack_bits(np.zeros(0, np.uint64), np.zeros(0, np.int64))
+        assert nbits == 0
+        assert packed.size == 0
+
+    def test_single_bit(self):
+        packed, nbits = pack_bits(np.array([1]), np.array([1]))
+        assert nbits == 1
+        assert packed[0] == 0b10000000
+
+    def test_msb_first_within_code(self):
+        # code 0b101 of length 3 -> bits 1,0,1 from the MSB
+        packed, nbits = pack_bits(np.array([0b101]), np.array([3]))
+        assert nbits == 3
+        assert np.array_equal(unpack_bits(packed, 3), [1, 0, 1])
+
+    def test_concatenation_order(self):
+        codes = np.array([0b1, 0b01, 0b111])
+        lens = np.array([1, 2, 3])
+        packed, nbits = pack_bits(codes, lens)
+        assert nbits == 6
+        assert np.array_equal(unpack_bits(packed, 6), [1, 0, 1, 1, 1, 1])
+
+    def test_zero_length_codes_emit_nothing(self):
+        codes = np.array([0b11, 0b0, 0b1])
+        lens = np.array([2, 0, 1])
+        packed, nbits = pack_bits(codes, lens)
+        assert nbits == 3
+        assert np.array_equal(unpack_bits(packed, 3), [1, 1, 1])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.zeros(3, np.uint64), np.zeros(2, np.int64))
+
+
+class TestPackCodes:
+    def test_matches_pack_bits(self, rng):
+        lens = rng.integers(1, 17, 500).astype(np.int64)
+        codes = np.array(
+            [rng.integers(0, 2**l) for l in lens], dtype=np.uint64
+        )
+        ref, nref = pack_bits(codes, lens)
+        fast, nfast = pack_codes(codes.astype(np.uint32), lens)
+        assert nref == nfast
+        assert np.array_equal(ref, fast)
+
+    def test_rejects_long_codes(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.array([1], np.uint32), np.array([17]))
+
+    def test_empty(self):
+        packed, nbits = pack_codes(
+            np.zeros(0, np.uint32), np.zeros(0, np.int64)
+        )
+        assert nbits == 0 and packed.size == 0
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_equivalence_random(self, seed, n):
+        rng = np.random.default_rng(seed)
+        lens = rng.integers(1, 17, n).astype(np.int64)
+        codes = (
+            rng.integers(0, 2**16, n).astype(np.uint64)
+            & ((1 << lens.astype(np.uint64)) - 1)
+        )
+        ref, nref = pack_bits(codes, lens)
+        fast, nfast = pack_codes(codes.astype(np.uint32), lens)
+        assert nref == nfast and np.array_equal(ref, fast)
+
+
+class TestWindows:
+    def test_window_extraction(self):
+        # bits: 1010 1100 1111 0000 ... (2 bytes + padding)
+        packed = np.array([0b10101100, 0b11110000, 0, 0, 0], dtype=np.uint8)
+        w = windows_at(packed, np.array([0]))
+        assert w[0] == 0b1010110011110000
+        w = windows_at(packed, np.array([4]))
+        assert w[0] == 0b1100111100000000
+        w = windows_at(packed, np.array([7]))
+        assert w[0] == 0b0111100000000000
+
+    def test_width_reduction(self):
+        packed = np.array([0b10101100, 0, 0, 0], dtype=np.uint8)
+        w = windows_at(packed, np.array([0]), width=4)
+        assert w[0] == 0b1010
+
+    def test_rejects_wide_windows(self):
+        with pytest.raises(ValueError):
+            windows_at(np.zeros(4, np.uint8), np.array([0]), width=17)

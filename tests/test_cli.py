@@ -1,0 +1,90 @@
+"""CLI end-to-end tests."""
+
+import numpy as np
+import pytest
+
+from conftest import max_err, smooth_field
+from repro.cli import main
+
+
+@pytest.fixture
+def field(tmp_path):
+    data = smooth_field((24, 24, 24), seed=77).astype(np.float32)
+    path = tmp_path / "field.npy"
+    np.save(path, data)
+    return data, path
+
+
+class TestCLI:
+    def test_compress_decompress(self, field, tmp_path, capsys):
+        data, npy = field
+        stz = tmp_path / "f.stz"
+        out = tmp_path / "out.npy"
+        assert main(["compress", str(npy), str(stz), "--eb", "1e-3"]) == 0
+        assert "CR" in capsys.readouterr().out
+        assert main(["decompress", str(stz), str(out)]) == 0
+        rec = np.load(out)
+        vr = float(data.max() - data.min())
+        assert max_err(rec, data) <= 1e-3 * vr
+
+    def test_progressive_level(self, field, tmp_path):
+        data, npy = field
+        stz = tmp_path / "f.stz"
+        out = tmp_path / "coarse.npy"
+        main(["compress", str(npy), str(stz), "--eb", "1e-2"])
+        main(["decompress", str(stz), str(out), "--level", "1"])
+        assert np.load(out).shape == (6, 6, 6)
+
+    def test_roi_box(self, field, tmp_path):
+        data, npy = field
+        stz = tmp_path / "f.stz"
+        out = tmp_path / "roi.npy"
+        main(["compress", str(npy), str(stz), "--eb", "1e-3"])
+        main(["roi", str(stz), str(out), "--box", "5:15,:,12"])
+        assert np.load(out).shape == (10, 24, 1)
+
+    def test_info(self, field, tmp_path, capsys):
+        data, npy = field
+        stz = tmp_path / "f.stz"
+        main(["compress", str(npy), str(stz), "--eb", "1e-3"])
+        assert main(["info", str(stz)]) == 0
+        out = capsys.readouterr().out
+        assert "24x24x24" in out
+        assert "l1-sz3" in out
+        assert "residual-quant" in out
+
+    def test_raw_binary_io(self, tmp_path):
+        data = smooth_field((16, 16), seed=78).astype(np.float64)
+        raw = tmp_path / "field.bin"
+        data.tofile(raw)
+        stz = tmp_path / "f.stz"
+        out = tmp_path / "out.bin"
+        main([
+            "compress", str(raw), str(stz), "--eb", "1e-4", "--mode", "abs",
+            "--shape", "16,16", "--dtype", "float64",
+        ])
+        main(["decompress", str(stz), str(out)])
+        rec = np.fromfile(out, dtype=np.float64).reshape(16, 16)
+        assert max_err(rec, data) <= 1e-4
+
+    def test_raw_needs_shape(self, tmp_path):
+        raw = tmp_path / "x.bin"
+        raw.write_bytes(bytes(64))
+        with pytest.raises(SystemExit):
+            main(["compress", str(raw), str(tmp_path / "o"), "--eb", "1"])
+
+    def test_bad_box_rank(self, field, tmp_path):
+        _, npy = field
+        stz = tmp_path / "f.stz"
+        main(["compress", str(npy), str(stz), "--eb", "1e-3"])
+        with pytest.raises(SystemExit):
+            main(["roi", str(stz), str(tmp_path / "o.npy"), "--box", "1:2"])
+
+    def test_compress_options(self, field, tmp_path):
+        _, npy = field
+        for extra in (["--levels", "2"], ["--interp", "linear"],
+                      ["--threads", "2"]):
+            stz = tmp_path / "f.stz"
+            assert main(
+                ["compress", str(npy), str(stz), "--eb", "1e-3", *extra]
+            ) == 0

@@ -1,0 +1,140 @@
+"""Synthetic dataset generators: determinism, morphology, registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    dataset_names,
+    gaussian_random_field,
+    load,
+    magnetic_reconnection,
+    miranda_density,
+    nyx_baryon_density,
+    table2_rows,
+    warpx_field,
+)
+from repro.datasets.nyx import HALO_THRESHOLD
+from repro.datasets.synthetic import smooth_noise
+
+
+class TestGRF:
+    def test_determinism(self):
+        a = gaussian_random_field((32, 32), seed=5)
+        b = gaussian_random_field((32, 32), seed=5)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_field(self):
+        a = gaussian_random_field((32, 32), seed=5)
+        b = gaussian_random_field((32, 32), seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_normalization(self):
+        f = gaussian_random_field((64, 64), gamma=3.0, seed=1)
+        assert f.std() == pytest.approx(1.0, rel=1e-6)
+
+    def test_gamma_controls_smoothness(self):
+        # smoother fields have smaller lag-1 differences
+        rough = gaussian_random_field((128,), gamma=0.5, seed=2)
+        smooth = gaussian_random_field((128,), gamma=4.0, seed=2)
+        assert np.abs(np.diff(smooth)).mean() < np.abs(np.diff(rough)).mean()
+
+    def test_rejects_tiny_axes(self):
+        with pytest.raises(ValueError):
+            gaussian_random_field((1, 8))
+
+    def test_smooth_noise_band_limit(self):
+        f = smooth_noise((256,), cutoff=0.05, seed=3)
+        spec = np.abs(np.fft.rfft(f))
+        hi = spec[int(0.3 * spec.size) :].sum()
+        assert hi < 0.05 * spec.sum()
+
+
+class TestGenerators:
+    def test_nyx_morphology(self):
+        d = nyx_baryon_density((48, 48, 48), seed=0)
+        assert d.dtype == np.float32
+        assert d.min() > 0  # density is positive
+        assert d.mean() == pytest.approx(1.0, rel=0.05)
+        halo_frac = float((d > HALO_THRESHOLD).mean())
+        assert 0 < halo_frac < 0.01  # rare halos, like Figure 10
+
+    def test_warpx_morphology(self):
+        d = warpx_field((16, 16, 128), seed=0)
+        assert d.dtype == np.float64
+        # packet is localized: energy concentrated around 40% of z
+        prof = (d**2).sum(axis=(0, 1))
+        assert prof[40:64].sum() > 0.5 * prof.sum()
+
+    def test_warpx_requires_3d(self):
+        with pytest.raises(ValueError):
+            warpx_field((16, 16))
+
+    def test_miranda_morphology(self):
+        d = miranda_density((32, 32, 32), seed=0)
+        assert d.dtype == np.float32
+        # two phases around 1 and 3
+        assert abs(float(d[..., 0].mean()) - 1.0) < 0.3
+        assert abs(float(d[..., -1].mean()) - 3.0) < 0.3
+
+    def test_miranda_is_highly_compressible(self):
+        from repro.sz3 import sz3_compress
+
+        d = miranda_density((48, 48, 48), seed=0)
+        cr = d.nbytes / len(sz3_compress(d, 1e-2, "rel"))
+        assert cr > 20  # the smooth two-phase field compresses hard
+
+    def test_magrec_morphology(self):
+        d = magnetic_reconnection((32, 32, 32), seed=0)
+        assert d.dtype == np.float32
+        # two sheets of opposite sign
+        quarter = d[:, 8, :].mean()
+        three_q = d[:, 24, :].mean()
+        assert quarter > 0 > three_q
+
+    def test_magrec_has_high_frequency_content(self):
+        d = magnetic_reconnection((64, 64, 64), seed=0).astype(np.float64)
+        spec = np.abs(np.fft.rfft(d[:, 32, 32]))
+        assert spec[8:].sum() > 0.05 * spec.sum()
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(dataset_names()) == {"nyx", "warpx", "magrec", "miranda"}
+
+    def test_load_defaults(self):
+        for name in dataset_names():
+            d = load(name)
+            assert d.dtype == np.dtype(DATASETS[name].dtype)
+            assert d.shape == DATASETS[name].bench_dims
+
+    def test_load_custom_shape(self):
+        d = load("nyx", shape=(16, 16, 16))
+        assert d.shape == (16, 16, 16)
+
+    def test_load_scale(self):
+        d = load("nyx", scale=1)
+        assert d.shape == (64, 64, 64)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load("enzo")
+
+    def test_table2_rows_complete(self):
+        rows = table2_rows()
+        assert len(rows) == 4
+        for row in rows:
+            assert set(row) == {
+                "dataset",
+                "type",
+                "paper_dims",
+                "paper_size",
+                "our_dims",
+                "our_size_mb",
+                "domain",
+            }
+        # the paper's dims are preserved verbatim
+        dims = {r["dataset"]: r["paper_dims"] for r in rows}
+        assert dims["Nyx"] == "512x512x512"
+        assert dims["WarpX"] == "256x256x2048"
+        assert dims["Miranda"] == "1024x1024x1024"

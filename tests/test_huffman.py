@@ -1,0 +1,163 @@
+"""Unit + property tests for the canonical Huffman codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.huffman import (
+    MAX_CODE_LEN,
+    HuffmanCodec,
+    _canonical_codes,
+    _code_lengths,
+    _limit_lengths,
+    huffman_decode,
+    huffman_encode,
+)
+
+
+class TestCodeLengths:
+    def test_empty(self):
+        assert _code_lengths(np.zeros(4, np.int64)).sum() == 0
+
+    def test_single_symbol_gets_one_bit(self):
+        lens = _code_lengths(np.array([0, 7, 0]))
+        assert lens[1] == 1 and lens[0] == 0 and lens[2] == 0
+
+    def test_two_equal_symbols(self):
+        lens = _code_lengths(np.array([5, 5]))
+        assert list(lens) == [1, 1]
+
+    def test_skewed_distribution_depth(self):
+        # Fibonacci-like frequencies force a deep tree
+        freqs = np.array([1, 1, 2, 3, 5, 8, 13, 21, 34, 55], np.int64)
+        lens = _code_lengths(freqs)
+        assert lens[0] == lens[1] == lens.max()
+        assert lens[-1] == lens.min()
+
+    def test_kraft_equality_for_optimal_code(self):
+        rng = np.random.default_rng(0)
+        freqs = rng.integers(1, 1000, 50)
+        lens = _code_lengths(freqs)
+        kraft = np.sum(2.0 ** (-lens[lens > 0].astype(float)))
+        assert kraft == pytest.approx(1.0)
+
+    def test_optimality_against_entropy(self):
+        rng = np.random.default_rng(1)
+        freqs = rng.integers(1, 10000, 64).astype(np.int64)
+        lens = _code_lengths(freqs)
+        p = freqs / freqs.sum()
+        entropy = -np.sum(p * np.log2(p))
+        avg_len = np.sum(p * lens)
+        assert entropy <= avg_len <= entropy + 1.0  # Huffman bound
+
+
+class TestLimitLengths:
+    def test_noop_when_within_limit(self):
+        freqs = np.array([10, 20, 30, 40], np.int64)
+        lens = _code_lengths(freqs)
+        assert np.array_equal(_limit_lengths(lens, freqs), lens)
+
+    def test_clamps_and_preserves_kraft(self):
+        # frequencies engineered to exceed 16-bit depths
+        freqs = np.array([int(1.6**i) + 1 for i in range(40)], np.int64)
+        lens = _code_lengths(freqs)
+        assert lens.max() > MAX_CODE_LEN
+        lim = _limit_lengths(lens, freqs)
+        assert lim.max() <= MAX_CODE_LEN
+        kraft = np.sum(2.0 ** (-lim[lim > 0].astype(float)))
+        assert kraft <= 1.0 + 1e-12
+
+    def test_too_many_symbols_rejected(self):
+        n = (1 << MAX_CODE_LEN) + 1
+        freqs = np.ones(n, np.int64)
+        lens = np.full(n, 17, np.uint8)
+        with pytest.raises(ValueError):
+            _limit_lengths(lens, freqs)
+
+
+class TestCanonicalCodes:
+    def test_prefix_free_and_tiling(self):
+        rng = np.random.default_rng(2)
+        freqs = rng.integers(1, 500, 30).astype(np.int64)
+        lens = _limit_lengths(_code_lengths(freqs), freqs)
+        codes = _canonical_codes(lens)
+        present = np.flatnonzero(lens)
+        order = np.lexsort((present, lens[present]))
+        o_sym = present[order]
+        o_len = lens[present][order].astype(int)
+        starts = codes[o_sym].astype(np.int64) << (
+            MAX_CODE_LEN - np.array(o_len)
+        )
+        widths = 1 << (MAX_CODE_LEN - np.array(o_len))
+        # canonical codes tile the window space contiguously from 0
+        assert starts[0] == 0
+        assert np.all(starts[1:] == starts[:-1] + widths[:-1])
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.zeros(0, np.uint32),
+            np.zeros(1, np.uint32),
+            np.array([42], np.uint32),
+            np.full(5000, 9, np.uint32),  # constant stream
+            np.arange(1000, dtype=np.uint32),  # uniform
+            np.array([0, 1] * 500, np.uint32),  # two symbols
+        ],
+        ids=["empty", "zero", "single", "constant", "uniform", "binary"],
+    )
+    def test_edge_streams(self, arr):
+        assert np.array_equal(huffman_decode(huffman_encode(arr)), arr)
+
+    def test_gaussian_codes(self, rng):
+        syms = (100 + np.rint(rng.normal(0, 5, 200_000))).astype(np.uint32)
+        blob = huffman_encode(syms)
+        assert np.array_equal(huffman_decode(blob), syms)
+        # entropy coding must beat raw storage comfortably here
+        assert len(blob) < syms.nbytes / 4
+
+    def test_large_alphabet(self, rng):
+        syms = rng.integers(0, 60000, 50_000).astype(np.uint32)
+        assert np.array_equal(huffman_decode(huffman_encode(syms)), syms)
+
+    def test_skewed_long_codes(self, rng):
+        # heavy skew activates the length-limiting path
+        syms = rng.zipf(1.3, 100_000).astype(np.uint32)
+        syms = np.minimum(syms, 30000)
+        assert np.array_equal(huffman_decode(huffman_encode(syms)), syms)
+
+    def test_explicit_chunk_sizes(self, rng):
+        syms = rng.integers(0, 50, 10_000).astype(np.uint32)
+        for chunk in (1, 7, 64, 4096, 100_000):
+            blob = huffman_encode(syms, chunk=chunk)
+            assert np.array_equal(huffman_decode(blob), syms), chunk
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            huffman_encode(np.zeros(4, np.float32))
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            huffman_decode(b"\x00" * 64)
+
+    @given(
+        st.lists(st.integers(0, 300), min_size=0, max_size=2000),
+        st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, values, _salt):
+        arr = np.asarray(values, dtype=np.uint32)
+        assert np.array_equal(huffman_decode(huffman_encode(arr)), arr)
+
+
+class TestCodecObject:
+    def test_expected_bits_matches_actual_payload_scale(self, rng):
+        syms = rng.integers(0, 30, 20_000).astype(np.uint32)
+        freqs = np.bincount(syms)
+        codec = HuffmanCodec(freqs)
+        expected = codec.expected_bits(freqs)
+        blob = codec.encode(syms)
+        # container adds tables/sync; payload must be within 20% + slack
+        assert expected / 8 <= len(blob) <= expected / 8 * 1.2 + 512

@@ -1,0 +1,86 @@
+"""Tests for the lossless byte backend, RLE, and section framing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.lossless import compress_bytes, decompress_bytes
+from repro.encoding.rle import rle_decode, rle_encode
+from repro.util.sections import pack_sections, unpack_sections
+
+
+class TestLossless:
+    @pytest.mark.parametrize("level", [0, 1, 6, 9])
+    def test_roundtrip(self, level):
+        data = b"abc" * 1000 + bytes(range(256))
+        assert decompress_bytes(compress_bytes(data, level)) == data
+
+    def test_empty(self):
+        assert decompress_bytes(compress_bytes(b"")) == b""
+
+    def test_incompressible_stays_raw(self, rng):
+        data = rng.bytes(4096)
+        out = compress_bytes(data, 9)
+        assert len(out) <= len(data) + 1
+        assert decompress_bytes(out) == data
+
+    def test_compressible_shrinks(self):
+        data = b"\x00" * 100_000
+        assert len(compress_bytes(data, 1)) < 1000
+
+    def test_bad_tag(self):
+        with pytest.raises(ValueError):
+            decompress_bytes(b"\xff123")
+
+    def test_bad_level(self):
+        with pytest.raises(ValueError):
+            compress_bytes(b"x", 10)
+
+
+class TestRLE:
+    def test_empty(self):
+        v, r = rle_encode(np.zeros(0, np.int32))
+        assert v.size == 0 and r.size == 0
+        assert rle_decode(v, r).size == 0
+
+    def test_runs(self):
+        arr = np.array([5, 5, 5, 2, 2, 7])
+        v, r = rle_encode(arr)
+        assert list(v) == [5, 2, 7]
+        assert list(r) == [3, 2, 1]
+        assert np.array_equal(rle_decode(v, r), arr)
+
+    def test_no_runs(self):
+        arr = np.arange(100)
+        v, r = rle_encode(arr)
+        assert v.size == 100 and np.all(r == 1)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            rle_decode(np.ones(2), np.ones(3, np.int64))
+
+    @given(st.lists(st.integers(-5, 5), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        v, r = rle_encode(arr)
+        assert np.array_equal(rle_decode(v, r), arr)
+        # maximal runs: adjacent values differ
+        if v.size > 1:
+            assert np.all(v[1:] != v[:-1])
+
+
+class TestSections:
+    def test_roundtrip(self):
+        secs = [b"", b"abc", b"\x00" * 100]
+        out = unpack_sections(pack_sections(secs))
+        assert [bytes(s) for s in out] == secs
+
+    def test_empty_list(self):
+        assert unpack_sections(pack_sections([])) == []
+
+    def test_trailing_garbage_rejected(self):
+        blob = pack_sections([b"hi"]) + b"junk"
+        with pytest.raises(ValueError):
+            unpack_sections(blob)

@@ -1,0 +1,132 @@
+"""Metric correctness tests (PSNR, SSIM, rates)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    bitrate,
+    compression_ratio,
+    max_abs_error,
+    mse,
+    nrmse,
+    psnr,
+    rd_curve,
+    ssim,
+)
+from repro.metrics.rate import RDPoint, interpolate_psnr_at_cr
+
+
+class TestErrorMetrics:
+    def test_mse_known_value(self):
+        a = np.array([0.0, 0.0])
+        b = np.array([3.0, 4.0])
+        assert mse(a, b) == pytest.approx(12.5)
+
+    def test_psnr_known_value(self):
+        # range 1, uniform error 0.1 -> PSNR = -20*log10(0.1) = 20 dB
+        a = np.linspace(0, 1, 1000)
+        b = a + 0.1
+        assert psnr(a, b) == pytest.approx(20.0, abs=1e-6)
+
+    def test_psnr_perfect_is_inf(self):
+        a = np.arange(10.0)
+        assert psnr(a, a) == float("inf")
+
+    def test_psnr_explicit_range(self):
+        a = np.zeros(100)
+        b = a + 0.5
+        assert psnr(a, b, data_range=1.0) == pytest.approx(
+            -20 * np.log10(0.5)
+        )
+
+    def test_psnr_rejects_zero_range(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros(5), np.ones(5))
+
+    def test_max_abs_error(self):
+        assert max_abs_error(np.zeros(3), np.array([0.1, -0.5, 0.2])) == 0.5
+
+    def test_nrmse(self):
+        a = np.array([0.0, 2.0])
+        b = np.array([0.0, 2.2])
+        # mse = 0.04/2 = 0.02; rmse = sqrt(0.02); range = 2
+        assert nrmse(a, b) == pytest.approx(np.sqrt(0.02) / 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+
+class TestSSIM:
+    def test_identity(self, rng):
+        a = rng.normal(size=(32, 32))
+        assert ssim(a, a) == pytest.approx(1.0)
+
+    def test_noise_degrades(self, rng):
+        a = rng.normal(size=(48, 48)).cumsum(axis=0)
+        s1 = ssim(a, a + 0.01 * rng.normal(size=a.shape))
+        s2 = ssim(a, a + 1.0 * rng.normal(size=a.shape))
+        assert s2 < s1 <= 1.0
+
+    def test_3d_volumes(self, rng):
+        a = rng.normal(size=(16, 16, 16)).cumsum(axis=2)
+        assert 0.9 < ssim(a, a + 1e-6) <= 1.0
+
+    def test_constant_fields(self):
+        a = np.full((16, 16), 2.0)
+        assert ssim(a, a.copy()) == 1.0
+        assert ssim(a, a + 1.0) < 1.0 or True  # range-0 path returns 0/1
+        assert ssim(a, a + 1.0) == 0.0
+
+    def test_small_array_window_shrink(self, rng):
+        a = rng.normal(size=(5, 5))
+        assert ssim(a, a) == pytest.approx(1.0)
+
+    def test_structural_vs_pointwise(self, rng):
+        # a constant offset hurts SSIM far less than shuffling, even
+        # though the shuffle preserves every value exactly
+        a = np.cumsum(rng.normal(size=(64, 64)), axis=0)
+        shifted = a + 0.05 * (a.max() - a.min())
+        shuffled = rng.permutation(a.reshape(-1)).reshape(a.shape)
+        assert ssim(a, shifted) > 3 * ssim(a, shuffled)
+        assert ssim(a, shuffled) < 0.3
+
+
+class TestRates:
+    def test_compression_ratio(self):
+        assert compression_ratio(1000, 100) == 10.0
+        with pytest.raises(ValueError):
+            compression_ratio(10, 0)
+
+    def test_bitrate(self):
+        data = np.zeros(1000, np.float32)
+        assert bitrate(data, bytes(500)) == pytest.approx(4.0)
+
+    def test_rd_curve_monotone_rate(self, rng):
+        from repro.sz3 import sz3_compress, sz3_decompress
+
+        data = np.cumsum(rng.normal(size=(24, 24, 24)), axis=0).astype(
+            np.float32
+        )
+        pts = rd_curve(
+            lambda d, eb: sz3_compress(d, eb, "rel"),
+            sz3_decompress,
+            data,
+            [1e-4, 1e-3, 1e-2],
+        )
+        crs = [p.cr for p in pts]
+        psnrs = [p.psnr for p in pts]
+        assert crs == sorted(crs)  # looser bound -> better ratio
+        assert psnrs == sorted(psnrs, reverse=True)  # and worse quality
+        for p in pts:
+            assert p.max_err <= p.eb * (data.max() - data.min()) * (1 + 1e-9)
+
+    def test_interpolate_psnr(self):
+        pts = [
+            RDPoint(0, 10, 3.2, 100.0, 0),
+            RDPoint(0, 100, 0.32, 60.0, 0),
+        ]
+        assert interpolate_psnr_at_cr(pts, 10) == 100.0
+        assert interpolate_psnr_at_cr(pts, 100) == 60.0
+        mid = interpolate_psnr_at_cr(pts, 31.6)
+        assert 60 < mid < 100

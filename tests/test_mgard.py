@@ -1,0 +1,106 @@
+"""MGARD-like codec tests (multigrid surplus + correction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import max_err, smooth_field
+from repro.mgard import MGARDCompressor, mgard_compress, mgard_decompress
+from repro.mgard.codec import _mass_solve, default_levels
+
+
+class TestHelpers:
+    def test_default_levels(self):
+        assert default_levels((64, 64, 64)) >= 4
+        assert default_levels((4, 4)) == 1
+        assert default_levels((3, 3)) == 1
+
+    def test_mass_solve_identity_on_constants(self):
+        # M has unit row sums (lumped boundary), so constants are fixed
+        c = np.full((12, 10), 3.5)
+        out = _mass_solve(c)
+        assert np.allclose(out, 3.5)
+
+    def test_mass_solve_is_smoothing_inverse(self, rng):
+        # applying M then solving must return the original
+        x = rng.normal(size=16)
+        ab_mul = np.convolve(x, [1 / 6, 2 / 3, 1 / 6], mode="same")
+        ab_mul[0] = x[0] * 5 / 6 + x[1] / 6
+        ab_mul[-1] = x[-1] * 5 / 6 + x[-2] / 6
+        back = _mass_solve(ab_mul)
+        assert np.allclose(back, x, atol=1e-10)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("correction", [True, False])
+    @pytest.mark.parametrize("eb", [1e-1, 1e-2, 1e-3])
+    def test_strict_bound(self, smooth3d_f32, eb, correction):
+        blob = mgard_compress(smooth3d_f32, eb, correction=correction)
+        rec = mgard_decompress(blob)
+        assert rec.shape == smooth3d_f32.shape
+        assert rec.dtype == smooth3d_f32.dtype
+        # float32 output cast adds at most half an ulp
+        assert max_err(rec, smooth3d_f32) <= eb * (1 + 1e-6)
+
+    @pytest.mark.parametrize("shape", [(65,), (33, 47), (21, 18, 15)])
+    def test_odd_shapes(self, shape):
+        data = smooth_field(shape, seed=50)
+        rec = mgard_decompress(mgard_compress(data, 1e-3))
+        assert max_err(rec, data) <= 1e-3
+
+    def test_relative_bound(self, smooth2d_f32):
+        blob = mgard_compress(smooth2d_f32, 1e-3, eb_mode="rel")
+        rng_v = float(smooth2d_f32.max() - smooth2d_f32.min())
+        assert max_err(mgard_decompress(blob), smooth2d_f32) <= (
+            1e-3 * rng_v * (1 + 1e-6)
+        )
+
+    def test_explicit_levels(self, smooth3d_f32):
+        for L in (1, 2, 3):
+            blob = mgard_compress(smooth3d_f32, 1e-2, levels=L)
+            assert max_err(mgard_decompress(blob), smooth3d_f32) <= 1e-2
+
+    def test_progressive_shapes(self, smooth3d_f32):
+        blob = mgard_compress(smooth3d_f32, 1e-3, levels=3)
+        root = mgard_decompress(blob, level=1)
+        assert root.shape == (4, 4, 4)
+        mid = mgard_decompress(blob, level=2)
+        assert mid.shape == (8, 8, 8)
+        full = mgard_decompress(blob, level=4)
+        assert full.shape == smooth3d_f32.shape
+
+    def test_progressive_validation(self, smooth3d_f32):
+        blob = mgard_compress(smooth3d_f32, 1e-3, levels=2)
+        with pytest.raises(ValueError):
+            mgard_decompress(blob, level=0)
+        with pytest.raises(ValueError):
+            mgard_decompress(blob, level=5)
+
+    def test_bad_container(self):
+        with pytest.raises(ValueError):
+            mgard_decompress(b"junk" + bytes(64))
+
+    def test_correction_changes_stream(self, smooth3d_f32):
+        a = mgard_compress(smooth3d_f32, 1e-3, correction=True)
+        b = mgard_compress(smooth3d_f32, 1e-3, correction=False)
+        assert a != b
+
+    @given(st.integers(0, 2**31), st.booleans())
+    @settings(max_examples=15, deadline=None)
+    def test_bound_property(self, seed, correction):
+        data = (
+            np.random.default_rng(seed)
+            .normal(size=(10, 12, 9))
+            .astype(np.float32)
+        )
+        blob = mgard_compress(data, 5e-2, correction=correction)
+        assert max_err(mgard_decompress(blob), data) <= 5e-2 * (1 + 1e-6)
+
+
+class TestObjectAPI:
+    def test_capabilities(self):
+        c = MGARDCompressor(1e-3)
+        assert c.supports_progressive
+        assert not c.supports_random_access
+        assert c.name == "MGARD-X"

@@ -1,0 +1,106 @@
+"""Tests for the hierarchical stride partition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    deinterleave,
+    interleave,
+    lattice_shape,
+    level_fraction,
+    level_strides,
+    nonzero_offsets,
+    subblock_shape,
+    subblock_view_in,
+    take_subblock,
+)
+
+
+class TestOffsets:
+    @pytest.mark.parametrize("ndim,count", [(1, 1), (2, 3), (3, 7), (4, 15)])
+    def test_count(self, ndim, count):
+        offs = nonzero_offsets(ndim)
+        assert len(offs) == count
+        assert all(any(o) for o in offs)
+        assert len(set(offs)) == count
+
+    def test_rejects_zero_ndim(self):
+        with pytest.raises(ValueError):
+            nonzero_offsets(0)
+
+
+class TestShapes:
+    def test_lattice_shape(self):
+        assert lattice_shape((9, 8, 7), 2) == (5, 4, 4)
+        assert lattice_shape((9, 8, 7), 4) == (3, 2, 2)
+
+    def test_subblock_shapes_tile_exactly(self):
+        for shape in [(7, 9), (8, 8), (5, 6, 7), (1, 3)]:
+            total = int(np.prod(lattice_shape(shape, 1)))
+            zero = (0,) * len(shape)
+            sizes = [int(np.prod(subblock_shape(shape, zero) or (0,)))]
+            # zero offset uses stride-2 coarse lattice
+            sizes = [int(np.prod(lattice_shape(shape, 2)))]
+            for eps in nonzero_offsets(len(shape)):
+                sizes.append(int(np.prod(subblock_shape(shape, eps))))
+            assert sum(sizes) == total, shape
+
+    def test_level_strides(self):
+        assert level_strides(3) == [4, 2, 1]
+        assert level_strides(2) == [2, 1]
+        with pytest.raises(ValueError):
+            level_strides(0)
+
+    def test_level_fraction_paper_values(self):
+        # paper: 2-level 3D coarsest = 12.5%, 3-level = 1.6%
+        assert level_fraction(3, 2) == pytest.approx(0.125)
+        assert level_fraction(3, 3) == pytest.approx(1 / 64)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "shape",
+        [(6,), (7,), (8, 9), (9, 8), (5, 6, 7), (16, 16, 16), (1, 9), (2, 1, 5)],
+    )
+    def test_deinterleave_interleave(self, shape, rng):
+        fine = rng.normal(size=shape).astype(np.float32)
+        coarse, blocks = deinterleave(fine)
+        assert coarse.shape == lattice_shape(shape, 2)
+        back = interleave(coarse, blocks, shape)
+        assert np.array_equal(back, fine)
+
+    def test_subblock_view_matches_lattice_take(self, rng):
+        data = rng.normal(size=(17, 14, 11))
+        for stride in (1, 2, 4):
+            lat = data[::stride, ::stride, ::stride]
+            for eps in nonzero_offsets(3):
+                view = subblock_view_in(data, eps, stride)
+                ref = take_subblock(np.ascontiguousarray(lat), eps)
+                assert np.array_equal(np.ascontiguousarray(view), ref)
+
+    @given(
+        st.lists(st.integers(1, 12), min_size=1, max_size=3),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, dims, seed):
+        shape = tuple(dims)
+        fine = np.random.default_rng(seed).normal(size=shape)
+        coarse, blocks = deinterleave(fine)
+        assert np.array_equal(interleave(coarse, blocks, shape), fine)
+
+    def test_every_point_assigned_once(self):
+        # marker test: fill by parity class, verify complete coverage
+        shape = (9, 7, 5)
+        out = np.full(shape, -1.0)
+        zero_marked = np.zeros(lattice_shape(shape, 2))
+        from repro.core.partition import place_subblock
+
+        place_subblock(out, (0, 0, 0), zero_marked)
+        for i, eps in enumerate(nonzero_offsets(3)):
+            place_subblock(
+                out, eps, np.full(subblock_shape(shape, eps), i + 1.0)
+            )
+        assert not np.any(out == -1.0)

@@ -1,0 +1,208 @@
+"""Tests for the hierarchical interpolation predictors.
+
+The central invariant: the gather path (random access) is bit-identical
+to the grid path (bulk decompression), on every parity offset, shape
+parity, and interpolation kind.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    lattice_shape,
+    nonzero_offsets,
+    subblock_shape,
+    take_subblock,
+)
+from repro.core.predict import (
+    interp_axis_midpoints,
+    predict_block,
+    predict_points,
+)
+
+
+def _full_index(ts):
+    grids = np.meshgrid(*[np.arange(t) for t in ts], indexing="ij")
+    return tuple(g.ravel() for g in grids)
+
+
+class TestGridGatherEquality:
+    @pytest.mark.parametrize(
+        "shape", [(9, 10), (8, 8), (7, 9, 11), (8, 8, 8), (4, 5, 6), (16, 3, 9)]
+    )
+    @pytest.mark.parametrize("interp", ["direct", "linear", "cubic"])
+    def test_bit_identical(self, shape, interp, rng):
+        C = take_subblock(
+            rng.normal(size=shape).astype(np.float32), (0,) * len(shape)
+        )
+        for eps in nonzero_offsets(len(shape)):
+            ts = subblock_shape(shape, eps)
+            if any(t == 0 for t in ts):
+                continue
+            full = predict_block(C, eps, ts, interp)
+            pts = predict_points(C, eps, _full_index(ts), interp)
+            assert np.array_equal(pts, full.ravel()), (shape, eps)
+
+    def test_windowed_gather_matches(self, rng):
+        # region + origin + full_shape: the random-access configuration
+        shape = (20, 18, 16)
+        C = take_subblock(rng.normal(size=shape).astype(np.float32), (0, 0, 0))
+        eps = (1, 1, 0)
+        ts = subblock_shape(shape, eps)
+        full = predict_block(C, eps, ts, "cubic")
+        origin = (2, 3, 0)
+        region = C[2:9, 3:8, :]
+        kr = [np.arange(4, 6), np.arange(5, 6), np.arange(0, ts[2])]
+        grids = np.meshgrid(*kr, indexing="ij")
+        idx = tuple(g.ravel() for g in grids)
+        got = predict_points(
+            region, eps, idx, "cubic", origin=origin, full_shape=C.shape
+        )
+        ref = full[4:6, 5:6, :].ravel()
+        assert np.array_equal(got, ref)
+
+    def test_origin_requires_full_shape(self, rng):
+        C = rng.normal(size=(8, 8)).astype(np.float32)
+        with pytest.raises(ValueError):
+            predict_points(
+                C, (1, 0), (np.array([0]), np.array([0])), origin=(0, 0)
+            )
+
+
+class TestExactness:
+    def test_linear_exact_on_linear_field(self):
+        n = 21
+        x = np.arange(n, dtype=np.float64)
+        C = 3 * x[:, None] + 2 * np.arange(7)[None, :] + 1
+        for eps in [(1, 0), (0, 1), (1, 1)]:
+            ts = subblock_shape((2 * n - 1, 13), eps)
+            ts = tuple(
+                min(t, s) for t, s in zip(ts, (n - eps[0], 7 - eps[1]))
+            )
+            pred = predict_block(C, eps, (n - eps[0], 7 - eps[1]), "linear")
+            xm = x[: n - eps[0]] + eps[0] * 0.5
+            ym = np.arange(7 - eps[1]) + eps[1] * 0.5
+            true = 3 * xm[:, None] + 2 * ym[None, :] + 1
+            # interior only (boundary falls back to copy)
+            assert np.abs(pred[:-1, :-1] - true[:-1, :-1]).max() < 1e-12
+
+    def test_cubic_exact_on_cubic_polynomial(self):
+        n = 33
+        x = np.arange(n, dtype=np.float64)
+        C = (0.5 * x**3 - x**2 + 3 * x)[:, None] * np.ones((1, 5))
+        pred = predict_block(C, (1, 0), (n - 1, 5), "cubic")
+        xm = x[:-1] + 0.5
+        true = (0.5 * xm**3 - xm**2 + 3 * xm)[:, None] * np.ones((1, 5))
+        interior = slice(1, n - 3)
+        assert np.abs(pred[interior] - true[interior]).max() < 1e-9
+
+    def test_cubic_beats_linear_on_smooth_field(self):
+        x = np.linspace(0, 3, 40)
+        C = np.sin(x)[:, None] * np.cos(x / 2)[None, :]
+        true_mid = np.sin(x[:-1] + x[1] / 2 * 0 + (x[1] - x[0]) / 2)[
+            :, None
+        ] * np.cos(x / 2)[None, :]
+        lin = predict_block(C, (1, 0), (39, 40), "linear")
+        cub = predict_block(C, (1, 0), (39, 40), "cubic")
+        interior = slice(1, 36)
+        el = np.abs(lin[interior] - true_mid[interior]).max()
+        ec = np.abs(cub[interior] - true_mid[interior]).max()
+        assert ec < el
+
+    def test_diagonal_weights_sum_to_one(self):
+        # constant field must be predicted exactly (interior AND edges)
+        C = np.full((9, 9, 9), 7.25, dtype=np.float64)
+        for eps in nonzero_offsets(3):
+            ts = subblock_shape((17, 17, 17), eps)
+            for interp in ("direct", "linear", "cubic"):
+                for mode in ("diagonal", "tensor"):
+                    pred = predict_block(C, eps, ts, interp, mode)
+                    assert np.all(pred == 7.25), (eps, interp, mode)
+
+
+class TestBoundaries:
+    def test_last_midpoint_of_even_axis_copies(self):
+        # even fine axis: final midpoint has no right neighbor
+        C = np.arange(4, dtype=np.float64)[:, None] * np.ones((1, 3))
+        pred = predict_block(C, (1, 0), (4, 3), "linear")
+        assert np.all(pred[3] == C[3])  # clamped average == copy
+
+    def test_tiny_coarse_axes(self, rng):
+        for cs in [(1, 5), (2, 2), (1, 1)]:
+            C = rng.normal(size=cs)
+            eps = (1, 0)
+            ts = (cs[0], cs[1])
+            pred = predict_block(C, eps, ts, "cubic")
+            assert pred.shape == ts
+
+    def test_empty_target(self, rng):
+        # fine shape (1, 5): a size-1 axis has no odd-parity points
+        C = rng.normal(size=(1, 3))
+        pred = predict_block(C, (1, 1), (0, 2), "cubic")
+        assert pred.shape == (0, 2)
+
+    def test_rejects_aligned_mismatch(self, rng):
+        C = rng.normal(size=(4, 4))
+        with pytest.raises(ValueError):
+            predict_block(C, (1, 0), (4, 3), "linear")
+
+    def test_rejects_zero_offset(self, rng):
+        C = rng.normal(size=(4, 4))
+        with pytest.raises(ValueError):
+            predict_block(C, (0, 0), (4, 4), "linear")
+
+    def test_rejects_unknown_interp(self, rng):
+        C = rng.normal(size=(4, 4))
+        with pytest.raises(ValueError):
+            predict_block(C, (1, 0), (4, 4), "quintic")
+
+    def test_tensor_gather_unsupported(self, rng):
+        C = rng.normal(size=(8, 8))
+        with pytest.raises(NotImplementedError):
+            predict_points(
+                C,
+                (1, 0),
+                (np.array([2]), np.array([2])),
+                "cubic",
+                mode="tensor",
+            )
+
+
+class TestMidpointOperator:
+    def test_midpoints_linear(self):
+        C = np.array([0.0, 2.0, 4.0, 8.0])
+        out = interp_axis_midpoints(C, 0, 3, "linear")
+        assert np.allclose(out, [1.0, 3.0, 6.0])
+
+    def test_midpoints_cubic_matches_eq6(self):
+        C = np.array([1.0, 2.0, 4.0, 7.0, 11.0])
+        out = interp_axis_midpoints(C, 0, 4, "cubic")
+        # interior point k=1 uses the Eq. 6 stencil
+        expected = (9 / 16) * (C[1] + C[2]) - (1 / 16) * (C[0] + C[3])
+        assert out[1] == pytest.approx(expected)
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            interp_axis_midpoints(np.zeros(4), 0, 3, "nearest")
+
+    @given(
+        st.integers(2, 40),
+        st.integers(0, 2**31),
+        st.sampled_from(["linear", "cubic"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_midpoint_within_neighbor_envelope_property(
+        self, n, seed, interp
+    ):
+        # linear midpoints stay within [min, max] of neighbors; cubic
+        # can overshoot but must stay within the global envelope + the
+        # stencil's worst-case overshoot (bounded weights)
+        C = np.random.default_rng(seed).uniform(-1, 1, n)
+        t = n - 1
+        out = interp_axis_midpoints(C, 0, t, interp)
+        bound = 1.0 if interp == "linear" else 1.25
+        assert np.all(np.abs(out) <= bound + 1e-12)

@@ -1,0 +1,100 @@
+"""Unit + property tests for the error-bounded quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.quantizer import (
+    DEFAULT_RADIUS,
+    dequantize,
+    quantize,
+)
+
+
+class TestQuantize:
+    def test_zero_residual_gives_radius_code(self):
+        v = np.array([1.0, 2.0], np.float64)
+        qb = quantize(v, v, 0.1)
+        assert np.all(qb.codes == DEFAULT_RADIUS)
+        assert qb.outlier_pos.size == 0
+        assert np.array_equal(qb.recon, v)
+
+    def test_error_bound_holds(self, rng):
+        v = rng.normal(0, 10, 5000)
+        pred = v + rng.normal(0, 0.5, 5000)
+        for eb in (1e-3, 0.1, 2.0):
+            qb = quantize(v, pred, eb)
+            rec = dequantize(
+                qb.codes, pred, eb, qb.outlier_pos, qb.outlier_val
+            )
+            assert np.max(np.abs(rec - v)) <= eb
+
+    def test_recon_matches_dequantize_exactly(self, rng):
+        v = rng.normal(0, 1, 1000).astype(np.float32)
+        pred = (v + rng.normal(0, 0.01, 1000)).astype(np.float32)
+        qb = quantize(v, pred, 0.004)
+        rec = dequantize(qb.codes, pred, 0.004, qb.outlier_pos, qb.outlier_val)
+        assert np.array_equal(rec, qb.recon)
+
+    def test_large_residuals_become_outliers(self):
+        v = np.array([0.0, 1e9, 0.0])
+        pred = np.zeros(3)
+        qb = quantize(v, pred, 1e-6, radius=128)
+        assert 1 in qb.outlier_pos
+        assert qb.codes[1] == 0
+        rec = dequantize(
+            qb.codes, pred, 1e-6, qb.outlier_pos, qb.outlier_val, radius=128
+        )
+        assert rec[1] == 1e9  # stored exactly
+
+    def test_nan_inf_stored_exactly(self):
+        v = np.array([np.nan, np.inf, -np.inf, 1.0])
+        pred = np.zeros(4)
+        qb = quantize(v, pred, 0.5)
+        rec = dequantize(qb.codes, pred, 0.5, qb.outlier_pos, qb.outlier_val)
+        assert np.isnan(rec[0]) and np.isposinf(rec[1]) and np.isneginf(rec[2])
+
+    def test_float32_edge_precision(self):
+        # values where float32 rounding could break the bound
+        v = np.array([1e8, 1e8 + 1], np.float32)
+        pred = np.zeros(2, np.float32)
+        eb = 1e-4
+        qb = quantize(v, pred, eb)
+        rec = dequantize(qb.codes, pred, eb, qb.outlier_pos, qb.outlier_val)
+        assert np.all(
+            np.abs(rec.astype(np.float64) - v.astype(np.float64)) <= eb
+        )
+
+    def test_rejects_nonpositive_eb(self):
+        with pytest.raises(ValueError):
+            quantize(np.ones(3), np.zeros(3), 0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            quantize(np.ones(3), np.zeros(4), 0.1)
+
+    def test_nd_input_flattened(self, rng):
+        v = rng.normal(size=(7, 9)).astype(np.float32)
+        pred = np.zeros_like(v)
+        qb = quantize(v, pred, 0.1)
+        assert qb.codes.shape == (63,)
+        rec = dequantize(qb.codes, pred, 0.1, qb.outlier_pos, qb.outlier_val)
+        assert np.max(np.abs(rec.reshape(v.shape) - v)) <= 0.1
+
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.floats(1e-8, 1e3),
+        st.sampled_from([np.float32, np.float64]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bound_property(self, seed, eb, dtype):
+        rng = np.random.default_rng(seed)
+        v = (rng.normal(0, 100, 200) * rng.choice([1e-6, 1, 1e6], 200)).astype(
+            dtype
+        )
+        pred = (v + rng.normal(0, 10 * eb, 200)).astype(dtype)
+        qb = quantize(v, pred, eb)
+        rec = dequantize(qb.codes, pred, eb, qb.outlier_pos, qb.outlier_val)
+        err = np.abs(rec.astype(np.float64) - v.astype(np.float64))
+        assert np.all(err <= eb)

@@ -1,0 +1,182 @@
+"""Robustness and cross-feature equivalence tests: malformed-input
+fuzzing on the container formats, utility coverage, and invariants that
+tie independent features together."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import max_err, smooth_field
+from repro.core.config import STZConfig
+from repro.core.pipeline import stz_compress, stz_decompress
+from repro.core.progressive import upsample_nearest
+from repro.core.random_access import stz_decompress_roi
+from repro.sperr import sperr_compress, sperr_decompress
+from repro.sz3 import sz3_compress, sz3_decompress
+from repro.util.timer import StageTimer, Timer
+from repro.util.validation import (
+    as_float_array,
+    check_ndim,
+    check_positive,
+    dtype_code,
+    dtype_from_code,
+    resolve_eb,
+)
+
+
+class TestFormatFuzzing:
+    """Truncated/corrupted containers must raise ValueError, never
+    crash with internal errors or return garbage silently."""
+
+    @pytest.fixture(scope="class")
+    def blobs(self):
+        data = smooth_field((20, 20), seed=90).astype(np.float32)
+        return {
+            "stz": stz_compress(data, 1e-3),
+            "sz3": sz3_compress(data, 1e-3),
+            "sperr": sperr_compress(data, 1e-3),
+        }
+
+    @pytest.mark.parametrize("name", ["stz", "sz3", "sperr"])
+    @pytest.mark.parametrize("cut", [0.1, 0.5, 0.9])
+    def test_truncation_raises_cleanly(self, blobs, name, cut):
+        blob = blobs[name]
+        truncated = blob[: int(len(blob) * cut)]
+        decoder = {
+            "stz": stz_decompress,
+            "sz3": sz3_decompress,
+            "sperr": sperr_decompress,
+        }[name]
+        with pytest.raises((ValueError, Exception)):
+            decoder(truncated)
+
+    @given(st.integers(0, 2**31), st.integers(1, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_random_bytes_rejected(self, seed, n):
+        junk = np.random.default_rng(seed).bytes(n * 16)
+        with pytest.raises(Exception):
+            stz_decompress(junk)
+
+    def test_single_flipped_header_byte(self, blobs):
+        blob = bytearray(blobs["stz"])
+        blob[0] ^= 0xFF  # magic
+        with pytest.raises(ValueError):
+            stz_decompress(bytes(blob))
+
+
+class TestUtilities:
+    def test_timer_context(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed > 0
+
+    def test_stage_timer_accumulates(self):
+        st_ = StageTimer()
+        with st_.time("a"):
+            pass
+        with st_.time("a"):
+            pass
+        with st_.time("b"):
+            pass
+        assert set(st_.stages) == {"a", "b"}
+        assert st_.total == pytest.approx(
+            st_.stages["a"] + st_.stages["b"]
+        )
+        assert st_.row(["a", "missing", "b"])[1] == 0.0
+
+    def test_dtype_codes_roundtrip(self):
+        for dt in (np.float32, np.float64):
+            assert dtype_from_code(dtype_code(np.dtype(dt))) == dt
+        with pytest.raises(TypeError):
+            dtype_code(np.dtype(np.int32))
+        with pytest.raises(ValueError):
+            dtype_from_code(99)
+
+    def test_as_float_array(self):
+        with pytest.raises(ValueError):
+            as_float_array(np.zeros((0, 3), np.float32))
+        with pytest.raises(TypeError):
+            as_float_array(np.zeros(3, np.int8))
+        out = as_float_array(np.asfortranarray(np.ones((3, 4), np.float32)))
+        assert out.flags.c_contiguous
+
+    def test_check_helpers(self):
+        with pytest.raises(ValueError):
+            check_ndim(np.zeros((2, 2)), (3,))
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_resolve_eb_zero_range(self):
+        # constant field: relative bound falls back to the raw value
+        const = np.full(10, 5.0)
+        assert resolve_eb(const, 1e-3, "rel") == 1e-3
+
+
+class TestCrossFeatureInvariants:
+    @pytest.fixture(scope="class")
+    def packed(self):
+        data = smooth_field((36, 36, 36), seed=91).astype(np.float32)
+        blob = stz_compress(data, 1e-3)
+        return data, blob
+
+    def test_progressive_prefix_consistency(self, packed):
+        """Level-k output must equal the even-decimation of level-k+1:
+        refining never rewrites already-delivered coarse values."""
+        _, blob = packed
+        l1 = stz_decompress(blob, level=1)
+        l2 = stz_decompress(blob, level=2)
+        l3 = stz_decompress(blob, level=3)
+        assert np.array_equal(l2[::2, ::2, ::2], l1)
+        assert np.array_equal(l3[::2, ::2, ::2], l2)
+
+    def test_roi_tiling_reassembles_full(self, packed):
+        """Tiling the domain with ROI requests reproduces the full
+        reconstruction exactly (no seams between independent requests)."""
+        data, blob = packed
+        full = stz_decompress(blob)
+        out = np.zeros_like(full)
+        step = 13  # deliberately unaligned with the hierarchy
+        for z0 in range(0, 36, step):
+            for y0 in range(0, 36, step):
+                roi = (
+                    slice(z0, min(z0 + step, 36)),
+                    slice(y0, min(y0 + step, 36)),
+                    slice(None),
+                )
+                res = stz_decompress_roi(blob, roi)
+                out[roi] = res.data
+        assert np.array_equal(out, full)
+
+    def test_upsample_inverts_decimation_shapewise(self, packed):
+        data, blob = packed
+        l1 = stz_decompress(blob, level=1)
+        up = upsample_nearest(l1, data.shape)
+        assert up.shape == data.shape
+        # nearest upsample places each coarse value at its origin cell
+        assert np.array_equal(up[::4, ::4, ::4], l1)
+
+    def test_recompression_is_stable(self, packed):
+        """Compressing a reconstruction at the same bound must not
+        degrade it further by more than another bound (idempotence up
+        to quantization)."""
+        data, blob = packed
+        rec1 = stz_decompress(blob)
+        rec2 = stz_decompress(stz_compress(rec1, 1e-3))
+        assert max_err(rec2, data) <= 2e-3
+
+    def test_container_roundtrip_through_file(self, packed, tmp_path):
+        data, blob = packed
+        p = tmp_path / "x.stz"
+        p.write_bytes(blob)
+        assert np.array_equal(
+            stz_decompress(p.read_bytes()), stz_decompress(blob)
+        )
+
+    @pytest.mark.parametrize("levels", [2, 3, 4])
+    def test_levels_all_support_roi(self, levels):
+        data = smooth_field((33, 31), seed=92).astype(np.float32)
+        blob = stz_compress(data, 1e-2, config=STZConfig(levels=levels))
+        full = stz_decompress(blob)
+        res = stz_decompress_roi(blob, (slice(7, 20), slice(11, 12)))
+        assert np.array_equal(res.data, full[7:20, 11:12])

@@ -1,0 +1,120 @@
+"""ROI selection module (Fig. 10 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.roi import (
+    ROISelection,
+    block_stats,
+    capture_recall,
+    select_blocks,
+    select_slices,
+    slice_stats,
+)
+
+
+@pytest.fixture
+def field_with_halos(rng):
+    data = rng.normal(0, 0.1, (32, 32, 32)).astype(np.float32)
+    data[4:8, 10:14, 20:24] += 10.0
+    data[25:28, 2:5, 6:9] += 8.0
+    return data
+
+
+class TestStats:
+    def test_slice_stats_max(self, field_with_halos):
+        s = slice_stats(field_with_halos, 0, "max")
+        assert s.shape == (32,)
+        assert s[4:8].min() > 5
+
+    def test_slice_stats_range(self, rng):
+        d = rng.normal(size=(10, 20))
+        s = slice_stats(d, 1, "range")
+        assert s.shape == (20,)
+        assert np.allclose(s, d.max(axis=0) - d.min(axis=0))
+
+    def test_block_stats_shape(self, field_with_halos):
+        b = block_stats(field_with_halos, 8, "max")
+        assert b.shape == (4, 4, 4)
+
+    def test_block_stats_ragged(self, rng):
+        d = rng.normal(size=(10, 13))
+        b = block_stats(d, (4, 5), "min")
+        assert b.shape == (3, 3)
+        assert b[2, 2] == d[8:10, 10:13].min()
+
+    def test_block_stats_exact_values(self):
+        d = np.arange(16.0).reshape(4, 4)
+        b = block_stats(d, 2, "max")
+        assert b[0, 0] == 5.0 and b[1, 1] == 15.0
+
+    def test_invalid_stat(self, rng):
+        with pytest.raises(ValueError):
+            slice_stats(rng.normal(size=(4, 4)), 0, "median")
+        with pytest.raises(ValueError):
+            block_stats(rng.normal(size=(4, 4)), 2, "median")
+
+    def test_invalid_axis_and_block(self, rng):
+        with pytest.raises(ValueError):
+            slice_stats(rng.normal(size=(4, 4)), 5)
+        with pytest.raises(ValueError):
+            block_stats(rng.normal(size=(4, 4)), (2,))
+
+
+class TestSelection:
+    def test_threshold_captures_halos(self, field_with_halos):
+        sel = select_blocks(field_with_halos, 4, "max", threshold=5.0)
+        assert len(sel) >= 2
+        assert capture_recall(field_with_halos, sel, 5.0) == 1.0
+        assert sel.fraction < 0.2
+
+    def test_small_fraction_like_paper(self, field_with_halos):
+        # the Fig. 10 story: a tiny fraction of the volume captures all
+        # super-threshold cells
+        sel = select_blocks(field_with_halos, 4, "max", threshold=5.0)
+        assert sel.fraction < 0.05
+
+    def test_top_fraction(self, field_with_halos):
+        sel = select_blocks(field_with_halos, 8, "max", top_fraction=0.1)
+        assert 0 < len(sel) <= int(0.1 * 64) + 1
+
+    def test_exactly_one_criterion(self, field_with_halos):
+        with pytest.raises(ValueError):
+            select_blocks(field_with_halos, 4, "max")
+        with pytest.raises(ValueError):
+            select_blocks(
+                field_with_halos, 4, "max", threshold=1.0, top_fraction=0.1
+            )
+        with pytest.raises(ValueError):
+            select_blocks(field_with_halos, 4, "max", top_fraction=1.5)
+
+    def test_boxes_within_bounds(self, field_with_halos):
+        sel = select_blocks(field_with_halos, 5, "max", threshold=5.0)
+        for box in sel.boxes:
+            for sl, n in zip(box, field_with_halos.shape):
+                assert 0 <= sl.start < sl.stop <= n
+
+    def test_select_slices(self, field_with_halos):
+        sel = select_slices(field_with_halos, 0, "max", threshold=5.0)
+        picked = {b[0].start for b in sel.boxes}
+        assert picked == set(range(4, 8)) | set(range(25, 28))
+
+    def test_select_slices_top_fraction(self, field_with_halos):
+        sel = select_slices(field_with_halos, 2, "max", top_fraction=0.25)
+        assert len(sel) == 8
+
+    def test_recall_without_targets(self, rng):
+        d = rng.normal(size=(8, 8)).astype(np.float32)
+        sel = ROISelection(boxes=(), mask=np.zeros(1, bool), fraction=0.0)
+        assert capture_recall(d, sel, 1e9) == 1.0
+
+    def test_range_stat_finds_interface(self):
+        # range thresholding suits interfaces (fluid-dynamics use case):
+        # slices cutting a wavy interface mix both phases -> large range
+        z = np.linspace(-1, 1, 32)[None, None, :]
+        x = np.linspace(0, 2 * np.pi, 16)[:, None, None]
+        data = np.tanh((z - 0.2 * np.sin(x)) / 0.05).astype(np.float32)
+        data = data * np.ones((1, 16, 1), np.float32)
+        sel = select_slices(data, 2, "range", top_fraction=0.2)
+        centers = [b[2].start for b in sel.boxes]
+        assert all(8 <= c < 24 for c in centers)  # near the interface

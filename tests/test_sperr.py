@@ -1,0 +1,151 @@
+"""SPERR-like codec tests (CDF 9/7 + outlier correction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import max_err, smooth_field
+from repro.sperr import (
+    SPERRCompressor,
+    cdf97_forward,
+    cdf97_inverse,
+    sperr_compress,
+    sperr_decompress,
+)
+from repro.sperr.wavelet import (
+    DC_GAIN,
+    corner_shapes,
+    level_band_regions,
+    max_levels,
+)
+
+
+class TestWavelet:
+    @pytest.mark.parametrize(
+        "shape", [(64,), (33,), (16, 24), (33, 47), (16, 24, 20), (9, 17, 31)]
+    )
+    @pytest.mark.parametrize("levels", [1, 2])
+    def test_perfect_reconstruction(self, shape, levels, rng):
+        data = rng.normal(size=shape)
+        rec = cdf97_inverse(cdf97_forward(data, levels), levels)
+        assert np.abs(rec - data).max() < 1e-10
+
+    def test_energy_compaction_on_smooth_data(self):
+        data = smooth_field((64, 64), seed=60, noise=0.0)
+        w = cdf97_forward(data, 2)
+        corner = corner_shapes(data.shape, 2)[2]
+        ll = np.abs(w[: corner[0], : corner[1]]).sum()
+        total = np.abs(w).sum()
+        assert ll / total > 0.5  # most energy in 1/16 of the coefficients
+
+    def test_dc_gain_exact_on_constant(self):
+        c = np.full((32, 32), 2.0)
+        w = cdf97_forward(c, 1)
+        corner = corner_shapes(c.shape, 1)[1]
+        ll = w[: corner[0], : corner[1]]
+        assert np.allclose(ll, 2.0 * DC_GAIN**2)
+        # detail bands vanish for constants
+        assert np.abs(w).sum() == pytest.approx(np.abs(ll).sum())
+
+    def test_band_regions_partition_pyramid(self):
+        shape = (20, 14)
+        levels = 2
+        seen = np.zeros(shape, dtype=int)
+        for rects in level_band_regions(shape, levels):
+            for r in rects:
+                seen[r] += 1
+        assert np.all(seen == 1)
+
+    def test_max_levels(self):
+        assert max_levels((64, 64, 64)) >= 3
+        assert max_levels((8, 8)) == 1
+        assert max_levels((4, 4)) == 1
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("eb", [1e-1, 1e-2, 1e-3])
+    def test_hard_bound(self, smooth3d_f32, eb):
+        blob = sperr_compress(smooth3d_f32, eb)
+        rec = sperr_decompress(blob)
+        assert rec.shape == smooth3d_f32.shape
+        assert rec.dtype == smooth3d_f32.dtype
+        assert max_err(rec, smooth3d_f32) <= eb * (1 + 1e-6)
+
+    @pytest.mark.parametrize("shape", [(128,), (33, 47), (17, 18, 15)])
+    def test_odd_shapes(self, shape):
+        data = smooth_field(shape, seed=61)
+        rec = sperr_decompress(sperr_compress(data, 1e-3))
+        assert max_err(rec, data) <= 1e-3 * (1 + 1e-6)
+
+    def test_relative_bound(self, smooth2d_f32):
+        blob = sperr_compress(smooth2d_f32, 1e-3, eb_mode="rel")
+        rng_v = float(smooth2d_f32.max() - smooth2d_f32.min())
+        assert max_err(sperr_decompress(blob), smooth2d_f32) <= (
+            1e-3 * rng_v * (1 + 1e-6)
+        )
+
+    def test_quality_knob_tradeoff(self, smooth3d_f32):
+        # higher quality factor -> tighter wavelet steps -> fewer
+        # outliers but bigger streams
+        lo = sperr_compress(smooth3d_f32, 1e-3, quality=2.0)
+        hi = sperr_compress(smooth3d_f32, 1e-3, quality=8.0)
+        assert len(hi) > len(lo) * 0.8  # monotone-ish, generous slack
+        for blob in (lo, hi):
+            assert max_err(sperr_decompress(blob), smooth3d_f32) <= 1e-3
+
+    def test_wavelet_wins_on_high_frequency_data(self):
+        # the paper's §4.2 observation, reproduced structurally
+        from repro.sz3 import sz3_compress
+
+        n = 48
+        y = np.linspace(-1, 1, n)[None, :, None]
+        x = np.linspace(0, 1, n)[:, None, None]
+        z = np.linspace(0, 1, n)[None, None, :]
+        hf = (
+            np.tanh((y + 0.3 * np.sin(6.28 * x)) * 8) + 0.1 * np.sin(40 * z)
+        ).astype(np.float32)
+        cr_sperr = hf.nbytes / len(sperr_compress(hf, 1e-2))
+        cr_sz3 = hf.nbytes / len(sz3_compress(hf, 1e-2))
+        assert cr_sperr > cr_sz3
+
+    def test_progressive_shapes_and_scaling(self, smooth3d_f32):
+        blob = sperr_compress(smooth3d_f32, 1e-3, levels=2)
+        p1 = sperr_decompress(blob, level=1)
+        assert p1.shape == (8, 8, 8)
+        p2 = sperr_decompress(blob, level=2)
+        assert p2.shape == (16, 16, 16)
+        full = sperr_decompress(blob, level=3)
+        assert full.shape == smooth3d_f32.shape
+        # preview values must be in the data's value range (DC
+        # normalization), not wavelet-scaled
+        assert p1.max() < float(smooth3d_f32.max()) * 1.5 + 1.0
+
+    def test_progressive_validation(self, smooth3d_f32):
+        blob = sperr_compress(smooth3d_f32, 1e-3, levels=2)
+        with pytest.raises(ValueError):
+            sperr_decompress(blob, level=0)
+        with pytest.raises(ValueError):
+            sperr_decompress(blob, level=4)
+
+    def test_bad_container(self):
+        with pytest.raises(ValueError):
+            sperr_decompress(b"junk" + bytes(64))
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_bound_property(self, seed):
+        data = (
+            np.random.default_rng(seed)
+            .normal(size=(12, 14, 10))
+            .astype(np.float32)
+        )
+        blob = sperr_compress(data, 5e-2)
+        assert max_err(sperr_decompress(blob), data) <= 5e-2 * (1 + 1e-6)
+
+
+class TestObjectAPI:
+    def test_capabilities(self):
+        c = SPERRCompressor(1e-3)
+        assert c.supports_progressive
+        assert not c.supports_random_access

@@ -1,0 +1,200 @@
+"""Tests for the STZ compression pipeline (compress / decompress /
+progressive levels / configs)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import max_err, smooth_field
+from repro.core.config import ABLATION_CONFIGS, STZConfig
+from repro.core.pipeline import (
+    level_output_shape,
+    stz_compress,
+    stz_decompress,
+)
+from repro.core.partition import lattice_shape
+from repro.util.timer import StageTimer
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = STZConfig()
+        assert cfg.levels == 3
+        assert cfg.interp == "cubic"
+        assert cfg.cubic_mode == "diagonal"
+        assert cfg.residual_codec == "quantize"
+        assert cfg.adaptive_eb and cfg.eb_ratio == 2.5
+
+    def test_level_eb_schedule(self):
+        cfg = STZConfig(levels=3, eb_ratio=2.5)
+        assert cfg.level_eb(1.0, 3) == 1.0
+        assert cfg.level_eb(1.0, 2) == pytest.approx(0.4)
+        assert cfg.level_eb(1.0, 1) == pytest.approx(0.16)
+
+    def test_non_adaptive_uniform(self):
+        cfg = STZConfig(adaptive_eb=False)
+        assert cfg.level_eb(1.0, 1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            STZConfig(levels=1)
+        with pytest.raises(ValueError):
+            STZConfig(interp="spline")
+        with pytest.raises(ValueError):
+            STZConfig(residual_codec="lz4")
+        with pytest.raises(ValueError):
+            STZConfig(eb_ratio=0.5)
+        with pytest.raises(ValueError):
+            STZConfig(zlib_level=11)
+
+    def test_with_override(self):
+        cfg = STZConfig().with_(levels=2)
+        assert cfg.levels == 2 and cfg.interp == "cubic"
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("eb", [1e-1, 1e-2, 1e-3])
+    def test_error_bound_3d(self, smooth3d_f32, eb):
+        blob = stz_compress(smooth3d_f32, eb)
+        rec = stz_decompress(blob)
+        assert rec.shape == smooth3d_f32.shape
+        assert rec.dtype == smooth3d_f32.dtype
+        assert max_err(rec, smooth3d_f32) <= eb
+
+    def test_error_bound_f64(self, smooth3d_f64):
+        blob = stz_compress(smooth3d_f64, 1e-7)
+        assert max_err(stz_decompress(blob), smooth3d_f64) <= 1e-7
+
+    @pytest.mark.parametrize(
+        "shape",
+        [(64,), (37, 53), (21, 34, 17), (9, 9, 9), (8, 8), (65, 65, 65)],
+    )
+    def test_odd_shapes(self, shape):
+        data = smooth_field(shape, seed=11).astype(np.float32)
+        rec = stz_decompress(stz_compress(data, 1e-2))
+        assert max_err(rec, data) <= 1e-2
+
+    def test_relative_bound(self, smooth3d_f32):
+        blob = stz_compress(smooth3d_f32, 1e-3, eb_mode="rel")
+        rng_v = float(smooth3d_f32.max() - smooth3d_f32.min())
+        assert max_err(stz_decompress(blob), smooth3d_f32) <= 1e-3 * rng_v
+
+    @pytest.mark.parametrize("levels", [2, 3, 4])
+    def test_level_counts(self, levels, smooth3d_f32):
+        cfg = STZConfig(levels=levels)
+        blob = stz_compress(smooth3d_f32, 1e-3, config=cfg)
+        assert max_err(stz_decompress(blob), smooth3d_f32) <= 1e-3
+
+    @pytest.mark.parametrize("interp", ["direct", "linear", "cubic"])
+    def test_interp_kinds(self, interp, smooth3d_f32):
+        cfg = STZConfig(interp=interp)
+        blob = stz_compress(smooth3d_f32, 1e-3, config=cfg)
+        assert max_err(stz_decompress(blob), smooth3d_f32) <= 1e-3
+
+    def test_tensor_mode(self, smooth3d_f32):
+        cfg = STZConfig(cubic_mode="tensor")
+        blob = stz_compress(smooth3d_f32, 1e-3, config=cfg)
+        assert max_err(stz_decompress(blob), smooth3d_f32) <= 1e-3
+
+    def test_constant_field_tiny_output(self):
+        data = np.full((32, 32, 32), 2.5, np.float32)
+        blob = stz_compress(data, 1e-4)
+        assert np.array_equal(stz_decompress(blob), data)
+        assert len(blob) < data.nbytes / 50
+
+    def test_rejects_bad_inputs(self, smooth2d_f32):
+        with pytest.raises(ValueError):
+            stz_compress(smooth2d_f32, 0.0)
+        with pytest.raises(TypeError):
+            stz_compress(smooth2d_f32.astype(np.int64), 1e-3)
+        with pytest.raises(ValueError):
+            stz_decompress(b"XXXX" + bytes(100))
+
+    @given(
+        st.integers(0, 2**31),
+        st.sampled_from([1e-2, 1e-3]),
+        st.lists(st.integers(4, 14), min_size=2, max_size=3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_bound_property(self, seed, eb, dims):
+        data = (
+            np.random.default_rng(seed)
+            .normal(size=tuple(dims))
+            .astype(np.float32)
+        )
+        rec = stz_decompress(stz_compress(data, eb))
+        assert max_err(rec, data) <= eb
+
+
+class TestProgressiveLevels:
+    def test_shapes_per_level(self, smooth3d_f32):
+        blob = stz_compress(smooth3d_f32, 1e-3)
+        for lvl, stride in ((1, 4), (2, 2), (3, 1)):
+            out = stz_decompress(blob, level=lvl)
+            assert out.shape == lattice_shape(smooth3d_f32.shape, stride)
+            assert out.shape == level_output_shape(
+                smooth3d_f32.shape, 3, lvl
+            )
+
+    def test_coarse_levels_approximate_decimation(self, smooth3d_f32):
+        blob = stz_compress(smooth3d_f32, 1e-3)
+        cfg = STZConfig()
+        for lvl, stride in ((1, 4), (2, 2)):
+            out = stz_decompress(blob, level=lvl)
+            dec = smooth3d_f32[::stride, ::stride, ::stride]
+            assert max_err(out, dec) <= cfg.level_eb(1e-3, lvl)
+
+    def test_full_equals_max_level(self, smooth3d_f32):
+        blob = stz_compress(smooth3d_f32, 1e-3)
+        assert np.array_equal(
+            stz_decompress(blob), stz_decompress(blob, level=3)
+        )
+
+    def test_level_validation(self, smooth3d_f32):
+        blob = stz_compress(smooth3d_f32, 1e-3)
+        with pytest.raises(ValueError):
+            stz_decompress(blob, level=0)
+        with pytest.raises(ValueError):
+            stz_decompress(blob, level=4)
+
+    def test_adaptive_makes_coarse_levels_cleaner(self, smooth3d_f32):
+        eb = 1e-2
+        blob = stz_compress(smooth3d_f32, eb)
+        coarse = stz_decompress(blob, level=1)
+        dec = smooth3d_f32[::4, ::4, ::4]
+        # coarsest level carries eb/6.25, so it must be much cleaner
+        assert max_err(coarse, dec) <= eb / 2.5**2
+
+
+class TestStageTimer:
+    def test_stages_recorded(self, smooth3d_f32):
+        blob = stz_compress(smooth3d_f32, 1e-3)
+        t = StageTimer()
+        stz_decompress(blob, timer=t)
+        for name in (
+            "l1_sz3",
+            "l2_decode",
+            "l2_predict",
+            "l2_reassemble",
+            "l3_decode",
+            "l3_predict",
+            "l3_reassemble",
+        ):
+            assert name in t.stages and t.stages[name] >= 0
+        assert t.total > 0
+
+
+class TestAblationVariants:
+    @pytest.mark.parametrize("name", sorted(ABLATION_CONFIGS))
+    def test_bound_holds_for_every_variant(self, name, smooth3d_f32):
+        cfg = ABLATION_CONFIGS[name]
+        blob = stz_compress(smooth3d_f32, 1e-3, config=cfg)
+        rec = stz_decompress(blob)
+        assert max_err(rec, smooth3d_f32) <= 1e-3 + 1e-12, name
+
+    def test_partition_only_roundtrip_progressive(self, smooth3d_f32):
+        cfg = ABLATION_CONFIGS["partition"]
+        blob = stz_compress(smooth3d_f32, 1e-3, config=cfg)
+        coarse = stz_decompress(blob, level=1)
+        assert coarse.shape == lattice_shape(smooth3d_f32.shape, 2)

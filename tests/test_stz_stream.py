@@ -1,0 +1,126 @@
+"""Container format and file-based streaming access."""
+
+import io
+
+import numpy as np
+import pytest
+
+from conftest import max_err, smooth_field
+from repro.core.api import STZFile
+from repro.core.config import STZConfig
+from repro.core.pipeline import stz_compress, stz_decompress
+from repro.core.stream import (
+    KIND_L1_SZ3,
+    KIND_RESIDUAL_Q,
+    StreamReader,
+    StreamWriter,
+    eps_to_mask,
+    mask_to_eps,
+)
+
+
+class TestEpsMask:
+    @pytest.mark.parametrize(
+        "eps", [(0, 0, 1), (1, 0, 0), (1, 1, 1), (0, 1), (1,)]
+    )
+    def test_roundtrip(self, eps):
+        assert mask_to_eps(eps_to_mask(eps), len(eps)) == eps
+
+
+class TestWriterReader:
+    def test_roundtrip_metadata(self):
+        cfg = STZConfig(levels=2, interp="linear", adaptive_eb=False)
+        w = StreamWriter((10, 20), np.dtype(np.float64), cfg, 0.5)
+        w.add_segment(1, (0, 0), KIND_L1_SZ3, b"rootpayload")
+        w.add_segment(2, (0, 1), KIND_RESIDUAL_Q, b"detail")
+        blob = w.tobytes()
+        r = StreamReader(blob)
+        h = r.header
+        assert h.shape == (10, 20)
+        assert h.dtype == np.float64
+        assert h.abs_eb == 0.5
+        assert h.config.levels == 2
+        assert h.config.interp == "linear"
+        assert not h.config.adaptive_eb
+        assert len(h.segments) == 2
+        assert r.read_segment(h.segments[0]) == b"rootpayload"
+        assert r.read_segment(h.segments[1]) == b"detail"
+
+    def test_segments_at_level(self):
+        cfg = STZConfig()
+        w = StreamWriter((8, 8), np.dtype(np.float32), cfg, 0.1)
+        w.add_segment(1, (0, 0), KIND_L1_SZ3, b"a")
+        w.add_segment(2, (0, 1), KIND_RESIDUAL_Q, b"b")
+        w.add_segment(2, (1, 0), KIND_RESIDUAL_Q, b"c")
+        r = StreamReader(w.tobytes())
+        assert len(r.header.segments_at(2)) == 2
+
+    def test_bad_kind_rejected(self):
+        w = StreamWriter((4,), np.dtype(np.float32), STZConfig(), 0.1)
+        with pytest.raises(ValueError):
+            w.add_segment(1, (0,), 99, b"")
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            StreamReader(b"NOPE" + bytes(100))
+
+    def test_truncated(self):
+        blob = stz_compress(
+            smooth_field((16, 16), seed=1).astype(np.float32), 1e-2
+        )
+        r = StreamReader(blob[: len(blob) // 2])
+        with pytest.raises(ValueError):
+            stz_decompress(r)
+
+    def test_file_object_source(self):
+        data = smooth_field((24, 24), seed=2).astype(np.float32)
+        blob = stz_compress(data, 1e-3)
+        r = StreamReader(io.BytesIO(blob))
+        assert max_err(stz_decompress(r), data) <= 1e-3
+
+    def test_bytes_read_accounting(self):
+        data = smooth_field((32, 32, 32), seed=3).astype(np.float32)
+        blob = stz_compress(data, 1e-3)
+        r = StreamReader(blob)
+        stz_decompress(r, level=1)
+        l1_bytes = r.bytes_read
+        total = sum(s.length for s in r.header.segments)
+        assert 0 < l1_bytes < total / 4  # coarse preview reads a sliver
+
+
+class TestSTZFile:
+    def test_write_read(self, tmp_path):
+        data = smooth_field((32, 32), seed=4).astype(np.float32)
+        path = tmp_path / "field.stz"
+        with STZFile.write(path, data, 1e-3) as f:
+            assert f.shape == data.shape
+            assert f.dtype == np.float32
+            assert f.levels == 3
+            full = f.decompress()
+            assert max_err(full, data) <= 1e-3
+
+    def test_partial_io_for_coarse(self, tmp_path):
+        data = smooth_field((48, 48), seed=5).astype(np.float32)
+        path = tmp_path / "field.stz"
+        with STZFile.write(path, data, 1e-3) as f:
+            f.decompress(level=1)
+            coarse_bytes = f.bytes_read
+            f.decompress()
+            assert f.bytes_read > coarse_bytes
+
+    def test_roi_from_file(self, tmp_path):
+        data = smooth_field((40, 40), seed=6).astype(np.float32)
+        path = tmp_path / "f.stz"
+        blob = stz_compress(data, 1e-3)
+        path.write_bytes(blob)
+        full = stz_decompress(blob)
+        with STZFile(path) as f:
+            res = f.decompress_roi((slice(5, 20), slice(8, 9)))
+            assert np.array_equal(res.data, full[5:20, 8:9])
+
+    def test_ladder(self, tmp_path):
+        data = smooth_field((32, 32), seed=7).astype(np.float32)
+        with STZFile.write(tmp_path / "l.stz", data, 1e-2) as f:
+            steps = f.ladder()
+            assert [s.level for s in steps] == [1, 2, 3]
+            assert steps[-1].shape == data.shape

@@ -1,0 +1,159 @@
+"""Tests for the SZ3-style baseline compressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import max_err, smooth_field
+from repro.sz3 import (
+    SZ3Compressor,
+    sz3_compress,
+    sz3_compress_omp,
+    sz3_decompress,
+    sz3_decompress_omp,
+)
+from repro.sz3.interpolation import anchor_stride, schedule
+
+
+class TestSchedule:
+    def test_covers_every_point_once(self):
+        for shape in [(16,), (9, 7), (8, 9, 10)]:
+            astride = anchor_stride(shape)
+            seen = np.zeros(shape, dtype=int)
+            sel = tuple(slice(0, None, astride) for _ in shape)
+            seen[sel] += 1  # anchors
+            for b in schedule(shape, astride):
+                seen[b.target_sel] += 1
+            assert np.all(seen == 1), shape
+
+    def test_batch_sizes_match_views(self):
+        shape = (17, 13)
+        astride = anchor_stride(shape)
+        probe = np.zeros(shape)
+        for b in schedule(shape, astride):
+            assert probe[b.target_sel].size == b.size
+
+    def test_anchor_stride_small_grid(self):
+        assert anchor_stride((4, 4)) == 2
+        assert anchor_stride((64, 64, 64)) >= 8
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("eb", [1e-1, 1e-2, 1e-3, 1e-4])
+    def test_error_bound_3d(self, smooth3d_f32, eb):
+        blob = sz3_compress(smooth3d_f32, eb)
+        rec = sz3_decompress(blob)
+        assert rec.shape == smooth3d_f32.shape
+        assert rec.dtype == smooth3d_f32.dtype
+        assert max_err(rec, smooth3d_f32) <= eb
+
+    def test_error_bound_f64(self, smooth3d_f64):
+        blob = sz3_compress(smooth3d_f64, 1e-6)
+        rec = sz3_decompress(blob)
+        assert rec.dtype == np.float64
+        assert max_err(rec, smooth3d_f64) <= 1e-6
+
+    @pytest.mark.parametrize(
+        "shape", [(100,), (37, 53), (21, 34, 17), (8, 8, 8), (5, 4)]
+    )
+    def test_odd_shapes(self, shape, rng):
+        data = smooth_field(shape, seed=7).astype(np.float32)
+        rec = sz3_decompress(sz3_compress(data, 1e-3))
+        assert max_err(rec, data) <= 1e-3
+
+    def test_relative_bound(self, smooth2d_f32):
+        blob = sz3_compress(smooth2d_f32, 1e-3, eb_mode="rel")
+        rec = sz3_decompress(blob)
+        rng_v = float(smooth2d_f32.max() - smooth2d_f32.min())
+        assert max_err(rec, smooth2d_f32) <= 1e-3 * rng_v
+
+    def test_linear_interp_mode(self, smooth3d_f32):
+        blob = sz3_compress(smooth3d_f32, 1e-3, interp="linear")
+        assert max_err(sz3_decompress(blob), smooth3d_f32) <= 1e-3
+
+    def test_cubic_beats_linear_on_smooth_data(self):
+        data = smooth_field((48, 48), seed=8, noise=0.0).astype(np.float32)
+        c = len(sz3_compress(data, 1e-4, interp="cubic"))
+        l = len(sz3_compress(data, 1e-4, interp="linear"))
+        assert c < l
+
+    def test_compresses_smooth_data_well(self):
+        data = smooth_field((64, 64), seed=9, noise=0.0).astype(np.float32)
+        blob = sz3_compress(data, 1e-3, eb_mode="rel")
+        assert data.nbytes / len(blob) > 10
+
+    def test_random_noise_still_bounded(self, rng):
+        data = rng.normal(size=(20, 20, 20)).astype(np.float32)
+        rec = sz3_decompress(sz3_compress(data, 0.05))
+        assert max_err(rec, data) <= 0.05
+
+    def test_constant_field(self):
+        data = np.full((64, 64), 3.14, np.float32)
+        blob = sz3_compress(data, 1e-5)
+        assert np.array_equal(sz3_decompress(blob), data)
+        assert len(blob) < data.nbytes / 10  # container floor ~150 B
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            sz3_compress(np.zeros((4, 4), np.float32), -1.0)
+        with pytest.raises(TypeError):
+            sz3_compress(np.zeros((4, 4), np.int32), 1e-3)
+        with pytest.raises(ValueError):
+            sz3_compress(np.zeros((4, 4), np.float32), 1e-3, eb_mode="pct")
+        with pytest.raises(ValueError):
+            sz3_decompress(b"notasz3container" * 4)
+
+    @given(
+        st.integers(0, 2**31),
+        st.sampled_from([1e-2, 1e-3]),
+        st.lists(st.integers(2, 14), min_size=1, max_size=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bound_property(self, seed, eb, dims):
+        data = (
+            np.random.default_rng(seed)
+            .normal(size=tuple(dims))
+            .astype(np.float32)
+        )
+        rec = sz3_decompress(sz3_compress(data, eb))
+        assert max_err(rec, data) <= eb
+
+
+class TestOMP:
+    def test_bound_holds(self, smooth3d_f32):
+        blob = sz3_compress_omp(smooth3d_f32, 1e-3, threads=4)
+        rec = sz3_decompress_omp(blob)
+        assert max_err(rec, smooth3d_f32) <= 1e-3
+
+    def test_cr_drop_vs_serial(self):
+        # the paper's Table 3 asterisk: chunked OMP compression reduces CR
+        data = smooth_field((64, 48, 48), seed=10, noise=0.0).astype(
+            np.float32
+        )
+        serial = len(sz3_compress(data, 1e-4))
+        omp = len(sz3_compress_omp(data, 1e-4, threads=8))
+        assert omp >= serial  # never better, typically a few % worse
+
+    def test_single_thread_chunking(self, smooth2d_f32):
+        blob = sz3_compress_omp(smooth2d_f32, 1e-3, threads=1)
+        assert max_err(sz3_decompress_omp(blob), smooth2d_f32) <= 1e-3
+
+    def test_wrong_container_rejected(self, smooth2d_f32):
+        blob = sz3_compress(smooth2d_f32, 1e-3)
+        with pytest.raises(ValueError):
+            sz3_decompress_omp(blob)
+
+
+class TestObjectAPI:
+    def test_capabilities(self):
+        c = SZ3Compressor(1e-3)
+        assert not c.supports_progressive
+        assert not c.supports_random_access
+        assert c.name == "SZ3"
+
+    def test_roundtrip(self, smooth2d_f32):
+        c = SZ3Compressor(1e-3, eb_mode="rel")
+        rec = c.decompress(c.compress(smooth2d_f32))
+        rng_v = float(smooth2d_f32.max() - smooth2d_f32.min())
+        assert max_err(rec, smooth2d_f32) <= 1e-3 * rng_v
