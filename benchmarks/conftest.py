@@ -15,6 +15,7 @@ DESIGN.md §4).  Conventions:
 
 from __future__ import annotations
 
+import json
 import math
 from pathlib import Path
 from typing import Callable
@@ -22,7 +23,18 @@ from typing import Callable
 import numpy as np
 import pytest
 
+# tests/ modules do `from conftest import max_err, smooth_field`; if a
+# single pytest invocation ever collects tests/ and benchmarks/
+# together, this module wins the `conftest` import, so keep those
+# helpers available here too (the default run is scoped to tests/ by
+# pytest.ini precisely to avoid the shadowing).  Both re-export the
+# package's definitions so the two trees cannot drift apart.
+from repro.datasets.synthetic import smooth_field  # noqa: F401
+from repro.metrics.error import max_abs_error as max_err  # noqa: F401
+
 OUT_DIR = Path(__file__).parent / "out"
+#: repo-root machine-readable speed record (see record_bench below)
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_speed.json"
 
 #: relative error bounds swept by the rate-distortion benchmarks
 REL_EBS = (1e-2, 3e-3, 1e-3, 3e-4, 1e-4)
@@ -38,6 +50,23 @@ def artifact():
         print(f"\n=== {name} ===\n{text}")
 
     return write
+
+
+def record_bench(section: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_speed.json``.
+
+    The repo-root JSON is the machine-readable perf trajectory future
+    PRs regress against: each benchmark owns one top-level key and
+    overwrites only its own section.
+    """
+    data: dict = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def fmt_table(

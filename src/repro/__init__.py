@@ -1,2 +1,8 @@
 """repro: reproduction of STZ (SC'25) — streaming error-bounded lossy compression."""
-__version__ = "1.0.0"
+from repro.util.alloc import tune_allocator
+
+__version__ = "1.1.0"
+
+#: large numpy temporaries dominate the hot paths; keep them off the
+#: mmap/munmap churn (no-op outside glibc).  See DESIGN.md §3.
+tune_allocator()

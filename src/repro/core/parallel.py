@@ -7,10 +7,12 @@ rather than processes: the heavy kernels (interpolation arithmetic,
 quantization, Huffman bit manipulation) are numpy C loops that release
 the GIL, and threads avoid pickling multi-MB arrays.
 
-DESIGN.md documents the substitution: absolute speedups are below a C++
-OpenMP build, but the *structural* contrast the paper reports — STZ
+DESIGN.md §3 documents the substitution: absolute speedups are below a
+C++ OpenMP build, but the *structural* contrast the paper reports — STZ
 parallelizes without a compression-ratio penalty while SZ3's OMP mode
-must domain-split and lose CR — is reproduced.
+must domain-split and lose CR — is reproduced.  In the batched encode
+pipeline (DESIGN.md §2) threads cover the prediction and zlib/assembly
+stages; the fused quantize/Huffman stages are single vectorized passes.
 """
 
 from __future__ import annotations
@@ -32,12 +34,24 @@ def effective_threads(threads: int | None) -> int:
     return min(threads, 4 * (os.cpu_count() or 1))
 
 
+def parallel_capacity() -> int:
+    """CPUs that can actually run numpy kernels concurrently.
+
+    On a single-core host a thread pool is pure overhead (the kernels
+    are CPU-bound even though they release the GIL), so callers use
+    this to fall back to their serial path — the same behavior as an
+    OpenMP build with one core.  Thread-count *requests* are still
+    honored by :func:`effective_threads` on multi-core hosts.
+    """
+    return os.cpu_count() or 1
+
+
 def pmap(
     fn: Callable[[T], R], items: Sequence[T], threads: int | None = None
 ) -> list[R]:
     """Order-preserving map, serial or thread-pooled."""
     n = effective_threads(threads)
-    if n == 1 or len(items) <= 1:
+    if n == 1 or len(items) <= 1 or parallel_capacity() < 2:
         return [fn(x) for x in items]
     with ThreadPoolExecutor(max_workers=n) as pool:
         return list(pool.map(fn, items))

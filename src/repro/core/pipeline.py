@@ -34,7 +34,7 @@ from repro.core.partition import (
     subblock_shape,
     subblock_view_in,
 )
-from repro.core.parallel import pmap
+from repro.core.parallel import effective_threads, parallel_capacity, pmap
 from repro.core.predict import predict_block
 from repro.core.stream import (
     KIND_L1_SZ3,
@@ -49,15 +49,25 @@ from repro.encoding.huffman import (
     huffman_decode,
     huffman_decode_many,
     huffman_encode,
+    huffman_encode_many,
 )
 from repro.encoding.lossless import compress_bytes, decompress_bytes
-from repro.encoding.quantizer import dequantize, quantize
-from repro.sz3.compressor import sz3_compress, sz3_decompress
+from repro.encoding.quantizer import dequantize, quantize, quantize_many
+from repro.sz3.compressor import (
+    sz3_compress,
+    sz3_compress_with_recon,
+    sz3_decompress,
+)
 from repro.util.sections import pack_sections, unpack_sections
 from repro.util.timer import StageTimer
 from repro.util.validation import as_float_array, resolve_eb
 
 _ZERO_EPS_LIMIT = 8  # eps mask fits u8
+#: per-sub-block element count above which a level is encoded block by
+#: block even serially: level-wide staging would roughly double peak
+#: memory while the fused stages no longer amortize anything at that
+#: size (quantize_many bypasses fusion for large blocks anyway)
+_LEVEL_FUSE_LIMIT = 1 << 23
 
 
 # ---------------------------------------------------------------------------
@@ -70,25 +80,67 @@ def _encode_residual_q(
     eb: float,
     config: STZConfig,
 ) -> tuple[bytes, np.ndarray]:
-    """Quantize + Huffman one sub-block; returns (payload, recon)."""
+    """Quantize + Huffman one sub-block; returns (payload, recon).
+
+    Kept as the single-block reference path (ablations, benchmarks);
+    the pipeline itself goes through :func:`_encode_residual_level`.
+    """
     qb = quantize(values, pred, eb, config.quant_radius)
-    payload = pack_sections(
+    return (
+        _residual_payload(huffman_encode(qb.codes), qb, config),
+        qb.recon.reshape(values.shape),
+    )
+
+
+def _residual_payload(huff_blob: bytes, qb, config: STZConfig) -> bytes:
+    """Assemble one sub-block payload from its Huffman blob + outliers.
+
+    Huffman output is near entropy-optimal, so the lossless backend is
+    applied in probe mode: segments that will not deflate skip the full
+    zlib pass and are stored raw (same tagged format either way).
+    """
+    return pack_sections(
         [
-            compress_bytes(huffman_encode(qb.codes), config.zlib_level),
+            compress_bytes(huff_blob, config.zlib_level, probe=True),
             struct.pack("<Q", qb.outlier_pos.size)
             + qb.outlier_pos.astype(np.uint32).tobytes()
             + qb.outlier_val.tobytes(),
         ]
     )
-    return payload, qb.recon.reshape(values.shape)
+
+
+def _encode_residual_level(
+    blocks: list[np.ndarray],
+    preds: list[np.ndarray],
+    eb: float,
+    config: STZConfig,
+) -> tuple[list[bytes], list[np.ndarray]]:
+    """Quantize + Huffman all sub-blocks of one level, batched.
+
+    The encode-side mirror of :func:`_decode_level`: one fused
+    :func:`quantize_many` pass and one fused :func:`huffman_encode_many`
+    pack cover every sub-block, so per-stage numpy dispatch is paid once
+    per level.  Payload bytes are identical to per-block
+    :func:`_encode_residual_q`.
+    """
+    qbs = quantize_many(blocks, preds, eb, config.quant_radius)
+    huffs = huffman_encode_many([qb.codes for qb in qbs])
+    payloads = [
+        _residual_payload(huff, qb, config) for huff, qb in zip(huffs, qbs)
+    ]
+    return payloads, [qb.recon for qb in qbs]
 
 
 def _split_residual_payload(
     payload: bytes | memoryview, dtype: np.dtype
 ) -> tuple[bytes, np.ndarray, np.ndarray]:
-    """Parse one sub-block payload into (huffman blob, out_pos, out_val)."""
+    """Parse one sub-block payload into (huffman blob, out_pos, out_val).
+
+    Parses the outlier section straight from the zero-copy section
+    view — the returned arrays alias the container buffer.
+    """
     sections = unpack_sections(payload)
-    blob = bytes(sections[1])
+    blob = sections[1]
     (n_out,) = struct.unpack_from("<Q", blob, 0)
     pos = np.frombuffer(blob, dtype=np.uint32, count=n_out, offset=8).astype(
         np.int64
@@ -141,19 +193,26 @@ def stz_compress(
         _compress_partition_only(data, abs_eb, config, writer, threads)
         return writer.tobytes()
 
-    # level 1: embedded SZ3 on the coarsest lattice
+    # level 1: embedded SZ3 on the coarsest lattice; the encoder tracks
+    # the decoder's exact reconstruction, so no decompression round-trip
     eb1 = config.level_eb(abs_eb, 1)
     A = np.ascontiguousarray(data[tuple(slice(0, None, strides[0]) for _ in data.shape)])
-    seg1 = sz3_compress(
+    seg1, C = sz3_compress_with_recon(
         A, eb1, "abs", config.sz3_interp, config.quant_radius, config.zlib_level
     )
     writer.add_segment(1, (0,) * data.ndim, KIND_L1_SZ3, seg1)
-    C = sz3_decompress(seg1)
 
     for level in range(2, config.levels + 1):
         stride = strides[level - 1]
         fine_shape = lattice_shape(data.shape, stride)
         ebl = config.level_eb(abs_eb, level)
+
+        if config.residual_codec == "quantize":
+            C = _compress_level_q(
+                data, C, level, stride, fine_shape, ebl, config, writer,
+                offsets, threads,
+            )
+            continue
 
         def work(eps: Offset, _C=C, _stride=stride, _ebl=ebl, _fs=fine_shape):
             B = np.ascontiguousarray(subblock_view_in(data, eps, _stride))
@@ -163,9 +222,6 @@ def stz_compress(
             pred = predict_block(
                 _C, eps, ts, config.interp, config.cubic_mode
             )
-            if config.residual_codec == "quantize":
-                payload, recon = _encode_residual_q(B, pred, _ebl, config)
-                return eps, payload, recon
             diff = B - pred
             payload = sz3_compress(
                 diff,
@@ -178,19 +234,99 @@ def stz_compress(
             recon = pred + sz3_decompress(payload)
             return eps, payload, recon
 
-        kind = (
-            KIND_RESIDUAL_Q
-            if config.residual_codec == "quantize"
-            else KIND_RESIDUAL_SZ3
-        )
         results = pmap(work, offsets, threads)
         blocks = {}
         for eps, payload, recon in results:
-            writer.add_segment(level, eps, kind, payload)
+            writer.add_segment(level, eps, KIND_RESIDUAL_SZ3, payload)
             blocks[eps] = recon
         C = interleave(C, blocks, fine_shape)
 
     return writer.tobytes()
+
+
+def _compress_level_q(
+    data: np.ndarray,
+    C: np.ndarray,
+    level: int,
+    stride: int,
+    fine_shape: tuple[int, ...],
+    ebl: float,
+    config: STZConfig,
+    writer: StreamWriter,
+    offsets: list[Offset],
+    threads: int | None,
+) -> np.ndarray:
+    """One level of the batched quantize-residual encode path.
+
+    Serial mode fuses stages across the level: prediction per
+    sub-block, then one :func:`quantize_many` pass and one
+    :func:`huffman_encode_many` pack — the encode counterpart of
+    :func:`_decode_level`'s batched entropy decode.  Threaded mode
+    (the paper's OMP) instead runs the whole per-sub-block chain in
+    the pool, spreading prediction, quantization, Huffman *and* zlib
+    across cores; because the fused and per-block primitives are
+    bit-identical, both modes emit the same container bytes.
+    """
+    shift_cache: dict = {}  # clamp-shifts shared by all parity offsets
+
+    def block_work(eps: Offset):
+        """Per-sub-block chain: predict, quantize, encode, assemble."""
+        B = np.ascontiguousarray(subblock_view_in(data, eps, stride))
+        ts = subblock_shape(fine_shape, eps)
+        if B.size == 0:
+            return eps, b"", np.empty(ts, dtype=data.dtype)
+        pred = predict_block(
+            C, eps, ts, config.interp, config.cubic_mode, shift_cache
+        )
+        payload, recon = _encode_residual_q(B, pred, ebl, config)
+        return eps, payload, recon
+
+    level_points = 1
+    for n in fine_shape:
+        level_points *= n
+    huge = level_points // (2 ** data.ndim) > _LEVEL_FUSE_LIMIT
+    if huge or (effective_threads(threads) > 1 and parallel_capacity() > 1):
+        # threaded (the paper's OMP: the whole chain spreads across
+        # cores) or huge sub-blocks (level-wide staging would hold
+        # ~2x the data live while per-stage fusion no longer buys
+        # anything at that size) — run the per-block chain, which is
+        # bit-identical to the fused path
+        blocks = {}
+        for eps, payload, recon in pmap(block_work, offsets, threads):
+            writer.add_segment(level, eps, KIND_RESIDUAL_Q, payload)
+            blocks[eps] = recon
+        return interleave(C, blocks, fine_shape)
+
+    def pred_work(eps: Offset):
+        B = np.ascontiguousarray(subblock_view_in(data, eps, stride))
+        ts = subblock_shape(fine_shape, eps)
+        if B.size == 0:
+            return eps, ts, None, None
+        pred = predict_block(
+            C, eps, ts, config.interp, config.cubic_mode, shift_cache
+        )
+        return eps, ts, B, pred
+
+    items = [pred_work(eps) for eps in offsets]
+    live = [(eps, ts, B, pred) for eps, ts, B, pred in items if B is not None]
+    payloads, recons = _encode_residual_level(
+        [B for _, _, B, _ in live],
+        [pred for _, _, _, pred in live],
+        ebl,
+        config,
+    )
+    by_eps = {
+        eps: (payload, recon.reshape(ts))
+        for (eps, ts, _, _), payload, recon in zip(live, payloads, recons)
+    }
+    blocks = {}
+    for eps, ts, _B, _pred in items:
+        payload, recon = by_eps.get(
+            eps, (b"", np.empty(ts, dtype=data.dtype))
+        )
+        writer.add_segment(level, eps, KIND_RESIDUAL_Q, payload)
+        blocks[eps] = recon
+    return interleave(C, blocks, fine_shape)
 
 
 def _compress_partition_only(
@@ -274,14 +410,17 @@ def stz_decompress(
         with timer.time(f"l{lvl}_decode"):
             decoded = _decode_level(reader, segs, offsets, header, config, threads)
         with timer.time(f"l{lvl}_predict"):
+            shift_cache: dict = {}
 
-            def reconstruct(item, _C=C, _fs=fine_shape, _ebl=ebl):
+            def reconstruct(
+                item, _C=C, _fs=fine_shape, _ebl=ebl, _sc=shift_cache
+            ):
                 eps, decoded_payload = item
                 ts = subblock_shape(_fs, eps)
                 if decoded_payload is None:
                     return eps, np.empty(ts, dtype=header.dtype)
                 pred = predict_block(
-                    _C, eps, ts, config.interp, config.cubic_mode
+                    _C, eps, ts, config.interp, config.cubic_mode, _sc
                 )
                 if config.residual_codec == "quantize":
                     codes, pos, val = decoded_payload

@@ -122,8 +122,16 @@ def predict_block(
     ts: tuple[int, ...],
     interp: str = "cubic",
     mode: str = "diagonal",
+    shift_cache: dict | None = None,
 ) -> np.ndarray:
-    """Predict the full parity-``eps`` sub-block of shape ``ts``."""
+    """Predict the full parity-``eps`` sub-block of shape ``ts``.
+
+    ``shift_cache`` (optional) memoizes the clamp-shifted copies of
+    ``C`` across calls: the ``2**d - 1`` sub-blocks of one level share
+    shift combinations, so a per-level cache dict avoids recomputing
+    (and reallocating) the same shifted array for every parity offset.
+    Callers must pass a fresh dict per coarse lattice ``C``.
+    """
     odd = _validate(C, eps, ts)
     if any(t == 0 for t in ts):
         return np.empty(ts, dtype=C.dtype)
@@ -141,26 +149,32 @@ def predict_block(
 
     # linear everywhere (clamped +1 shift handles all boundaries,
     # degenerating to a direct copy at the last midpoint of even axes)
-    shifted: dict[frozenset[int], np.ndarray] = {frozenset(): C}
+    shifted = shift_cache if shift_cache is not None else {}
+    shifted.setdefault(frozenset(), C)
     for a in odd:
         for key in list(shifted):
-            if a not in key:
+            if a not in key and (key | {a}) not in shifted:
                 shifted[key | {a}] = _clamp_shift(shifted[key], a)
     j = len(odd)
-    corners = [
-        shifted[frozenset(a for a, d in zip(odd, delta) if d)][restrict]
-        for delta in itertools.product((0, 1), repeat=j)
-    ]
-    pred = _linear_combine(corners, j)
+
+    def linear_region(region: tuple[slice, ...] | None) -> np.ndarray:
+        corners = []
+        for delta in itertools.product((0, 1), repeat=j):
+            arr = shifted[frozenset(a for a, d in zip(odd, delta) if d)][
+                restrict
+            ]
+            corners.append(arr if region is None else arr[region])
+        return _linear_combine(corners, j)
+
     if interp == "linear":
-        return pred
+        return linear_region(None)
 
     # cubic upgrade on the interior slab where the 4-point stencil fits:
     # k in [1, cs-3] per odd axis (intersected with the target extent)
     los = {a: 1 for a in odd}
     his = {a: min(C.shape[a] - 2, ts[a]) for a in odd}
     if any(his[a] <= los[a] for a in odd):
-        return pred
+        return linear_region(None)
 
     def slab(delta_map: dict[int, int]) -> tuple[slice, ...]:
         return tuple(
@@ -182,7 +196,29 @@ def predict_block(
         slice(los[a], his[a]) if a in set(odd) else slice(None)
         for a in range(C.ndim)
     )
+    # fill the cubic interior, then evaluate the linear fallback only on
+    # the boundary shell (its complement), decomposed into disjoint
+    # slabs: slab ``i`` fixes odd axis ``a_i`` to its boundary runs with
+    # all earlier odd axes restricted to the interior.  Values are
+    # bit-identical to evaluating linear everywhere and overwriting —
+    # both paths apply the same element-wise formula per point.
+    pred = np.empty(ts, dtype=C.dtype)
     pred[target] = _cubic_combine(near, outer, j)
+    for idx_a, a in enumerate(odd):
+        for lo, hi in ((0, los[a]), (his[a], ts[a])):
+            if hi <= lo:
+                continue
+            region = tuple(
+                slice(lo, hi)
+                if ax == a
+                else (
+                    slice(los[ax], his[ax])
+                    if ax in odd[:idx_a]
+                    else slice(None)
+                )
+                for ax in range(C.ndim)
+            )
+            pred[region] = linear_region(region)
     return pred
 
 

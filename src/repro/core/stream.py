@@ -7,6 +7,13 @@ segments and random-access decompression seeks directly to the
 sub-blocks it needs — from bytes or from a file on disk without loading
 the payload.
 
+Assembly and parsing are zero-copy where the buffer model allows
+(DESIGN.md §2): the writer appends payloads into one growing
+``bytearray`` and emits the segment table from a packed structured
+dtype in one shot; the reader parses the table with a single
+``np.frombuffer``, hands out ``memoryview`` segments for in-memory
+sources, and serves ``segments_at`` from a prebuilt per-level index.
+
 Layout (little-endian)::
 
     magic 'STZ1' | u8 version | u8 dtype | u8 ndim | u8 levels
@@ -25,6 +32,7 @@ from __future__ import annotations
 import io
 import struct
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -58,6 +66,20 @@ _FLAG_ADAPTIVE = 2
 
 _FIXED = struct.Struct("<4sBBBBBBBBddII")
 _SEG = struct.Struct("<BBBBQQ")
+#: numpy mirror of ``_SEG`` — lets the writer emit and the reader parse
+#: the whole segment table with one vectorized call instead of a
+#: per-segment ``struct`` loop
+_SEG_DTYPE = np.dtype(
+    [
+        ("level", "u1"),
+        ("mask", "u1"),
+        ("kind", "u1"),
+        ("pad", "u1"),
+        ("offset", "<u8"),
+        ("length", "<u8"),
+    ]
+)
+assert _SEG_DTYPE.itemsize == _SEG.size
 
 
 def eps_to_mask(eps: Offset) -> int:
@@ -93,12 +115,29 @@ class StreamHeader:
     def ndim(self) -> int:
         return len(self.shape)
 
+    @cached_property
+    def _level_index(self) -> dict[int, list[SegmentInfo]]:
+        idx: dict[int, list[SegmentInfo]] = {}
+        for s in self.segments:
+            idx.setdefault(s.level, []).append(s)
+        return idx
+
     def segments_at(self, level: int) -> list[SegmentInfo]:
-        return [s for s in self.segments if s.level == level]
+        """Segments of one level, via a lazily built per-level index
+        (every decompression walks levels; a linear scan per call would
+        be quadratic in the segment count)."""
+        return list(self._level_index.get(level, ()))
 
 
 class StreamWriter:
-    """Accumulates segments, then serializes the container."""
+    """Accumulates segments, then serializes the container.
+
+    Payloads are appended into one growing ``bytearray`` as they
+    arrive — the writer accepts ``bytes`` or ``memoryview`` payloads
+    (the batched encoder hands out views into its fused pack buffer),
+    and final assembly is a single join of the header with the already
+    contiguous body instead of re-joining every payload.
+    """
 
     def __init__(
         self,
@@ -113,14 +152,22 @@ class StreamWriter:
         self.dtype = np.dtype(dtype)
         self.config = config
         self.abs_eb = float(abs_eb)
-        self._segs: list[tuple[int, Offset, int, bytes]] = []
+        self._body = bytearray()
+        self._levels: list[int] = []
+        self._masks: list[int] = []
+        self._kinds: list[int] = []
+        self._lengths: list[int] = []
 
     def add_segment(
-        self, level: int, eps: Offset, kind: int, payload: bytes
+        self, level: int, eps: Offset, kind: int, payload: bytes | memoryview
     ) -> None:
         if kind not in KIND_NAMES:
             raise ValueError(f"unknown segment kind {kind}")
-        self._segs.append((level, eps, kind, payload))
+        self._levels.append(level)
+        self._masks.append(eps_to_mask(eps))
+        self._kinds.append(kind)
+        self._lengths.append(len(payload))
+        self._body += payload
 
     def tobytes(self) -> bytes:
         cfg = self.config
@@ -140,18 +187,19 @@ class StreamWriter:
             self.abs_eb,
             cfg.eb_ratio,
             cfg.quant_radius,
-            len(self._segs),
+            len(self._levels),
         )
         shape_bytes = struct.pack(f"<{len(self.shape)}Q", *self.shape)
-        table = bytearray()
-        off = 0
-        for level, eps, kind, payload in self._segs:
-            table += _SEG.pack(
-                level, eps_to_mask(eps), kind, 0, off, len(payload)
-            )
-            off += len(payload)
-        body = b"".join(p for _, _, _, p in self._segs)
-        return b"".join([fixed, shape_bytes, bytes(table), body])
+        table = np.empty(len(self._levels), dtype=_SEG_DTYPE)
+        table["level"] = self._levels
+        table["mask"] = self._masks
+        table["kind"] = self._kinds
+        table["pad"] = 0
+        lengths = np.asarray(self._lengths, dtype=np.uint64)
+        ends = np.cumsum(lengths, dtype=np.uint64)
+        table["offset"] = ends - lengths
+        table["length"] = lengths
+        return b"".join([fixed, shape_bytes, table.tobytes(), self._body])
 
 
 class StreamReader:
@@ -193,15 +241,13 @@ class StreamReader:
             f"<{ndim}Q", self._read_at(_FIXED.size, 8 * ndim)
         )
         table_off = _FIXED.size + 8 * ndim
-        table = self._read_at(table_off, _SEG.size * nseg)
-        segs = []
-        for i in range(nseg):
-            level, mask, kind, _pad, off, length = _SEG.unpack_from(
-                table, i * _SEG.size
-            )
-            segs.append(
-                SegmentInfo(level, mask_to_eps(mask, ndim), kind, off, length)
-            )
+        table = np.frombuffer(
+            self._read_at(table_off, _SEG.size * nseg), dtype=_SEG_DTYPE
+        )
+        segs = [
+            SegmentInfo(level, mask_to_eps(mask, ndim), kind, off, length)
+            for level, mask, kind, _pad, off, length in table.tolist()
+        ]
         self._payload_start = table_off + _SEG.size * nseg
         config = STZConfig(
             levels=levels,
@@ -222,17 +268,24 @@ class StreamReader:
         )
         self.bytes_read = 0  # payload bytes actually fetched
 
-    def _read_at(self, offset: int, length: int) -> bytes:
+    def _read_at(self, offset: int, length: int) -> bytes | memoryview:
         if self._buf is not None:
             if offset + length > len(self._buf):
                 raise ValueError("truncated STZ container")
-            return bytes(self._buf[offset : offset + length])
+            return self._buf[offset : offset + length]
         self._file.seek(offset)
         data = self._file.read(length)
         if len(data) != length:
             raise ValueError("truncated STZ container")
         return data
 
-    def read_segment(self, seg: SegmentInfo) -> bytes:
+    def read_segment(self, seg: SegmentInfo) -> bytes | memoryview:
+        """Fetch one segment's payload.
+
+        In-memory sources return a ``memoryview`` into the container
+        buffer (no copy); file sources return the ``bytes`` the read
+        produced.  All downstream parsers (:mod:`repro.util.sections`,
+        ``np.frombuffer``, ``struct``) accept either.
+        """
         self.bytes_read += seg.length
         return self._read_at(self._payload_start + seg.offset, seg.length)

@@ -11,6 +11,25 @@ from __future__ import annotations
 import numpy as np
 
 
+def smooth_field(
+    shape: tuple[int, ...], seed: int = 0, noise: float = 0.02
+) -> np.ndarray:
+    """Band-limited smooth field + mild noise (float64).
+
+    The shared fixture generator of the test and benchmark suites
+    (both conftests re-export it), kept here so the two trees cannot
+    drift apart.
+    """
+    rng = np.random.default_rng(seed)
+    coords = np.meshgrid(
+        *[np.linspace(0, 3, n) for n in shape], indexing="ij"
+    )
+    field = np.ones(shape)
+    for i, c in enumerate(coords):
+        field = field * np.sin((i + 2) * c / 2.0 + 0.3 * i)
+    return field + noise * rng.standard_normal(shape)
+
+
 def _kmag(shape: tuple[int, ...]) -> np.ndarray:
     """Radial wavenumber magnitude grid (cycles per domain)."""
     axes = [np.fft.fftfreq(n) * n for n in shape]

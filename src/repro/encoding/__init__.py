@@ -14,12 +14,19 @@ SPERR-like) is assembled from the primitives in this package:
 """
 
 from repro.encoding.bitstream import pack_bits, unpack_bits
-from repro.encoding.huffman import HuffmanCodec, huffman_decode, huffman_encode
+from repro.encoding.huffman import (
+    HuffmanCodec,
+    huffman_decode,
+    huffman_decode_many,
+    huffman_encode,
+    huffman_encode_many,
+)
 from repro.encoding.lossless import compress_bytes, decompress_bytes
 from repro.encoding.quantizer import (
     QuantizedBatch,
     dequantize,
     quantize,
+    quantize_many,
 )
 from repro.encoding.rle import rle_decode, rle_encode
 
@@ -28,11 +35,14 @@ __all__ = [
     "unpack_bits",
     "HuffmanCodec",
     "huffman_encode",
+    "huffman_encode_many",
     "huffman_decode",
+    "huffman_decode_many",
     "compress_bytes",
     "decompress_bytes",
     "QuantizedBatch",
     "quantize",
+    "quantize_many",
     "dequantize",
     "rle_encode",
     "rle_decode",

@@ -15,6 +15,8 @@ Bit order is MSB-first within a byte (``np.packbits`` convention).
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
 
@@ -56,35 +58,107 @@ def pack_bits(codes: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, int]:
 def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, int]:
     """Fast path of :func:`pack_bits` for codewords of <= 16 bits.
 
-    Instead of expanding to one entry per bit, each codeword is placed in
-    a 32-bit container aligned to its start byte (16-bit code + 7-bit
-    in-byte offset spans at most 3 bytes).  Because no two codewords
-    share a bit, the three container byte planes can be accumulated into
-    the output with ``np.bincount`` — a single C-speed scatter per plane.
+    Codewords are packed back to back starting at bit 0; see
+    :func:`pack_codes_at` for the scatter itself.
     """
     codes = np.asarray(codes, dtype=np.uint32)
     lengths64 = np.asarray(lengths, dtype=np.int64)
     if codes.shape != lengths64.shape:
         raise ValueError("codes and lengths must have identical shapes")
-    if lengths64.size and int(lengths64.max()) > 16:
-        raise ValueError("pack_codes requires code lengths <= 16")
     ends = np.cumsum(lengths64)
     total = int(ends[-1]) if ends.size else 0
     if total == 0:
         return np.zeros(0, dtype=np.uint8), 0
-    starts = ends - lengths64
-    rem = (starts & 7).astype(np.uint32)
-    byte_idx = starts >> 3
-    shift = np.uint32(32) - lengths64.astype(np.uint32) - rem
-    w = codes << shift
     nbytes = (total + 7) >> 3
-    out = np.zeros(nbytes + 3, dtype=np.float64)
-    for k in range(3):
-        plane = ((w >> np.uint32(8 * (3 - k))) & np.uint32(0xFF)).astype(
-            np.float64
-        )
-        out += np.bincount(byte_idx + k, weights=plane, minlength=nbytes + 3)
-    return out[:nbytes].astype(np.uint8), total
+    packed = pack_codes_at(
+        codes, lengths64, ends - lengths64, nbytes, boundaries=()
+    )
+    return packed, total
+
+
+def pack_codes_at(
+    codes: np.ndarray,
+    lengths: np.ndarray,
+    starts: np.ndarray,
+    nbytes: int,
+    boundaries: np.ndarray | None = None,
+) -> np.ndarray:
+    """Scatter <=16-bit codewords to explicit bit positions.
+
+    ``starts[i]`` is the absolute bit offset of codeword ``i`` in the
+    output; positions must be non-overlapping but need not be
+    contiguous, which lets one scatter emit *several* concatenated
+    byte-aligned streams at once (the batched encoder's fused pack).
+    ``boundaries`` (optional) lists the codeword indices where a new
+    bit-contiguous run begins — everywhere else codeword ``i+1`` must
+    start exactly where ``i`` ends.  When given, the per-pair adjacency
+    scan is skipped entirely; when omitted, adjacency is detected from
+    ``starts``.
+
+    Each codeword lands in a 32-bit container aligned to its 16-bit
+    lane (16-bit code + 15-bit in-lane offset spans at most 31 bits, so
+    two lanes).  Because no two codewords share a bit, the two lane
+    planes accumulate into the output with ``np.bincount`` — one
+    C-speed scatter per plane, and every per-lane sum stays below
+    ``2**16`` so the float64 accumulation is exact.  Callers may pass
+    ``lengths``/``starts`` as int32 (totals below 2**31 bits) to keep
+    the index arithmetic in 4-byte lanes.
+    """
+    codes = np.asarray(codes, dtype=np.uint32)
+    lengths = np.asarray(lengths)
+    starts = np.asarray(starts)
+    if lengths.size and int(lengths.max()) > 16:
+        raise ValueError("pack_codes requires code lengths <= 16")
+    if nbytes == 0:
+        return np.zeros(0, dtype=np.uint8)
+
+    # fuse adjacent codeword pairs: wherever codeword i+1 starts exactly
+    # where codeword i ends (always, except across stream boundaries),
+    # the pair forms one <=32-bit codeword — halving the number of
+    # scatter operations, which dominate this function
+    n = codes.size
+    if n % 2:  # zero-length dummy: contributes no bits
+        codes = np.concatenate([codes, np.zeros(1, np.uint32)])
+        lengths = np.concatenate([lengths, np.zeros(1, lengths.dtype)])
+        starts = np.concatenate([starts, np.zeros(1, starts.dtype)])
+    c0, c1 = codes[0::2], codes[1::2]
+    l0, l1 = lengths[0::2], lengths[1::2]
+    s0 = starts[0::2]
+    pair_len = l0 + l1
+    pair_code = (c0.astype(np.uint64) << l1.astype(np.uint64)) | c1
+    if boundaries is None:
+        # pairs straddling a discontinuity (rare: stream boundaries)
+        split = np.flatnonzero(starts[1::2] != s0 + l0)
+    else:
+        b = np.asarray(boundaries, dtype=np.int64)
+        split = (b[b & 1 == 1] >> 1) if b.size else b
+    if split.size:
+        pair_code[split] = c0[split]
+        pair_len[split] = l0[split]
+        pair_code = np.concatenate([pair_code, c1[split]])
+        pair_len = np.concatenate([pair_len, l1[split]])
+        s_all = np.concatenate([s0, starts[2 * split + 1]])
+    else:
+        s_all = s0
+
+    rem = s_all & 31
+    lane_idx = s_all >> 5
+    shift = (64 - pair_len - rem).astype(np.uint64)
+    w = pair_code << shift
+    nlanes = (nbytes + 3) >> 2
+    out = np.bincount(
+        lane_idx, weights=(w >> np.uint64(32)).astype(np.float64),
+        minlength=nlanes + 1,
+    )
+    out += np.bincount(
+        lane_idx + 1,
+        weights=(w & np.uint64(0xFFFFFFFF)).astype(np.float64),
+        minlength=nlanes + 1,
+    )
+    lanes = out[:nlanes].astype(np.uint32)
+    if sys.byteorder == "little":
+        lanes.byteswap(inplace=True)  # bitstream bytes are MSB-first
+    return lanes.view(np.uint8)[:nbytes]
 
 
 def unpack_bits(packed: np.ndarray, nbits: int) -> np.ndarray:

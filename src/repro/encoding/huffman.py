@@ -7,8 +7,13 @@ experiments (Table 3).  This implementation avoids per-symbol Python
 loops on both sides:
 
 Encoding
-    Symbols are mapped to (codeword, length) with two gathers and packed
-    with the vectorized scatter in :mod:`repro.encoding.bitstream`.
+    Symbols are mapped to (codeword, length) with table gathers and
+    packed with the vectorized scatter in
+    :mod:`repro.encoding.bitstream`.  :func:`huffman_encode_many` fuses
+    the gathers, the bit-offset cumsum and the pack scatter across all
+    sub-block streams of an STZ level while emitting byte-identical
+    segments — the encode-side mirror of the batched decoder below
+    (DESIGN.md §2).
 
 Decoding
     Code lengths are limited to 16 bits (Kraft fix-up), so a
@@ -32,7 +37,7 @@ import zlib
 
 import numpy as np
 
-from repro.encoding.bitstream import pack_codes
+from repro.encoding.bitstream import pack_codes, pack_codes_at
 
 MAX_CODE_LEN = 16
 _MAGIC = 0xB7
@@ -193,28 +198,57 @@ def _choose_chunk(m: int) -> int:
 # public API
 # ---------------------------------------------------------------------------
 
-def huffman_encode(symbols: np.ndarray, chunk: int | None = None) -> bytes:
-    """Encode a non-negative integer array into a self-describing segment."""
+def _normalize_symbols(symbols: np.ndarray) -> np.ndarray:
     symbols = np.ascontiguousarray(symbols)
     if symbols.ndim != 1:
         symbols = symbols.ravel()
-    m = symbols.size
-    if m == 0:
-        header = _HEADER.pack(_MAGIC, 0, 0, 0, 0, 0, 0, 0)
-        return header
-    if symbols.dtype.kind not in "ui":
+    if symbols.size and symbols.dtype.kind not in "ui":
         raise TypeError("huffman_encode expects unsigned integer symbols")
-    symbols = symbols.astype(np.uint32, copy=False)
+    return symbols.astype(np.uint32, copy=False)
 
-    freqs = np.bincount(symbols)
-    alphabet = freqs.size
+
+def _trivial_segment(freqs: np.ndarray, m: int) -> bytes | None:
+    """Header-only segment for empty/constant streams, else None."""
+    if m == 0:
+        return _HEADER.pack(_MAGIC, 0, 0, 0, 0, 0, 0, 0)
     present = np.flatnonzero(freqs)
     if present.size == 1:
-        # constant stream: no payload at all
-        header = _HEADER.pack(
-            _MAGIC, _FLAG_CONST, 0, alphabet, m, int(present[0]), 0, 0
+        return _HEADER.pack(
+            _MAGIC, _FLAG_CONST, 0, freqs.size, m, int(present[0]), 0, 0
         )
-        return header
+    return None
+
+
+def _assemble_segment(
+    m: int,
+    chunk: int,
+    alphabet: int,
+    nbits: int,
+    lengths: np.ndarray,
+    sync_starts: np.ndarray,
+    packed: np.ndarray,
+) -> bytes:
+    """Serialize one non-trivial stream given its packed payload and
+    the bit starts of every ``chunk``-th symbol (the sync index)."""
+    sync = sync_starts.astype(np.uint64)
+    sync_delta = np.diff(sync, prepend=np.uint64(0)).astype(np.uint32)
+    lens_z = zlib.compress(lengths.tobytes(), 6)
+    sync_z = zlib.compress(sync_delta.tobytes(), 6)
+    header = _HEADER.pack(
+        _MAGIC, 0, chunk, alphabet, m, nbits, len(lens_z), len(sync_z)
+    )
+    pad = b"\x00\x00\x00\x00"
+    return b"".join([header, lens_z, sync_z, packed.tobytes(), pad])
+
+
+def huffman_encode(symbols: np.ndarray, chunk: int | None = None) -> bytes:
+    """Encode a non-negative integer array into a self-describing segment."""
+    symbols = _normalize_symbols(symbols)
+    m = symbols.size
+    freqs = np.bincount(symbols) if m else np.zeros(0, dtype=np.int64)
+    trivial = _trivial_segment(freqs, m)
+    if trivial is not None:
+        return trivial
 
     lengths = _limit_lengths(_code_lengths(freqs), freqs)
     codes = _canonical_codes(lengths)
@@ -226,16 +260,108 @@ def huffman_encode(symbols: np.ndarray, chunk: int | None = None) -> bytes:
     if chunk is None:
         chunk = _choose_chunk(m)
     starts = np.cumsum(sym_lens) - sym_lens
-    sync = starts[::chunk].astype(np.uint64)
-    sync_delta = np.diff(sync, prepend=np.uint64(0)).astype(np.uint32)
-
-    lens_z = zlib.compress(lengths.tobytes(), 6)
-    sync_z = zlib.compress(sync_delta.tobytes(), 6)
-    header = _HEADER.pack(
-        _MAGIC, 0, chunk, alphabet, m, nbits, len(lens_z), len(sync_z)
+    return _assemble_segment(
+        m, chunk, freqs.size, nbits, lengths, starts[::chunk], packed
     )
-    pad = b"\x00\x00\x00\x00"
-    return b"".join([header, lens_z, sync_z, packed.tobytes(), pad])
+
+
+def huffman_encode_many(
+    arrays: list[np.ndarray], chunk: int | None = None
+) -> list[bytes]:
+    """Encode several symbol arrays with one fused bit-packing scatter.
+
+    Each returned segment is byte-identical to ``huffman_encode`` on the
+    same input (same format, same code tables, same sync index) — only
+    the *work* is batched: the per-symbol (code, length) gathers run
+    over one concatenated symbol stream with per-stream table bases, and
+    a single :func:`repro.encoding.bitstream.pack_codes_at` scatter
+    packs every stream's payload into one buffer at byte-aligned
+    per-stream bases.  This amortizes the numpy dispatch and the
+    bincount scatter across all sub-blocks of an STZ level, mirroring
+    what :func:`huffman_decode_many` does on the decode side (see
+    DESIGN.md §2).
+    """
+    arrays = [_normalize_symbols(a) for a in arrays]
+    results: list[bytes | None] = [None] * len(arrays)
+
+    # per-stream code tables; trivial streams short-circuit to headers
+    streams = []  # (result_idx, symbols, freqs, lengths, codes)
+    for i, symbols in enumerate(arrays):
+        m = symbols.size
+        freqs = np.bincount(symbols) if m else np.zeros(0, dtype=np.int64)
+        trivial = _trivial_segment(freqs, m)
+        if trivial is not None:
+            results[i] = trivial
+            continue
+        lengths = _limit_lengths(_code_lengths(freqs), freqs)
+        streams.append((i, symbols, freqs, lengths, _canonical_codes(lengths)))
+    if not streams:
+        return results  # type: ignore[return-value]
+
+    # per-symbol gathers run per stream (each code table stays cache
+    # resident) straight into shared slabs; everything downstream — the
+    # bit-offset cumsum, the pack scatter, the sync indexes — is fused
+    # across streams
+    sizes = np.array([s[1].size for s in streams], dtype=np.int64)
+    bounds = np.concatenate([[0], np.cumsum(sizes)])
+    total_m = int(bounds[-1])
+    # index arithmetic stays in 4-byte lanes when the totals allow
+    # (16 bits/code means < 2**27 symbols keeps every bit offset int32)
+    idt = np.int32 if total_m * MAX_CODE_LEN < 2**31 else np.int64
+    # one gather per stream from a fused (code << 5 | length) table,
+    # then two cheap unpack passes — instead of two table gathers
+    combo = np.empty(total_m, dtype=np.uint32)
+    for (_i, symbols, _f, lengths, codes), s, e in zip(
+        streams, bounds, bounds[1:]
+    ):
+        np.take(
+            (codes << np.uint32(5)) | lengths, symbols, out=combo[s:e]
+        )
+    sym_codes = combo >> np.uint32(5)
+    sym_lens = combo & np.uint32(31)
+    sym_lens = (
+        sym_lens.view(np.int32) if idt is np.int32
+        else sym_lens.astype(np.int64)
+    )
+
+    # bit geometry: per-stream totals, byte-aligned stream bases, and
+    # one global cumsum shared by the pack scatter and the sync indexes
+    ends = np.cumsum(sym_lens)
+    prefix_bits = np.concatenate([[0], ends[bounds[1:] - 1].astype(np.int64)])
+    tot_bits = np.diff(prefix_bits)
+    nbytes = (tot_bits + 7) >> 3
+    byte_base = np.concatenate([[0], np.cumsum(nbytes)])
+    # realign every stream to its byte-aligned base, reusing the cumsum
+    # buffer: abs_starts = (ends - lens) + (8*byte_base - prefix_bits)
+    np.subtract(ends, sym_lens, out=ends)
+    abs_starts = ends
+    abs_starts += np.repeat(
+        (8 * byte_base[:-1] - prefix_bits[:-1]).astype(idt), sizes
+    )
+
+    big = pack_codes_at(
+        sym_codes,
+        sym_lens,
+        abs_starts,
+        int(byte_base[-1]),
+        boundaries=bounds[1:-1],
+    )
+
+    for k, (i, symbols, freqs, lengths, _codes) in enumerate(streams):
+        m = symbols.size
+        packed = big[byte_base[k] : byte_base[k] + nbytes[k]]
+        chunk_k = chunk if chunk is not None else _choose_chunk(m)
+        results[i] = _assemble_segment(
+            m,
+            chunk_k,
+            freqs.size,
+            int(tot_bits[k]),
+            lengths,
+            abs_starts[bounds[k] : bounds[k + 1] : chunk_k]
+            - idt(8 * byte_base[k]),
+            packed,
+        )
+    return results  # type: ignore[return-value]
 
 
 def huffman_decode(blob: bytes | memoryview) -> np.ndarray:
@@ -386,14 +512,27 @@ def huffman_decode_range(
     steps = chunk if nchunks > 1 else (
         min(start + count - first_chunk * chunk, last_total)
     )
+    # touch only the bytes covering the selected chunks, so a sliver
+    # read stays O(count) instead of O(m): the window runs from the
+    # first selected chunk's sync position to the next chunk boundary
+    # (or payload end); codeword-suffix window bits past the boundary
+    # are zero-filled, which canonical-table lookups ignore.
+    first_bit = int(sync[first_chunk])
+    end_bit = (
+        int(sync[last_chunk + 1])
+        if last_chunk + 1 < sync.size
+        else buf.size * 8
+    )
+    byte0 = first_bit >> 3
+    byte1 = min(buf.size, (end_bit + 7) >> 3)
     pad = np.zeros(2 * steps + 8, dtype=np.uint8)
-    big = np.concatenate([buf, pad])
+    big = np.concatenate([buf[byte0:byte1], pad])
     u24 = (
         (big[:-2].astype(np.uint32) << np.uint32(16))
         | (big[1:-1].astype(np.uint32) << np.uint32(8))
         | big[2:].astype(np.uint32)
     )
-    pos = sync[first_chunk : last_chunk + 1].copy()
+    pos = sync[first_chunk : last_chunk + 1] - byte0 * 8
     out = np.empty((steps, nchunks), dtype=np.uint32)
     mask = np.uint32(0xFFFF)
     shift_base = np.uint32(8)

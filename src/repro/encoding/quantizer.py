@@ -11,6 +11,12 @@ the error bound is a hard guarantee, not a probabilistic one.
 The code radius defaults to 16384 which keeps the worst-case distinct
 alphabet (2*radius+1 symbols) within the Huffman codec's 16-bit code
 length limit.
+
+Float32 payloads run the bin search and reconstruction in float32 when
+the bound analysis allows (:func:`_f32_mode`), with borderline bound
+checks re-verified in exact float64 arithmetic; :func:`quantize_many`
+fuses all sub-blocks of an STZ level into one vectorized pass.  Both
+are bit-compatible with the per-batch path — see DESIGN.md §2.
 """
 
 from __future__ import annotations
@@ -52,8 +58,110 @@ class QuantizedBatch:
 def _reconstruct(
     pred: np.ndarray, q: np.ndarray, eb: float, dtype: np.dtype
 ) -> np.ndarray:
-    """The one true reconstruction formula, shared by both directions."""
+    """The float64 reconstruction formula, shared by both directions."""
     return (pred.astype(np.float64) + q * (2.0 * eb)).astype(dtype)
+
+
+def _f32_mode(dtype: np.dtype, pred_dtype: np.dtype, eb: float, radius: int) -> bool:
+    """Bound analysis for the float32 fast path (DESIGN.md §2).
+
+    Float32 payloads run the whole quantize/dequantize arithmetic in
+    float32 when the scale ``2*eb`` is a normal float32 (no
+    underflow/overflow in the quotient's representable range) and every
+    *code* — up to ``2*radius`` — is exactly representable
+    (``radius <= 2**23``).  The
+    decision is a pure function of ``(dtype, eb, radius)`` — all stored
+    in the container — so compressor and decompressor always agree on
+    the reconstruction formula, which is what keeps the error bound a
+    hard guarantee.  Borderline bound checks are re-verified in float64
+    (see :func:`_quantize_flat`), so float32 rounding can only ever
+    *add* outliers, never accept a bound violation.
+    """
+    f32 = np.finfo(np.float32)
+    return (
+        dtype == np.float32
+        and pred_dtype == np.float32
+        and float(f32.tiny) < 2.0 * eb < float(f32.max)
+        and radius <= (1 << 23)
+    )
+
+
+def _quantize_flat(
+    flat: np.ndarray, pflat: np.ndarray, eb: float, radius: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shared vectorized core of :func:`quantize`/:func:`quantize_many`.
+
+    Returns ``(codes, outlier_pos, outlier_val, recon)`` over flat
+    inputs.  Element-wise throughout, so quantizing a concatenation of
+    batches is bit-identical to quantizing each batch separately.
+    Non-finite inputs legitimately produce NaN/inf intermediates (they
+    are routed to exact outlier storage), so invalid-op warnings are
+    suppressed for the whole core.
+    """
+    with np.errstate(invalid="ignore", over="ignore"):
+        return _quantize_flat_impl(flat, pflat, eb, radius)
+
+
+def _quantize_flat_impl(
+    flat: np.ndarray, pflat: np.ndarray, eb: float, radius: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    if _f32_mode(flat.dtype, pflat.dtype, eb, radius):
+        # float32 residuals, bin search and reconstruction: a third of
+        # the temporary traffic of the float64 up-convert path.  NaN/inf
+        # residuals propagate into the comparisons, which come out False
+        # and route those points to exact outlier storage.
+        two_eb = np.float32(2.0 * eb)
+        qf = flat - pflat
+        np.divide(qf, two_eb, out=qf)
+        np.rint(qf, out=qf)
+        # zero the out-of-radius / non-finite bins so codes stay bounded
+        # (the bound check below rejects those points on its own: with
+        # q = 0 their error is the full residual, far above eb)
+        q = np.where(np.abs(qf) < np.float32(radius), qf, np.float32(0))
+        recon = q * two_eb  # the decoder's exact f32 formula
+        np.add(pflat, recon, out=recon)
+        err = recon - flat
+        np.abs(err, out=err)
+        # two-tier bound check: a conservative float32 compare accepts
+        # the bulk; everything above the guard line — true outliers
+        # plus the borderline sliver float32 cannot classify — is
+        # re-verified with the exact float64 subtraction
+        ok = err <= np.float32(eb * (1.0 - 1e-5))
+        cand = np.flatnonzero(~ok)
+        if cand.size:
+            exact = (
+                np.abs(
+                    recon[cand].astype(np.float64)
+                    - flat[cand].astype(np.float64)
+                )
+                <= eb
+            )
+            ok[cand[exact]] = True
+            bad = cand[~exact]
+        else:
+            bad = cand
+        codes = q + np.float32(radius)
+        np.multiply(codes, ok, out=codes)
+        codes = codes.astype(np.uint32)
+    else:
+        diff = flat.astype(np.float64) - pflat.astype(np.float64)
+        finite_diff = np.where(np.isfinite(diff), diff, 0.0)
+        q = np.rint(finite_diff / (2.0 * eb)).astype(np.int64)
+        qsafe = np.abs(q) < radius
+        # the bound check recomputes the reconstruction in exactly the
+        # arithmetic the decompressor will use — the hard guarantee
+        recon = _reconstruct(pflat, q, eb, flat.dtype)
+        ok = qsafe & (
+            np.abs(recon.astype(np.float64) - flat.astype(np.float64)) <= eb
+        )
+        # non-finite inputs are always stored exactly
+        ok &= np.isfinite(flat)
+        codes = np.where(ok, q + radius, 0).astype(np.uint32)
+        bad = np.flatnonzero(~ok)
+
+    outlier_val = flat[bad].copy()
+    recon[bad] = flat[bad]
+    return codes, bad.astype(np.int64), outlier_val, recon
 
 
 def quantize(
@@ -69,32 +177,91 @@ def quantize(
     pred = np.asarray(pred)
     if values.shape != pred.shape:
         raise ValueError("values and pred shapes differ")
-    dtype = values.dtype
-    flat = values.reshape(-1)
-    pflat = pred.reshape(-1)
-
-    diff = flat.astype(np.float64) - pflat.astype(np.float64)
-    finite_diff = np.where(np.isfinite(diff), diff, 0.0)
-    q = np.rint(finite_diff / (2.0 * eb)).astype(np.int64)
-    recon = _reconstruct(pflat, q, eb, dtype)
-    ok = (np.abs(q) < radius) & (
-        np.abs(recon.astype(np.float64) - flat.astype(np.float64)) <= eb
+    if values.dtype != pred.dtype:
+        # the decompressor reconstructs from ``pred``'s dtype alone, so
+        # a values/pred dtype mismatch would let the encoder verify the
+        # bound against a different arithmetic than decode uses
+        raise ValueError(
+            f"values dtype {values.dtype} != pred dtype {pred.dtype}"
+        )
+    codes, pos, val, recon = _quantize_flat(
+        values.reshape(-1), pred.reshape(-1), eb, radius
     )
-    # non-finite inputs are always stored exactly
-    finite = np.isfinite(flat)
-    ok &= finite
-
-    codes = np.where(ok, q + radius, 0).astype(np.uint32)
-    bad = np.flatnonzero(~ok)
-    outlier_val = flat[bad].copy()
-    recon[bad] = flat[bad]
     return QuantizedBatch(
         codes=codes,
-        outlier_pos=bad.astype(np.int64),
-        outlier_val=outlier_val,
+        outlier_pos=pos,
+        outlier_val=val,
         recon=recon,
         radius=radius,
     )
+
+
+def quantize_many(
+    values: list[np.ndarray],
+    preds: list[np.ndarray],
+    eb: float,
+    radius: int = DEFAULT_RADIUS,
+) -> list[QuantizedBatch]:
+    """Quantize several batches in one fused vectorized pass.
+
+    All batches share one error bound and dtype (the sub-blocks of one
+    STZ level, the bands of one wavelet transform, ...).  The batches
+    are concatenated, quantized with a single :func:`_quantize_flat`
+    pass — bit-identical to per-batch :func:`quantize`, since the core
+    is element-wise — and split back, so the numpy dispatch cost of the
+    ~10 vector operations is paid once per level instead of once per
+    sub-block (DESIGN.md §2).
+    """
+    if eb <= 0:
+        raise ValueError(f"error bound must be > 0, got {eb}")
+    if len(values) != len(preds):
+        raise ValueError("values and preds list lengths differ")
+    if not values:
+        return []
+    flats = []
+    pflats = []
+    for v, p in zip(values, preds):
+        v = np.asarray(v)
+        p = np.asarray(p)
+        if v.shape != p.shape:
+            raise ValueError("values and pred shapes differ")
+        if v.dtype != p.dtype:
+            raise ValueError(
+                f"values dtype {v.dtype} != pred dtype {p.dtype}"
+            )
+        if v.dtype != np.asarray(values[0]).dtype:
+            raise ValueError("quantize_many requires one common dtype")
+        flats.append(v.reshape(-1))
+        pflats.append(p.reshape(-1))
+    # fusing pays when blocks are small (dispatch amortization); for
+    # large blocks the dispatch is negligible and the concatenate
+    # copies are pure overhead — either way the results are
+    # bit-identical because the core is element-wise
+    sizes = np.array([f.size for f in flats], dtype=np.int64)
+    if len(flats) == 1 or int(sizes.max()) >= (1 << 16):
+        return [
+            QuantizedBatch(*_quantize_flat(f, p, eb, radius), radius)
+            for f, p in zip(flats, pflats)
+        ]
+    bounds = np.concatenate([[0], np.cumsum(sizes)])
+    big_v = np.concatenate(flats)
+    big_p = np.concatenate(pflats)
+    codes, pos, val, recon = _quantize_flat(big_v, big_p, eb, radius)
+
+    cut = np.searchsorted(pos, bounds)
+    out = []
+    for k in range(len(flats)):
+        s, e = int(bounds[k]), int(bounds[k + 1])
+        out.append(
+            QuantizedBatch(
+                codes=codes[s:e],
+                outlier_pos=pos[cut[k] : cut[k + 1]] - s,
+                outlier_val=val[cut[k] : cut[k + 1]],
+                radius=radius,
+                recon=recon[s:e],
+            )
+        )
+    return out
 
 
 def dequantize(
@@ -105,10 +272,21 @@ def dequantize(
     outlier_val: np.ndarray,
     radius: int = DEFAULT_RADIUS,
 ) -> np.ndarray:
-    """Invert :func:`quantize`; returns the reconstruction, flat."""
-    pflat = np.asarray(pred).reshape(-1)
-    q = codes.astype(np.int64) - radius
-    recon = _reconstruct(pflat, q, eb, np.asarray(pred).dtype)
+    """Invert :func:`quantize`; returns the reconstruction, flat.
+
+    Mirrors the quantizer's arithmetic selection bit-for-bit: float32
+    payloads reconstruct in float32 whenever :func:`_f32_mode` allows
+    (the same pure function of the container-stored parameters the
+    compressor used), float64 otherwise.
+    """
+    pred = np.asarray(pred)
+    pflat = pred.reshape(-1)
+    if _f32_mode(pred.dtype, pred.dtype, eb, radius):
+        qf = codes.astype(np.float32) - np.float32(radius)
+        recon = pflat + qf * np.float32(2.0 * eb)
+    else:
+        q = codes.astype(np.int64) - radius
+        recon = _reconstruct(pflat, q, eb, pred.dtype)
     if outlier_pos.size:
         recon[outlier_pos] = outlier_val
     return recon

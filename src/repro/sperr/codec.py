@@ -19,9 +19,16 @@ import struct
 
 import numpy as np
 
-from repro.encoding.huffman import huffman_decode, huffman_encode
+from repro.encoding.huffman import (
+    huffman_decode,
+    huffman_encode_many,
+)
 from repro.encoding.lossless import compress_bytes, decompress_bytes
-from repro.encoding.quantizer import DEFAULT_RADIUS, dequantize, quantize
+from repro.encoding.quantizer import (
+    DEFAULT_RADIUS,
+    dequantize,
+    quantize_many,
+)
 from repro.sperr.wavelet import (
     DC_GAIN,
     cdf97_forward,
@@ -45,34 +52,45 @@ _HEADER = struct.Struct("<4sBBBBddI")
 DEFAULT_QUALITY = 4.0
 
 
-def _encode_band(
+def _encode_bands(
     coeffs: np.ndarray,
-    regions: list[tuple[slice, ...]],
+    bands: list[list[tuple[slice, ...]]],
     ebw: float,
     radius: int,
     zlib_level: int,
-) -> bytes:
-    """Quantize + Huffman the concatenated rectangles of one level; the
-    dequantized values are written back into ``coeffs`` so the encoder's
-    outlier pass sees exactly the decoder's reconstruction."""
-    if not regions:
-        return b""
-    vals = np.concatenate([coeffs[r].reshape(-1) for r in regions])
-    qb = quantize(vals, np.zeros_like(vals), ebw, radius)
-    # write back reconstruction
-    off = 0
-    for r in regions:
-        size = coeffs[r].size
-        coeffs[r] = qb.recon[off : off + size].reshape(coeffs[r].shape)
-        off += size
-    return pack_sections(
-        [
-            compress_bytes(huffman_encode(qb.codes), zlib_level),
-            struct.pack("<Q", qb.outlier_pos.size)
-            + qb.outlier_pos.astype(np.uint64).tobytes()
-            + qb.outlier_val.tobytes(),
-        ]
-    )
+) -> list[bytes]:
+    """Quantize + Huffman every resolution level's band, batched.
+
+    Bands cover disjoint coefficient rectangles, so all levels quantize
+    in one fused :func:`quantize_many` pass and entropy-code through
+    one :func:`huffman_encode_many` pack (DESIGN.md §2); per-band
+    payload bytes are unchanged from the per-band path.  The
+    dequantized values are written back into ``coeffs`` so the
+    encoder's outlier pass sees exactly the decoder's reconstruction.
+    """
+    live = [(i, regions) for i, regions in enumerate(bands) if regions]
+    vals = [
+        np.concatenate([coeffs[r].reshape(-1) for r in regions])
+        for _i, regions in live
+    ]
+    qbs = quantize_many(vals, [np.zeros_like(v) for v in vals], ebw, radius)
+    huffs = huffman_encode_many([qb.codes for qb in qbs])
+    payloads = [b""] * len(bands)
+    for (i, regions), qb, huff in zip(live, qbs, huffs):
+        off = 0
+        for r in regions:
+            size = coeffs[r].size
+            coeffs[r] = qb.recon[off : off + size].reshape(coeffs[r].shape)
+            off += size
+        payloads[i] = pack_sections(
+            [
+                compress_bytes(huff, zlib_level),
+                struct.pack("<Q", qb.outlier_pos.size)
+                + qb.outlier_pos.astype(np.uint64).tobytes()
+                + qb.outlier_val.tobytes(),
+            ]
+        )
+    return payloads
 
 
 def _decode_band(
@@ -119,10 +137,7 @@ def sperr_compress(
 
     coeffs = cdf97_forward(data, L)
     bands = level_band_regions(data.shape, L)  # finest..coarsest, then root
-    payloads = [
-        _encode_band(coeffs, regions, ebw, radius, zlib_level)
-        for regions in bands
-    ]
+    payloads = _encode_bands(coeffs, bands, ebw, radius, zlib_level)
 
     # outlier correction pass against the decoder's reconstruction
     rec = cdf97_inverse(coeffs, L)

@@ -18,11 +18,14 @@ the effect reproduces here structurally.
 from __future__ import annotations
 
 import struct
-from concurrent.futures import ThreadPoolExecutor
-
 import numpy as np
 
-from repro.encoding.huffman import huffman_decode, huffman_encode
+from repro.core.parallel import pmap
+from repro.encoding.huffman import (
+    huffman_decode,
+    huffman_encode,
+    huffman_encode_many,
+)
 from repro.encoding.lossless import compress_bytes, decompress_bytes
 from repro.encoding.quantizer import DEFAULT_RADIUS, dequantize, quantize
 from repro.sz3.interpolation import anchor_stride, predict_batch, schedule
@@ -42,22 +45,31 @@ _HEADER = struct.Struct("<4sBBBBdII")
 # magic, version, dtype, ndim, interp, eb, radius, astride
 
 
-def sz3_compress(
-    data: np.ndarray,
-    eb: float,
-    eb_mode: str = "abs",
-    interp: str = "cubic",
-    radius: int = DEFAULT_RADIUS,
-    zlib_level: int = 1,
-) -> bytes:
-    """Compress a float32/float64 array with absolute/relative bound."""
-    data = as_float_array(data)
-    abs_eb = resolve_eb(data, eb, eb_mode)
-    if abs_eb <= 0:
-        raise ValueError("error bound must be > 0")
-    if interp not in _INTERP_CODE:
-        raise ValueError(f"unknown interp {interp!r}")
+class _SZ3Stages:
+    """Prediction/quantization output of one (sub-)domain, pre-entropy.
 
+    Splitting the pipeline here lets the OMP mode run the
+    prediction-bound stage per chunk in threads and then entropy-code
+    every chunk's symbol stream through one fused
+    :func:`huffman_encode_many` call (DESIGN.md §2).  ``recon`` is the
+    decompressor's exact output, so callers embedding SZ3 (the STZ
+    level-1 stage) can skip a full decompression round-trip.
+    """
+
+    __slots__ = ("header", "codes", "outliers", "anchors", "recon")
+
+    def __init__(self, header, codes, outliers, anchors, recon):
+        self.header = header
+        self.codes = codes
+        self.outliers = outliers
+        self.anchors = anchors
+        self.recon = recon
+
+
+def _sz3_encode(
+    data: np.ndarray, abs_eb: float, interp: str, radius: int
+) -> _SZ3Stages:
+    """Run the cascaded predict+quantize passes (no entropy coding)."""
     astride = anchor_stride(data.shape)
     recon = data.copy()
     anchors_sel = tuple(slice(0, None, astride) for _ in data.shape)
@@ -92,18 +104,65 @@ def sz3_compress(
         radius,
         astride,
     ) + struct.pack(f"<{data.ndim}Q", *data.shape)
-    sections = [
-        header,
-        compress_bytes(huffman_encode(codes), zlib_level),
-        compress_bytes(
-            np.asarray(out_counts, dtype=np.uint32).tobytes()
-            + (np.concatenate(out_pos).tobytes() if out_pos else b"")
-            + (np.concatenate(out_val).tobytes() if out_val else b""),
-            zlib_level,
-        ),
-        compress_bytes(anchors.tobytes(), max(zlib_level, 1)),
-    ]
-    return pack_sections(sections)
+    outliers = (
+        np.asarray(out_counts, dtype=np.uint32).tobytes()
+        + (np.concatenate(out_pos).tobytes() if out_pos else b"")
+        + (np.concatenate(out_val).tobytes() if out_val else b"")
+    )
+    return _SZ3Stages(header, codes, outliers, anchors, recon)
+
+
+def _sz3_assemble(
+    stages: _SZ3Stages, huff_blob: bytes, zlib_level: int
+) -> bytes:
+    return pack_sections(
+        [
+            stages.header,
+            compress_bytes(huff_blob, zlib_level),
+            compress_bytes(stages.outliers, zlib_level),
+            compress_bytes(stages.anchors.tobytes(), max(zlib_level, 1)),
+        ]
+    )
+
+
+def sz3_compress(
+    data: np.ndarray,
+    eb: float,
+    eb_mode: str = "abs",
+    interp: str = "cubic",
+    radius: int = DEFAULT_RADIUS,
+    zlib_level: int = 1,
+) -> bytes:
+    """Compress a float32/float64 array with absolute/relative bound."""
+    return sz3_compress_with_recon(
+        data, eb, eb_mode, interp, radius, zlib_level
+    )[0]
+
+
+def sz3_compress_with_recon(
+    data: np.ndarray,
+    eb: float,
+    eb_mode: str = "abs",
+    interp: str = "cubic",
+    radius: int = DEFAULT_RADIUS,
+    zlib_level: int = 1,
+) -> tuple[bytes, np.ndarray]:
+    """:func:`sz3_compress` plus the decompressor's exact reconstruction.
+
+    The compressor tracks the decoded values while encoding (it must,
+    to keep prediction consistent), so callers that need both — STZ
+    uses level 1's reconstruction as its prediction basis — can avoid
+    paying a decompression pass over the fresh container.
+    """
+    data = as_float_array(data)
+    abs_eb = resolve_eb(data, eb, eb_mode)
+    if abs_eb <= 0:
+        raise ValueError("error bound must be > 0")
+    if interp not in _INTERP_CODE:
+        raise ValueError(f"unknown interp {interp!r}")
+    stages = _sz3_encode(data, abs_eb, interp, radius)
+    blob = _sz3_assemble(stages, huffman_encode(stages.codes), zlib_level)
+    return blob, stages.recon
 
 
 def sz3_decompress(blob: bytes | memoryview) -> np.ndarray:
@@ -181,20 +240,30 @@ def sz3_compress_omp(
     radius: int = DEFAULT_RADIUS,
     zlib_level: int = 1,
 ) -> bytes:
-    """Domain-decomposed parallel compression (reduced CR vs serial)."""
+    """Domain-decomposed parallel compression (reduced CR vs serial).
+
+    The prediction-bound stage runs per chunk in the thread pool; the
+    entropy stage then Huffman-codes every chunk's symbols in one fused
+    :func:`huffman_encode_many` pack.  Each chunk's container is
+    byte-identical to a serial :func:`sz3_compress` of the chunk.
+    """
     data = as_float_array(data)
     abs_eb = resolve_eb(data, eb, eb_mode)
+    if abs_eb <= 0:
+        raise ValueError("error bound must be > 0")
+    if interp not in _INTERP_CODE:
+        raise ValueError(f"unknown interp {interp!r}")
     slices = _chunk_slices(data.shape[0], threads)
     chunks = [np.ascontiguousarray(data[sl]) for sl in slices]
-    with ThreadPoolExecutor(max_workers=threads) as pool:
-        blobs = list(
-            pool.map(
-                lambda c: sz3_compress(
-                    c, abs_eb, "abs", interp, radius, zlib_level
-                ),
-                chunks,
-            )
-        )
+    stages = pmap(
+        lambda c: _sz3_encode(c, abs_eb, interp, radius), chunks, threads
+    )
+    huffs = huffman_encode_many([st.codes for st in stages])
+    blobs = pmap(
+        lambda sh: _sz3_assemble(sh[0], sh[1], zlib_level),
+        list(zip(stages, huffs)),
+        threads,
+    )
     return pack_sections([_OMP_MAGIC, *blobs])
 
 
@@ -204,8 +273,7 @@ def sz3_decompress_omp(
     sections = unpack_sections(blob)
     if bytes(sections[0]) != _OMP_MAGIC:
         raise ValueError("not an SZ3 OMP container")
-    with ThreadPoolExecutor(max_workers=threads) as pool:
-        parts = list(pool.map(sz3_decompress, sections[1:]))
+    parts = pmap(sz3_decompress, sections[1:], threads)
     return np.concatenate(parts, axis=0)
 
 

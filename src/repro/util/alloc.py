@@ -1,0 +1,51 @@
+"""Allocator tuning for large-array throughput.
+
+The hot paths allocate multi-megabyte numpy temporaries every call.
+glibc's malloc serves those from ``mmap`` and returns them to the
+kernel on free, so each compression pass re-faults its working set —
+on the benchmark machines that page-fault traffic rivals the actual
+arithmetic (DESIGN.md §3).  Raising ``M_MMAP_THRESHOLD`` and
+``M_TRIM_THRESHOLD`` keeps big buffers on malloc's free lists, the
+same effect as exporting ``MALLOC_MMAP_THRESHOLD_`` before launch.
+
+Best effort by design: silently a no-op on non-glibc platforms.  The
+trade-off is higher steady-state resident memory (freed large buffers
+stay on the free lists instead of returning to the kernel); embedding
+applications that prefer the default policy can set
+``REPRO_NO_MALLOC_TUNING=1`` before importing the package.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import sys
+
+_M_TRIM_THRESHOLD = -1
+_M_MMAP_THRESHOLD = -3
+
+_done = False
+
+
+def tune_allocator(threshold: int = 1 << 30) -> bool:
+    """Keep allocations below ``threshold`` bytes off the mmap path.
+
+    Returns True if the tuning took effect (glibc only), False
+    otherwise.  Idempotent; called once at package import.
+    """
+    global _done
+    if _done:
+        return True
+    if os.environ.get("REPRO_NO_MALLOC_TUNING"):
+        return False
+    if not sys.platform.startswith("linux"):
+        return False
+    try:
+        libc = ctypes.CDLL("libc.so.6", use_errno=True)
+        ok = bool(libc.mallopt(_M_MMAP_THRESHOLD, threshold)) and bool(
+            libc.mallopt(_M_TRIM_THRESHOLD, threshold)
+        )
+    except (OSError, AttributeError):
+        return False
+    _done = ok
+    return ok

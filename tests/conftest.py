@@ -6,18 +6,10 @@ import numpy as np
 import pytest
 
 
-def smooth_field(
-    shape: tuple[int, ...], seed: int = 0, noise: float = 0.02
-) -> np.ndarray:
-    """Band-limited smooth field + mild noise (float64)."""
-    rng = np.random.default_rng(seed)
-    coords = np.meshgrid(
-        *[np.linspace(0, 3, n) for n in shape], indexing="ij"
-    )
-    field = np.ones(shape)
-    for i, c in enumerate(coords):
-        field = field * np.sin((i + 2) * c / 2.0 + 0.3 * i)
-    return field + noise * rng.standard_normal(shape)
+# one definition shared with benchmarks/conftest.py — kept in the
+# package so the two trees cannot drift apart
+from repro.datasets.synthetic import smooth_field  # noqa: E402,F401
+from repro.metrics.error import max_abs_error as max_err  # noqa: E402,F401
 
 
 @pytest.fixture
@@ -38,9 +30,3 @@ def smooth2d_f32() -> np.ndarray:
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
-
-
-def max_err(a: np.ndarray, b: np.ndarray) -> float:
-    return float(
-        np.max(np.abs(a.astype(np.float64) - b.astype(np.float64)))
-    )
