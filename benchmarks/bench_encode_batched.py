@@ -205,7 +205,10 @@ def _ref_compress_bytes(data, level=1):
 
 def reference_stz_compress(data, eb, eb_mode="rel", config=None):
     """The seed's serial compression loop, per sub-block end to end."""
-    config = config or STZConfig()
+    # the seed quantized in float64 and predates the f32-quant container
+    # flag, so the reference container must not carry it — the shared
+    # reader selects the reconstruction formula from that bit
+    config = (config or STZConfig()).with_(f32_quant=False)
     data = as_float_array(data)
     abs_eb = resolve_eb(data, eb, eb_mode)
     writer = StreamWriter(data.shape, data.dtype, config, abs_eb)

@@ -31,6 +31,12 @@ import pytest
 # package's definitions so the two trees cannot drift apart.
 from repro.datasets.synthetic import smooth_field  # noqa: F401
 from repro.metrics.error import max_abs_error as max_err  # noqa: F401
+from repro.util.alloc import tune_allocator
+
+# malloc tuning is opt-in (it raises steady-state RSS); the benchmark
+# harness is a throughput-measuring entry point, so it opts in —
+# without this both encode paths are page-fault-bound (DESIGN.md §3)
+tune_allocator()
 
 OUT_DIR = Path(__file__).parent / "out"
 #: repo-root machine-readable speed record (see record_bench below)

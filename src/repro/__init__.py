@@ -1,8 +1,10 @@
 """repro: reproduction of STZ (SC'25) — streaming error-bounded lossy compression."""
-from repro.util.alloc import tune_allocator
+from repro.util.alloc import tune_allocator  # noqa: F401  (opt-in re-export)
 
 __version__ = "1.1.0"
 
-#: large numpy temporaries dominate the hot paths; keep them off the
-#: mmap/munmap churn (no-op outside glibc).  See DESIGN.md §3.
-tune_allocator()
+# Allocator tuning is deliberately NOT applied at import time: it
+# mutates process-wide glibc malloc policy (higher steady-state RSS),
+# which is not a side effect a library import should have on a host
+# application.  Throughput-sensitive entry points — the benchmarks and
+# the CLI — call :func:`tune_allocator` themselves; see DESIGN.md §3.

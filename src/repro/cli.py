@@ -23,6 +23,7 @@ from repro.core.api import decompress, decompress_progressive, decompress_roi
 from repro.core.config import STZConfig
 from repro.core.pipeline import stz_compress
 from repro.core.stream import KIND_NAMES, StreamReader
+from repro.util.alloc import tune_allocator
 
 
 def _load_array(
@@ -166,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    tune_allocator()  # opt-in malloc tuning at the entry point only
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

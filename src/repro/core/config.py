@@ -52,6 +52,13 @@ class STZConfig:
     sz3_interp:
         Interpolator used by the embedded SZ3 codec (level 1, and
         residuals when ``residual_codec="sz3"``).
+    f32_quant:
+        Run residual quantization of float32 payloads in float32
+        arithmetic where the bound analysis allows.  Recorded as a
+        container flag bit so the decoder provably reconstructs with
+        the encoder's formula; containers without the bit (written
+        before it existed, or with this off) decode with the float64
+        formula.
     """
 
     levels: int = 3
@@ -64,6 +71,7 @@ class STZConfig:
     zlib_level: int = 1
     partition_only: bool = False
     sz3_interp: str = "cubic"
+    f32_quant: bool = True
 
     def __post_init__(self) -> None:
         if self.levels < 2:

@@ -35,7 +35,11 @@ from repro.core.partition import (
     subblock_view_in,
 )
 from repro.core.parallel import effective_threads, parallel_capacity, pmap
-from repro.core.predict import predict_block
+from repro.core.predict import (
+    populate_shift_cache,
+    predict_block,
+    uses_shift_cache,
+)
 from repro.core.stream import (
     KIND_L1_SZ3,
     KIND_RESIDUAL_Q,
@@ -85,7 +89,7 @@ def _encode_residual_q(
     Kept as the single-block reference path (ablations, benchmarks);
     the pipeline itself goes through :func:`_encode_residual_level`.
     """
-    qb = quantize(values, pred, eb, config.quant_radius)
+    qb = quantize(values, pred, eb, config.quant_radius, config.f32_quant)
     return (
         _residual_payload(huffman_encode(qb.codes), qb, config),
         qb.recon.reshape(values.shape),
@@ -123,7 +127,7 @@ def _encode_residual_level(
     per level.  Payload bytes are identical to per-block
     :func:`_encode_residual_q`.
     """
-    qbs = quantize_many(blocks, preds, eb, config.quant_radius)
+    qbs = quantize_many(blocks, preds, eb, config.quant_radius, config.f32_quant)
     huffs = huffman_encode_many([qb.codes for qb in qbs])
     payloads = [
         _residual_payload(huff, qb, config) for huff, qb in zip(huffs, qbs)
@@ -285,12 +289,17 @@ def _compress_level_q(
     for n in fine_shape:
         level_points *= n
     huge = level_points // (2 ** data.ndim) > _LEVEL_FUSE_LIMIT
-    if huge or (effective_threads(threads) > 1 and parallel_capacity() > 1):
+    threaded = effective_threads(threads) > 1 and parallel_capacity() > 1
+    if huge or threaded:
         # threaded (the paper's OMP: the whole chain spreads across
         # cores) or huge sub-blocks (level-wide staging would hold
         # ~2x the data live while per-stage fusion no longer buys
         # anything at that size) — run the per-block chain, which is
         # bit-identical to the fused path
+        if threaded and uses_shift_cache(config.interp, config.cubic_mode):
+            # fill the cache before the pool spawns so the workers only
+            # ever read it (lazy fill is a check-then-insert race)
+            populate_shift_cache(C, shift_cache)
         blocks = {}
         for eps, payload, recon in pmap(block_work, offsets, threads):
             writer.add_segment(level, eps, KIND_RESIDUAL_Q, payload)
@@ -411,6 +420,14 @@ def stz_decompress(
             decoded = _decode_level(reader, segs, offsets, header, config, threads)
         with timer.time(f"l{lvl}_predict"):
             shift_cache: dict = {}
+            if (
+                effective_threads(threads) > 1
+                and parallel_capacity() > 1
+                and uses_shift_cache(config.interp, config.cubic_mode)
+            ):
+                # pre-fill serially so the pmap workers only read the
+                # cache (lazy fill is a check-then-insert race)
+                populate_shift_cache(C, shift_cache)
 
             def reconstruct(
                 item, _C=C, _fs=fine_shape, _ebl=ebl, _sc=shift_cache
@@ -425,7 +442,8 @@ def stz_decompress(
                 if config.residual_codec == "quantize":
                     codes, pos, val = decoded_payload
                     rec = dequantize(
-                        codes, pred, _ebl, pos, val, config.quant_radius
+                        codes, pred, _ebl, pos, val, config.quant_radius,
+                        config.f32_quant,
                     )
                     return eps, rec.reshape(ts)
                 return eps, pred + decoded_payload  # sz3 residual array

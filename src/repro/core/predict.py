@@ -84,6 +84,40 @@ def _clamp_shift(arr: np.ndarray, axis: int) -> np.ndarray:
     return np.concatenate([arr[head], arr[tail]], axis=axis)
 
 
+def _fill_shifts(C: np.ndarray, cache: dict, axes) -> dict:
+    """Ensure ``cache`` holds the clamp-shift of ``C`` for every subset
+    of ``axes`` (keyed by axis frozenset), building each combination
+    from its one-axis-smaller parent.  The single construction loop
+    shared by the lazy per-call fill and the thread-safe pre-fill."""
+    cache.setdefault(frozenset(), C)
+    for a in axes:
+        for key in list(cache):
+            if a not in key and (key | {a}) not in cache:
+                cache[key | {a}] = _clamp_shift(cache[key], a)
+    return cache
+
+
+def populate_shift_cache(C: np.ndarray, cache: dict) -> dict:
+    """Precompute every clamp-shift combination of ``C`` into ``cache``.
+
+    :func:`predict_block` fills its ``shift_cache`` lazily, which is
+    fine serially but is a check-then-insert race when the sub-blocks
+    of a level are predicted from a thread pool.  Filling all
+    ``2**d - 1`` axis combinations up front (the union every parity
+    offset of the level will ask for) makes the dict strictly read-only
+    for the workers.  Returns ``cache``.
+    """
+    return _fill_shifts(C, cache, range(C.ndim))
+
+
+def uses_shift_cache(interp: str, mode: str) -> bool:
+    """Whether :func:`predict_block` reads ``shift_cache`` at all
+    (direct prediction and the tensor cubic path never do)."""
+    return interp in ("linear", "cubic") and not (
+        interp == "cubic" and mode == "tensor"
+    )
+
+
 def _odd_axes(C: np.ndarray, eps: Offset) -> list[int]:
     if len(eps) != C.ndim:
         raise ValueError("eps rank mismatch with coarse array")
@@ -149,12 +183,9 @@ def predict_block(
 
     # linear everywhere (clamped +1 shift handles all boundaries,
     # degenerating to a direct copy at the last midpoint of even axes)
-    shifted = shift_cache if shift_cache is not None else {}
-    shifted.setdefault(frozenset(), C)
-    for a in odd:
-        for key in list(shifted):
-            if a not in key and (key | {a}) not in shifted:
-                shifted[key | {a}] = _clamp_shift(shifted[key], a)
+    shifted = _fill_shifts(
+        C, shift_cache if shift_cache is not None else {}, odd
+    )
     j = len(odd)
 
     def linear_region(region: tuple[slice, ...] | None) -> np.ndarray:

@@ -254,6 +254,7 @@ def stz_decompress_roi(
                     opos_local,
                     oval_local,
                     config.quant_radius,
+                    config.f32_quant,
                 )
             with timer.time(f"l{lvl}_reassemble"):
                 dst = tuple(

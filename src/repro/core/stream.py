@@ -63,6 +63,16 @@ _RESID_NAME = {v: k for k, v in _RESID_CODE.items()}
 
 _FLAG_PARTITION_ONLY = 1
 _FLAG_ADAPTIVE = 2
+#: residual quantization ran in float32 arithmetic (where the bound
+#: analysis allowed) — the decoder must reconstruct with the same
+#: formula, so the bit travels with the container; its absence selects
+#: the float64 formula every pre-flag encoder used
+_FLAG_F32_QUANT = 4
+#: flags this reader understands; unknown bits are *rejected*, because
+#: a flag may change decode semantics (as _FLAG_F32_QUANT does) and
+#: silently ignoring one would decode plausibly-looking garbage that
+#: can violate the hard error bound
+_KNOWN_FLAGS = _FLAG_PARTITION_ONLY | _FLAG_ADAPTIVE | _FLAG_F32_QUANT
 
 _FIXED = struct.Struct("<4sBBBBBBBBddII")
 _SEG = struct.Struct("<BBBBQQ")
@@ -171,8 +181,10 @@ class StreamWriter:
 
     def tobytes(self) -> bytes:
         cfg = self.config
-        flags = (_FLAG_PARTITION_ONLY if cfg.partition_only else 0) | (
-            _FLAG_ADAPTIVE if cfg.adaptive_eb else 0
+        flags = (
+            (_FLAG_PARTITION_ONLY if cfg.partition_only else 0)
+            | (_FLAG_ADAPTIVE if cfg.adaptive_eb else 0)
+            | (_FLAG_F32_QUANT if cfg.f32_quant else 0)
         )
         fixed = _FIXED.pack(
             MAGIC,
@@ -237,6 +249,11 @@ class StreamReader:
             raise ValueError("not an STZ container")
         if version != VERSION:
             raise ValueError(f"unsupported STZ container version {version}")
+        if flags & ~_KNOWN_FLAGS:
+            raise ValueError(
+                "container uses unknown feature flags "
+                f"0x{flags & ~_KNOWN_FLAGS:02x}; upgrade the reader"
+            )
         shape = struct.unpack(
             f"<{ndim}Q", self._read_at(_FIXED.size, 8 * ndim)
         )
@@ -258,6 +275,7 @@ class StreamReader:
             eb_ratio=eb_ratio,
             quant_radius=radius,
             partition_only=bool(flags & _FLAG_PARTITION_ONLY),
+            f32_quant=bool(flags & _FLAG_F32_QUANT),
         )
         self.header = StreamHeader(
             shape=tuple(shape),

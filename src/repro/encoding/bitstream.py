@@ -97,10 +97,13 @@ def pack_codes_at(
 
     Each codeword lands in a 32-bit container aligned to its 16-bit
     lane (16-bit code + 15-bit in-lane offset spans at most 31 bits, so
-    two lanes).  Because no two codewords share a bit, the two lane
-    planes accumulate into the output with ``np.bincount`` — one
-    C-speed scatter per plane, and every per-lane sum stays below
-    ``2**16`` so the float64 accumulation is exact.  Callers may pass
+    two lanes).  Because no two codewords share a bit, each lane's sum
+    is really a bitwise OR of disjoint contributions and never exceeds
+    ``2**32 - 1`` — well inside float64's ``2**53`` exact-integer
+    range — so accumulating the two lane planes with ``np.bincount``
+    (one C-speed scatter per plane) is exact.  The accumulation dtype
+    must hold ``2**32 - 1`` exactly; float32 (exact only to ``2**24``)
+    would silently corrupt the stream.  Callers may pass
     ``lengths``/``starts`` as int32 (totals below 2**31 bits) to keep
     the index arithmetic in 4-byte lanes.
     """

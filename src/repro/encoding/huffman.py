@@ -326,7 +326,9 @@ def huffman_encode_many(
 
     # bit geometry: per-stream totals, byte-aligned stream bases, and
     # one global cumsum shared by the pack scatter and the sync indexes
-    ends = np.cumsum(sym_lens)
+    # (explicit dtype: numpy's default cumsum accumulator is platform
+    # int, which would silently promote the int32 lanes back to 8 bytes)
+    ends = np.cumsum(sym_lens, dtype=idt)
     prefix_bits = np.concatenate([[0], ends[bounds[1:] - 1].astype(np.int64)])
     tot_bits = np.diff(prefix_bits)
     nbytes = (tot_bits + 7) >> 3

@@ -14,7 +14,7 @@ import zlib
 _RAW = b"\x00"
 _ZLIB = b"\x01"
 
-#: probe geometry: sample this many bytes from the head and the middle
+#: probe geometry: total sample budget, split across head/middle/tail
 _PROBE_SAMPLE = 8192
 #: run DEFLATE on the full payload only if the sample shrank below this
 _PROBE_RATIO = 0.98
@@ -24,21 +24,28 @@ def compress_bytes(data: bytes, level: int = 1, probe: bool = False) -> bytes:
     """Compress ``data``; never grows by more than one byte.
 
     With ``probe=True``, large payloads are first test-compressed on a
-    small head+middle sample; if the sample does not shrink, the payload
-    is stored raw without paying DEFLATE over the full buffer.  This is
-    how the batched encode path skips zlib on Huffman segments, which
-    are near entropy-optimal already and almost never deflate (DESIGN.md
-    §3).  The output stays decodable by :func:`decompress_bytes` either
-    way — only the raw-vs-deflate decision changes.
+    small head+middle+tail sample (three regions, so compressibility
+    concentrated away from any single region — or an atypical prefix
+    like a Huffman segment's zlib-packed table — still registers); if
+    the sample does not shrink, the payload is stored raw without
+    paying DEFLATE over the full buffer.  This is how the batched
+    encode path skips zlib on Huffman segments, which are near
+    entropy-optimal already and almost never deflate (DESIGN.md §3).
+    The output stays decodable by :func:`decompress_bytes` either way —
+    only the raw-vs-deflate decision changes.
     """
     if level < 0 or level > 9:
         raise ValueError("zlib level must be in [0, 9]")
     if level == 0 or len(data) < 64:
         return _RAW + data
     if probe and len(data) > 4 * _PROBE_SAMPLE:
-        half = _PROBE_SAMPLE // 2
-        mid = len(data) // 2
-        sample = bytes(data[:half]) + bytes(data[mid : mid + half])
+        part = _PROBE_SAMPLE // 3
+        mid = (len(data) - part) // 2
+        sample = (
+            bytes(data[:part])
+            + bytes(data[mid : mid + part])
+            + bytes(data[-part:])
+        )
         if len(zlib.compress(sample, level)) > _PROBE_RATIO * len(sample):
             return _RAW + data
     z = zlib.compress(data, level)

@@ -12,11 +12,17 @@ The code radius defaults to 16384 which keeps the worst-case distinct
 alphabet (2*radius+1 symbols) within the Huffman codec's 16-bit code
 length limit.
 
-Float32 payloads run the bin search and reconstruction in float32 when
-the bound analysis allows (:func:`_f32_mode`), with borderline bound
-checks re-verified in exact float64 arithmetic; :func:`quantize_many`
-fuses all sub-blocks of an STZ level into one vectorized pass.  Both
-are bit-compatible with the per-batch path — see DESIGN.md §2.
+Float32 payloads can run the bin search and reconstruction in float32
+when the caller opts in (``f32=True``) and the bound analysis allows
+(:func:`_f32_mode`), with borderline bound checks re-verified in exact
+float64 arithmetic.  The opt-in changes the reconstruction arithmetic,
+so an encoder that enables it must record the fact in its container
+(the STZ header's f32-quant flag bit) and the decoder must feed the
+recorded flag back to :func:`dequantize` — the formula is never
+guessed from the payload alone, which is what keeps archives written
+by older encoders decoding bit-exactly.  :func:`quantize_many` fuses
+all sub-blocks of an STZ level into one vectorized pass,
+bit-compatible with the per-batch path — see DESIGN.md §2.
 """
 
 from __future__ import annotations
@@ -65,17 +71,21 @@ def _reconstruct(
 def _f32_mode(dtype: np.dtype, pred_dtype: np.dtype, eb: float, radius: int) -> bool:
     """Bound analysis for the float32 fast path (DESIGN.md §2).
 
-    Float32 payloads run the whole quantize/dequantize arithmetic in
-    float32 when the scale ``2*eb`` is a normal float32 (no
+    Float32 payloads may run the whole quantize/dequantize arithmetic
+    in float32 when the scale ``2*eb`` is a normal float32 (no
     underflow/overflow in the quotient's representable range) and every
     *code* — up to ``2*radius`` — is exactly representable
-    (``radius <= 2**23``).  The
-    decision is a pure function of ``(dtype, eb, radius)`` — all stored
-    in the container — so compressor and decompressor always agree on
-    the reconstruction formula, which is what keeps the error bound a
-    hard guarantee.  Borderline bound checks are re-verified in float64
-    (see :func:`_quantize_flat`), so float32 rounding can only ever
-    *add* outliers, never accept a bound violation.
+    (``radius <= 2**23``).  This analysis alone does not select the
+    formula: the fast path additionally requires the caller's explicit
+    ``f32`` opt-in, recorded in the container by the encoder and read
+    back by the decoder, so both sides provably use the same
+    arithmetic (containers from pre-f32 encoders decode with the
+    float64 formula they were written with).  Given agreement on the
+    flag, the rest of the decision is a pure function of
+    ``(dtype, eb, radius)`` — all container-stored — and borderline
+    bound checks are re-verified in float64 (see
+    :func:`_quantize_flat`), so float32 rounding can only ever *add*
+    outliers, never accept a bound violation.
     """
     f32 = np.finfo(np.float32)
     return (
@@ -87,7 +97,7 @@ def _f32_mode(dtype: np.dtype, pred_dtype: np.dtype, eb: float, radius: int) -> 
 
 
 def _quantize_flat(
-    flat: np.ndarray, pflat: np.ndarray, eb: float, radius: int
+    flat: np.ndarray, pflat: np.ndarray, eb: float, radius: int, f32: bool
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Shared vectorized core of :func:`quantize`/:func:`quantize_many`.
 
@@ -99,13 +109,13 @@ def _quantize_flat(
     suppressed for the whole core.
     """
     with np.errstate(invalid="ignore", over="ignore"):
-        return _quantize_flat_impl(flat, pflat, eb, radius)
+        return _quantize_flat_impl(flat, pflat, eb, radius, f32)
 
 
 def _quantize_flat_impl(
-    flat: np.ndarray, pflat: np.ndarray, eb: float, radius: int
+    flat: np.ndarray, pflat: np.ndarray, eb: float, radius: int, f32: bool
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    if _f32_mode(flat.dtype, pflat.dtype, eb, radius):
+    if f32 and _f32_mode(flat.dtype, pflat.dtype, eb, radius):
         # float32 residuals, bin search and reconstruction: a third of
         # the temporary traffic of the float64 up-convert path.  NaN/inf
         # residuals propagate into the comparisons, which come out False
@@ -169,8 +179,16 @@ def quantize(
     pred: np.ndarray,
     eb: float,
     radius: int = DEFAULT_RADIUS,
+    f32: bool = False,
 ) -> QuantizedBatch:
-    """Quantize ``values - pred`` with absolute error bound ``eb``."""
+    """Quantize ``values - pred`` with absolute error bound ``eb``.
+
+    ``f32=True`` enables the float32 fast path where :func:`_f32_mode`
+    allows.  Enabling it changes the reconstruction arithmetic, so the
+    caller must record the flag in its container and decode with the
+    same flag (see :func:`dequantize`); callers with no place to record
+    it keep the default and stay on the float64 formula.
+    """
     if eb <= 0:
         raise ValueError(f"error bound must be > 0, got {eb}")
     values = np.asarray(values)
@@ -185,7 +203,7 @@ def quantize(
             f"values dtype {values.dtype} != pred dtype {pred.dtype}"
         )
     codes, pos, val, recon = _quantize_flat(
-        values.reshape(-1), pred.reshape(-1), eb, radius
+        values.reshape(-1), pred.reshape(-1), eb, radius, f32
     )
     return QuantizedBatch(
         codes=codes,
@@ -201,6 +219,7 @@ def quantize_many(
     preds: list[np.ndarray],
     eb: float,
     radius: int = DEFAULT_RADIUS,
+    f32: bool = False,
 ) -> list[QuantizedBatch]:
     """Quantize several batches in one fused vectorized pass.
 
@@ -210,7 +229,8 @@ def quantize_many(
     pass — bit-identical to per-batch :func:`quantize`, since the core
     is element-wise — and split back, so the numpy dispatch cost of the
     ~10 vector operations is paid once per level instead of once per
-    sub-block (DESIGN.md §2).
+    sub-block (DESIGN.md §2).  ``f32`` follows the same
+    record-it-in-the-container contract as :func:`quantize`.
     """
     if eb <= 0:
         raise ValueError(f"error bound must be > 0, got {eb}")
@@ -240,13 +260,13 @@ def quantize_many(
     sizes = np.array([f.size for f in flats], dtype=np.int64)
     if len(flats) == 1 or int(sizes.max()) >= (1 << 16):
         return [
-            QuantizedBatch(*_quantize_flat(f, p, eb, radius), radius)
+            QuantizedBatch(*_quantize_flat(f, p, eb, radius, f32), radius)
             for f, p in zip(flats, pflats)
         ]
     bounds = np.concatenate([[0], np.cumsum(sizes)])
     big_v = np.concatenate(flats)
     big_p = np.concatenate(pflats)
-    codes, pos, val, recon = _quantize_flat(big_v, big_p, eb, radius)
+    codes, pos, val, recon = _quantize_flat(big_v, big_p, eb, radius, f32)
 
     cut = np.searchsorted(pos, bounds)
     out = []
@@ -271,17 +291,22 @@ def dequantize(
     outlier_pos: np.ndarray,
     outlier_val: np.ndarray,
     radius: int = DEFAULT_RADIUS,
+    f32: bool = False,
 ) -> np.ndarray:
     """Invert :func:`quantize`; returns the reconstruction, flat.
 
-    Mirrors the quantizer's arithmetic selection bit-for-bit: float32
-    payloads reconstruct in float32 whenever :func:`_f32_mode` allows
-    (the same pure function of the container-stored parameters the
-    compressor used), float64 otherwise.
+    ``f32`` must be the flag the *encoder* ran with, as recorded in the
+    container (the STZ header's f32-quant bit); given the same flag the
+    arithmetic selection mirrors the quantizer's bit-for-bit — float32
+    reconstruction when the flag is set and :func:`_f32_mode` allows,
+    the float64 formula otherwise.  The default decodes containers
+    from encoders that never enabled the fast path (everything written
+    before the flag existed, and every codec that has no header bit to
+    record it).
     """
     pred = np.asarray(pred)
     pflat = pred.reshape(-1)
-    if _f32_mode(pred.dtype, pred.dtype, eb, radius):
+    if f32 and _f32_mode(pred.dtype, pred.dtype, eb, radius):
         qf = codes.astype(np.float32) - np.float32(radius)
         recon = pflat + qf * np.float32(2.0 * eb)
     else:

@@ -82,6 +82,9 @@ def _sz3_encode(
     for batch in schedule(data.shape, astride):
         pred = predict_batch(recon, batch, interp)
         values = np.ascontiguousarray(recon[batch.target_sel])
+        # f32 fast-path quantization stays off: the SZ3 header has no
+        # flag byte to record the arithmetic mode, and the decoder must
+        # provably use the encoder's formula (quantizer docstring)
         qb = quantize(values, pred, abs_eb, radius)
         codes_parts.append(qb.codes)
         out_counts.append(qb.outlier_pos.size)

@@ -10,9 +10,12 @@ same effect as exporting ``MALLOC_MMAP_THRESHOLD_`` before launch.
 
 Best effort by design: silently a no-op on non-glibc platforms.  The
 trade-off is higher steady-state resident memory (freed large buffers
-stay on the free lists instead of returning to the kernel); embedding
-applications that prefer the default policy can set
-``REPRO_NO_MALLOC_TUNING=1`` before importing the package.
+stay on the free lists instead of returning to the kernel), so the
+tuning is *opt-in*: importing :mod:`repro` never calls it; the
+benchmarks and the CLI do at startup, and embedding applications may
+call :func:`tune_allocator` themselves.  ``REPRO_NO_MALLOC_TUNING=1``
+remains a kill switch for environments where even the entry points
+must leave malloc policy alone.
 """
 
 from __future__ import annotations
@@ -31,7 +34,8 @@ def tune_allocator(threshold: int = 1 << 30) -> bool:
     """Keep allocations below ``threshold`` bytes off the mmap path.
 
     Returns True if the tuning took effect (glibc only), False
-    otherwise.  Idempotent; called once at package import.
+    otherwise.  Idempotent; called by the benchmark harness and the
+    CLI at startup (never at package import).
     """
     global _done
     if _done:

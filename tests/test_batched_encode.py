@@ -15,6 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from conftest import max_err, smooth_field
+from repro.core.config import STZConfig
 from repro.core.pipeline import stz_compress, stz_decompress
 from repro.core.stream import StreamReader
 from repro.encoding.bitstream import pack_bits, pack_codes, pack_codes_at
@@ -141,7 +142,8 @@ class TestPackCodesAt:
 class TestQuantizeMany:
     @pytest.mark.parametrize("dtype", [np.float32, np.float64])
     @pytest.mark.parametrize("eb", [1e-6, 0.004, 2.0])
-    def test_bit_identical_to_per_block(self, rng, dtype, eb):
+    @pytest.mark.parametrize("f32", [False, True])
+    def test_bit_identical_to_per_block(self, rng, dtype, eb, f32):
         blocks, preds = [], []
         for _ in range(9):
             n = int(rng.integers(0, 30000))
@@ -154,9 +156,9 @@ class TestQuantizeMany:
             preds.append((v + rng.normal(0, 0.01, n)).astype(dtype))
         blocks.append(np.zeros(0, dtype))
         preds.append(np.zeros(0, dtype))
-        fused = quantize_many(blocks, preds, eb)
+        fused = quantize_many(blocks, preds, eb, f32=f32)
         for i, (v, p, qb) in enumerate(zip(blocks, preds, fused)):
-            single = quantize(v, p, eb)
+            single = quantize(v, p, eb, f32=f32)
             assert np.array_equal(single.codes, qb.codes), i
             assert np.array_equal(single.outlier_pos, qb.outlier_pos), i
             assert np.array_equal(
@@ -164,15 +166,17 @@ class TestQuantizeMany:
             ), i
             assert np.array_equal(single.recon, qb.recon, equal_nan=True), i
 
-    def test_recon_matches_dequantize(self, rng):
-        """Encoder recon == decoder recon, so the bound is hard."""
+    @pytest.mark.parametrize("f32", [False, True])
+    def test_recon_matches_dequantize(self, rng, f32):
+        """Encoder recon == decoder recon (same flag), so the bound is
+        hard."""
         for dtype in (np.float32, np.float64):
             v = (rng.normal(0, 5, 20000)).astype(dtype)
             p = (v + rng.normal(0, 0.01, v.size)).astype(dtype)
             for eb in (1e-5, 0.004):
-                (qb,) = quantize_many([v], [p], eb)
+                (qb,) = quantize_many([v], [p], eb, f32=f32)
                 rec = dequantize(
-                    qb.codes, p, eb, qb.outlier_pos, qb.outlier_val
+                    qb.codes, p, eb, qb.outlier_pos, qb.outlier_val, f32=f32
                 )
                 assert np.array_equal(rec, qb.recon)
                 assert (
@@ -228,6 +232,39 @@ class TestEndToEnd:
         payload = reader.read_segment(seg)
         assert isinstance(payload, memoryview)
         assert len(payload) == seg.length
+
+    def test_unknown_flag_bits_rejected(self):
+        """Flag bits can change decode semantics (the f32-quant bit
+        does), so a reader must refuse bits it does not understand
+        rather than silently decode with the wrong arithmetic."""
+        data = smooth_field((24, 24), seed=16).astype(np.float32)
+        blob = bytearray(stz_compress(data, 1e-3))
+        flags_off = 11  # magic(4) version dtype ndim levels interp mode resid
+        blob[flags_off] |= 0x80
+        with pytest.raises(ValueError, match="unknown feature flags"):
+            StreamReader(bytes(blob))
+
+    def test_f32_flag_roundtrips_in_container(self):
+        data = smooth_field((24, 24), seed=14).astype(np.float32)
+        blob = stz_compress(data, 1e-3)
+        assert StreamReader(blob).header.config.f32_quant is True
+        legacy = stz_compress(data, 1e-3, config=STZConfig(f32_quant=False))
+        assert StreamReader(legacy).header.config.f32_quant is False
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_pre_flag_container_decodes_within_bound(self, dtype):
+        """Containers without the f32-quant bit (everything written by
+        pre-flag encoders, modeled by ``f32_quant=False``) reconstruct
+        with the float64 formula they were encoded with; flagged
+        containers reconstruct with the float32 formula.  Either way
+        the one reader path honors the hard bound, because the flag
+        travels with the container instead of being guessed from the
+        payload dtype."""
+        data = smooth_field((33, 31, 29), seed=15).astype(dtype)
+        eb = 1e-3
+        for cfg in (STZConfig(f32_quant=False), STZConfig()):
+            blob = stz_compress(data, eb, config=cfg)
+            assert max_err(stz_decompress(blob), data) <= eb
 
     def test_per_block_fallback_identical(self, monkeypatch):
         """The per-block chain (huge levels / threaded mode) must emit

@@ -30,12 +30,42 @@ class TestQuantize:
             )
             assert np.max(np.abs(rec - v)) <= eb
 
-    def test_recon_matches_dequantize_exactly(self, rng):
+    @pytest.mark.parametrize("f32", [False, True])
+    def test_recon_matches_dequantize_exactly(self, rng, f32):
         v = rng.normal(0, 1, 1000).astype(np.float32)
         pred = (v + rng.normal(0, 0.01, 1000)).astype(np.float32)
-        qb = quantize(v, pred, 0.004)
-        rec = dequantize(qb.codes, pred, 0.004, qb.outlier_pos, qb.outlier_val)
+        qb = quantize(v, pred, 0.004, f32=f32)
+        rec = dequantize(
+            qb.codes, pred, 0.004, qb.outlier_pos, qb.outlier_val, f32=f32
+        )
         assert np.array_equal(rec, qb.recon)
+
+    def test_f32_flag_selects_encoder_formula(self, rng):
+        """The container-recorded flag is load-bearing: the two
+        arithmetic modes produce different reconstructions on some
+        inputs, and decoding with the encoder's flag is bit-exact for
+        both — which is exactly why pre-flag (float64) archives must
+        not be decoded with the float32 formula."""
+        v = (rng.normal(0, 1, 50000) * 3000).astype(np.float32)
+        pred = np.zeros_like(v)
+        eb = 0.1  # 2*eb inexact in binary: the formulas can disagree
+        qb64 = quantize(v, pred, eb, f32=False)
+        qb32 = quantize(v, pred, eb, f32=True)
+        assert not np.array_equal(qb64.recon, qb32.recon)
+        rec64 = dequantize(
+            qb64.codes, pred, eb, qb64.outlier_pos, qb64.outlier_val,
+            f32=False,
+        )
+        rec32 = dequantize(
+            qb32.codes, pred, eb, qb32.outlier_pos, qb32.outlier_val,
+            f32=True,
+        )
+        assert np.array_equal(rec64, qb64.recon)
+        assert np.array_equal(rec32, qb32.recon)
+        for rec in (rec64, rec32):
+            assert np.max(
+                np.abs(rec.astype(np.float64) - v.astype(np.float64))
+            ) <= eb
 
     def test_large_residuals_become_outliers(self):
         v = np.array([0.0, 1e9, 0.0])
@@ -55,13 +85,16 @@ class TestQuantize:
         rec = dequantize(qb.codes, pred, 0.5, qb.outlier_pos, qb.outlier_val)
         assert np.isnan(rec[0]) and np.isposinf(rec[1]) and np.isneginf(rec[2])
 
-    def test_float32_edge_precision(self):
+    @pytest.mark.parametrize("f32", [False, True])
+    def test_float32_edge_precision(self, f32):
         # values where float32 rounding could break the bound
         v = np.array([1e8, 1e8 + 1], np.float32)
         pred = np.zeros(2, np.float32)
         eb = 1e-4
-        qb = quantize(v, pred, eb)
-        rec = dequantize(qb.codes, pred, eb, qb.outlier_pos, qb.outlier_val)
+        qb = quantize(v, pred, eb, f32=f32)
+        rec = dequantize(
+            qb.codes, pred, eb, qb.outlier_pos, qb.outlier_val, f32=f32
+        )
         assert np.all(
             np.abs(rec.astype(np.float64) - v.astype(np.float64)) <= eb
         )
@@ -86,15 +119,18 @@ class TestQuantize:
         st.integers(0, 2**32 - 1),
         st.floats(1e-8, 1e3),
         st.sampled_from([np.float32, np.float64]),
+        st.booleans(),
     )
     @settings(max_examples=50, deadline=None)
-    def test_bound_property(self, seed, eb, dtype):
+    def test_bound_property(self, seed, eb, dtype, f32):
         rng = np.random.default_rng(seed)
         v = (rng.normal(0, 100, 200) * rng.choice([1e-6, 1, 1e6], 200)).astype(
             dtype
         )
         pred = (v + rng.normal(0, 10 * eb, 200)).astype(dtype)
-        qb = quantize(v, pred, eb)
-        rec = dequantize(qb.codes, pred, eb, qb.outlier_pos, qb.outlier_val)
+        qb = quantize(v, pred, eb, f32=f32)
+        rec = dequantize(
+            qb.codes, pred, eb, qb.outlier_pos, qb.outlier_val, f32=f32
+        )
         err = np.abs(rec.astype(np.float64) - v.astype(np.float64))
         assert np.all(err <= eb)
