@@ -26,11 +26,18 @@ import pytest
 # tests/ modules do `from conftest import max_err, smooth_field`; if a
 # single pytest invocation ever collects tests/ and benchmarks/
 # together, this module wins the `conftest` import, so keep those
-# helpers available here too (the default run is scoped to tests/ by
-# pytest.ini precisely to avoid the shadowing).  Both re-export the
-# package's definitions so the two trees cannot drift apart.
-from repro.datasets.synthetic import smooth_field  # noqa: F401
-from repro.metrics.error import max_abs_error as max_err  # noqa: F401
+# helpers (and the shared synthetic-volume fixtures) available here too
+# (the default run is scoped to tests/ by pytest.ini precisely to avoid
+# the shadowing).  Fixture bodies live in repro.testing — one
+# definition for both trees.
+from repro.testing import (  # noqa: F401
+    max_err,
+    rng,
+    smooth2d_f32,
+    smooth3d_f32,
+    smooth3d_f64,
+    smooth_field,
+)
 from repro.util.alloc import tune_allocator
 
 # malloc tuning is opt-in (it raises steady-state RSS); the benchmark

@@ -1,6 +1,11 @@
 """Quickstart: compress a scientific field with STZ, decompress it
 fully, progressively, and by region of interest.
 
+Time-step *sequences* have their own streaming API —
+``stz.compress_stream`` / ``stz.iter_decompress`` (and the stateful
+``repro.core.streaming.StreamingCompressor`` for bounded-memory,
+straight-to-disk use); see examples/streaming_timesteps.py.
+
 Run:  python examples/quickstart.py
 """
 

@@ -9,6 +9,9 @@ Examples::
     stz info field.stz
     stz decompress field.stz out.npy --level 1        # coarse preview
     stz roi field.stz slab.npy --box 10:20,:,64       # random access
+    stz stream steps.stz t0.npy t1.npy t2.npy --eb 1e-3
+    stz stream steps.stz run.npy --eb 1e-3 --time-axis 0
+    stz decompress steps.stz t5.npy --frame 5         # one time step
 """
 
 from __future__ import annotations
@@ -22,7 +25,12 @@ import numpy as np
 from repro.core.api import decompress, decompress_progressive, decompress_roi
 from repro.core.config import STZConfig
 from repro.core.pipeline import stz_compress
-from repro.core.stream import KIND_NAMES, StreamReader
+from repro.core.stream import KIND_NAMES, StreamReader, is_multiframe
+from repro.core.streaming import (
+    DEFAULT_KEYFRAME_INTERVAL,
+    StreamingCompressor,
+    StreamingDecompressor,
+)
 from repro.util.alloc import tune_allocator
 
 
@@ -79,12 +87,82 @@ def cmd_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _iter_input_steps(args: argparse.Namespace):
+    """Yield time steps lazily from the stream command's inputs.
+
+    Each input file is one step, unless ``--time-axis`` is given, in
+    which case every file is split along that axis (chunked input: a
+    simulation writing N steps per restart file streams as N frames).
+    """
+    for path in args.inputs:
+        arr = _load_array(path, args.shape, args.dtype)
+        if args.time_axis is None:
+            yield arr
+            continue
+        if not (-arr.ndim <= args.time_axis < arr.ndim):
+            raise SystemExit(
+                f"--time-axis {args.time_axis} out of range for "
+                f"{arr.ndim}-D input {path}"
+            )
+        for k in range(arr.shape[args.time_axis]):
+            yield np.ascontiguousarray(np.take(arr, k, axis=args.time_axis))
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    config = STZConfig(levels=args.levels, interp=args.interp)
+    in_bytes = 0
+    with open(args.output, "wb") as sink:
+        with StreamingCompressor(
+            args.eb,
+            args.mode,
+            config=config,
+            keyframe_interval=args.keyframe_interval,
+            sink=sink,
+            threads=args.threads,
+        ) as sc:
+            for step in _iter_input_steps(args):
+                in_bytes += step.nbytes
+                st = sc.append(step)
+                kind = "delta" if st.is_delta else "intra"
+                print(f"  step {st.index}: {kind} {st.nbytes} B")
+            nframes = sc.nframes
+    if nframes == 0:
+        Path(args.output).unlink()  # don't leave an empty archive behind
+        raise SystemExit("no time steps in input")
+    out_bytes = Path(args.output).stat().st_size
+    print(
+        f"{args.output}: {nframes} steps, {in_bytes} B -> {out_bytes} B "
+        f"(CR {in_bytes / out_bytes:.2f})"
+    )
+    return 0
+
+
 def cmd_decompress(args: argparse.Namespace) -> int:
-    blob = Path(args.input).read_bytes()
-    if args.level is not None:
-        arr = decompress_progressive(blob, args.level, threads=args.threads)
-    else:
-        arr = decompress(blob, threads=args.threads)
+    with open(args.input, "rb") as fh:
+        if is_multiframe(fh):
+            if args.level is not None:
+                raise SystemExit(
+                    "--level only applies to single-frame archives"
+                )
+            # file source: only the table and the needed frames are read
+            sd = StreamingDecompressor(fh, threads=args.threads)
+            if sd.nframes == 0:
+                raise SystemExit(f"{args.input}: archive has no frames")
+            if args.frame is not None:
+                arr = sd.read_frame(args.frame)
+            else:
+                # all steps, stacked along a new leading time axis
+                arr = np.stack(list(sd), axis=0)
+        elif args.frame is not None:
+            raise SystemExit("--frame only applies to multi-frame archives")
+        else:
+            blob = fh.read()
+            if args.level is not None:
+                arr = decompress_progressive(
+                    blob, args.level, threads=args.threads
+                )
+            else:
+                arr = decompress(blob, threads=args.threads)
     _save_array(args.output, arr)
     print(f"{args.output}: {arr.shape} {arr.dtype}")
     return 0
@@ -101,7 +179,22 @@ def cmd_roi(args: argparse.Namespace) -> int:
 
 
 def cmd_info(args: argparse.Namespace) -> int:
-    reader = StreamReader(Path(args.input).read_bytes())
+    with open(args.input, "rb") as fh:
+        if is_multiframe(fh):
+            sd = StreamingDecompressor(fh)
+            h = sd.reader.open_frame(0).header if sd.nframes else None
+            print(f"frames     : {sd.nframes} (multi-frame container v2)")
+            if h is not None:
+                print(
+                    f"shape      : {'x'.join(map(str, h.shape))} ({h.dtype})"
+                )
+                print(f"error bound: {h.abs_eb:g}")
+            for f in sd.reader.frames:
+                kind = "delta" if f.is_delta else "intra"
+                print(f"  frame {f.index:>4d}  {kind:5s} {f.length:>10d} B")
+            return 0
+        blob = fh.read()
+    reader = StreamReader(blob)
     h = reader.header
     cfg = h.config
     print(f"shape      : {'x'.join(map(str, h.shape))} ({h.dtype})")
@@ -140,12 +233,49 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--threads", type=int, default=None)
     c.set_defaults(fn=cmd_compress)
 
+    s = sub.add_parser(
+        "stream",
+        help="compress a time-step sequence into a multi-frame archive",
+    )
+    s.add_argument("output", help="output multi-frame .stz container")
+    s.add_argument(
+        "inputs", nargs="+",
+        help=".npy/raw files, one time step each (see --time-axis)",
+    )
+    s.add_argument("--eb", type=float, required=True, help="error bound")
+    s.add_argument(
+        "--mode", choices=("abs", "rel"), default="rel",
+        help="rel resolves against the first step's value range",
+    )
+    s.add_argument(
+        "--time-axis", type=int, default=None,
+        help="split every input file into steps along this axis "
+        "(default: one step per file)",
+    )
+    s.add_argument(
+        "--keyframe-interval", type=int, default=DEFAULT_KEYFRAME_INTERVAL,
+        help="intra-frame cadence; 1 disables temporal prediction",
+    )
+    s.add_argument("--levels", type=int, default=3)
+    s.add_argument(
+        "--interp", choices=("direct", "linear", "cubic"), default="cubic"
+    )
+    s.add_argument("--shape", help="dims of one raw input, e.g. 64,64,64")
+    s.add_argument("--dtype", help="dtype for raw input, e.g. float32")
+    s.add_argument("--threads", type=int, default=None)
+    s.set_defaults(fn=cmd_stream)
+
     d = sub.add_parser("decompress", help="reconstruct (optionally coarse)")
     d.add_argument("input")
     d.add_argument("output", help=".npy or raw binary output")
     d.add_argument(
         "--level", type=int, default=None,
         help="progressive level (1 = coarsest; default full)",
+    )
+    d.add_argument(
+        "--frame", type=int, default=None,
+        help="multi-frame archives: extract one time step "
+        "(default: all steps stacked along a new axis 0)",
     )
     d.add_argument("--threads", type=int, default=None)
     d.set_defaults(fn=cmd_decompress)

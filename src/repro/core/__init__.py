@@ -7,6 +7,10 @@ Public entry points:
 * :func:`repro.core.api.compress` / :func:`repro.core.api.decompress`,
 * :class:`repro.core.api.STZCompressor` — object API with progressive and
   random-access decompression,
+* :func:`repro.core.api.compress_stream` / :func:`repro.core.api.iter_decompress`
+  and :class:`repro.core.streaming.StreamingCompressor` /
+  :class:`repro.core.streaming.StreamingDecompressor` — time-step
+  sequences in the multi-frame container,
 * :mod:`repro.core.roi` — region-of-interest selection (Fig. 10).
 """
 
@@ -19,9 +23,14 @@ def __getattr__(name):  # lazy: api pulls in every submodule
     if name in (
         "STZCompressor",
         "compress",
+        "compress_stream",
         "decompress",
+        "decompress_frame",
         "decompress_progressive",
         "decompress_roi",
+        "iter_decompress",
+        "StreamingCompressor",
+        "StreamingDecompressor",
     ):
         from repro.core import api
 

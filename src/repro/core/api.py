@@ -4,12 +4,19 @@ Functional entry points (:func:`compress`, :func:`decompress`,
 :func:`decompress_progressive`, :func:`decompress_roi`) plus the
 :class:`STZCompressor` object used by the cross-compressor benchmarks
 and :class:`STZFile` for on-disk streaming access.
+
+Time-step sequences go through :func:`compress_stream` /
+:func:`iter_decompress` / :func:`decompress_frame`, thin functional
+covers over :mod:`repro.core.streaming`'s stateful
+:class:`~repro.core.streaming.StreamingCompressor` and
+:class:`~repro.core.streaming.StreamingDecompressor`.
 """
 
 from __future__ import annotations
 
 import io
 from pathlib import Path
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -18,6 +25,11 @@ from repro.core.pipeline import stz_compress, stz_decompress
 from repro.core.progressive import progressive_ladder
 from repro.core.random_access import RandomAccessResult, stz_decompress_roi
 from repro.core.stream import StreamReader
+from repro.core.streaming import (
+    DEFAULT_KEYFRAME_INTERVAL,
+    StreamingCompressor,
+    StreamingDecompressor,
+)
 
 
 def compress(
@@ -69,6 +81,51 @@ def decompress_roi_detailed(
     """Like :func:`decompress_roi` but returns the full accounting
     (stage timings, segments decoded/skipped, bytes read)."""
     return stz_decompress_roi(source, roi, threads=threads)
+
+
+def compress_stream(
+    steps: Iterable[np.ndarray],
+    eb: float,
+    eb_mode: str = "abs",
+    config: STZConfig | None = None,
+    keyframe_interval: int = DEFAULT_KEYFRAME_INTERVAL,
+    threads: int | None = None,
+) -> bytes:
+    """Compress an iterable of equal-shape time steps into one
+    multi-frame archive.
+
+    ``steps`` is consumed lazily one step at a time (a generator works
+    and keeps memory at O(1 step)); each step is temporally
+    delta-predicted from the previous step's reconstruction, with an
+    intra frame every ``keyframe_interval`` steps.  To stream frames to
+    disk instead of accumulating the archive in memory, use
+    :class:`~repro.core.streaming.StreamingCompressor` with a ``sink``.
+    """
+    with StreamingCompressor(
+        eb, eb_mode, config, keyframe_interval, threads=threads
+    ) as sc:
+        sc.extend(steps)
+        return sc.close()
+
+
+def iter_decompress(
+    source: bytes | memoryview | io.IOBase, threads: int | None = None
+) -> Iterator[np.ndarray]:
+    """Yield the reconstruction of each time step of a multi-frame
+    archive in order, decoding each frame exactly once (O(1 step)
+    memory)."""
+    return iter(StreamingDecompressor(source, threads=threads))
+
+
+def decompress_frame(
+    source: bytes | memoryview | io.IOBase,
+    index: int,
+    threads: int | None = None,
+) -> np.ndarray:
+    """Random access to one time step of a multi-frame archive (rolls
+    forward from the nearest keyframe; see
+    :class:`~repro.core.streaming.StreamingDecompressor`)."""
+    return StreamingDecompressor(source, threads=threads).read_frame(index)
 
 
 class STZCompressor:

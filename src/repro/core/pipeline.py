@@ -184,6 +184,27 @@ def stz_compress(
     ``config.adaptive_eb``), so the container-wide guarantee is
     ``max|x - x_hat| <= abs_eb``.
     """
+    return stz_compress_with_recon(data, eb, eb_mode, config, threads)[0]
+
+
+def stz_compress_with_recon(
+    data: np.ndarray,
+    eb: float,
+    eb_mode: str = "abs",
+    config: STZConfig | None = None,
+    threads: int | None = None,
+) -> tuple[bytes, np.ndarray]:
+    """:func:`stz_compress` plus the decompressor's exact reconstruction.
+
+    The encoder already tracks the decoded values level by level (it
+    must, to keep prediction consistent), so the final prediction basis
+    ``C`` *is* the full-resolution array :func:`stz_decompress` will
+    produce — bit for bit.  Callers that need both, like the streaming
+    subsystem's closed-loop temporal predictor
+    (:mod:`repro.core.streaming`), avoid a decompression pass per frame.
+    The ``partition_only`` ablation tracks no reconstruction and falls
+    back to an explicit round-trip.
+    """
     config = config or STZConfig()
     data = as_float_array(data)
     if data.ndim > _ZERO_EPS_LIMIT:
@@ -195,7 +216,8 @@ def stz_compress(
 
     if config.partition_only:
         _compress_partition_only(data, abs_eb, config, writer, threads)
-        return writer.tobytes()
+        blob = writer.tobytes()
+        return blob, stz_decompress(blob)
 
     # level 1: embedded SZ3 on the coarsest lattice; the encoder tracks
     # the decoder's exact reconstruction, so no decompression round-trip
@@ -245,7 +267,7 @@ def stz_compress(
             blocks[eps] = recon
         C = interleave(C, blocks, fine_shape)
 
-    return writer.tobytes()
+    return writer.tobytes(), C
 
 
 def _compress_level_q(

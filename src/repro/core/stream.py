@@ -25,6 +25,27 @@ Layout (little-endian)::
 
 ``eps_mask`` packs the parity offset bitwise (bit a = offset along axis
 a); segment kinds are in :data:`KIND_NAMES`.
+
+Container v2 (multi-frame) wraps a *sequence* of the containers above —
+one complete, independently decodable STZ1 blob per time step — for the
+streaming subsystem (:mod:`repro.core.streaming`).  Layout::
+
+    magic 'STZM' | u8 version | u8 flags | u16 reserved
+    frame payloads back to back (each a full STZ1 container)
+    frame table: nframes x { u64 offset, u64 length, u8 flags, 7 pad }
+    trailer: u64 table_offset | u32 nframes | magic 'STZE'
+
+The frame table lives at the *end*, located through the fixed-size
+trailer, so a :class:`MultiFrameWriter` only ever appends — frames
+stream to disk as they are produced, with O(1 frame) writer memory.
+Per-frame flags reuse the PR-1 flag-bit mechanism: bit 0
+(:data:`FRAME_DELTA`) marks a temporal-delta frame whose payload
+encodes ``step - recon(previous step)``, and unknown bits are rejected
+at open for the same reason unknown STZ1 header flags are — a flag bit
+may change decode semantics, and ignoring one would produce
+plausible-looking garbage outside the hard error bound.  Single-frame
+STZ1 archives are untouched by all of this (the golden-container tests
+pin their bytes), and :class:`StreamReader` keeps decoding them.
 """
 
 from __future__ import annotations
@@ -42,6 +63,20 @@ from repro.util.validation import dtype_code, dtype_from_code
 
 MAGIC = b"STZ1"
 VERSION = 1
+
+MULTI_MAGIC = b"STZM"
+MULTI_END_MAGIC = b"STZE"
+MULTI_VERSION = 1
+
+#: frame payload is the STZ1 compression of ``step - prev_recon``; the
+#: decoder must add the previous frame's reconstruction back
+FRAME_DELTA = 1
+#: frame flags this reader understands (unknown bits are rejected at
+#: open, mirroring the STZ1 header-flag policy)
+_KNOWN_FRAME_FLAGS = FRAME_DELTA
+#: container-level v2 flags (none defined yet; the field exists so a
+#: future semantic change can be rejected by today's readers)
+_KNOWN_MULTI_FLAGS = 0
 
 KIND_L1_SZ3 = 0  # coarsest level, full SZ3 container
 KIND_RESIDUAL_Q = 1  # quantized prediction residuals (+ Huffman)
@@ -76,6 +111,19 @@ _KNOWN_FLAGS = _FLAG_PARTITION_ONLY | _FLAG_ADAPTIVE | _FLAG_F32_QUANT
 
 _FIXED = struct.Struct("<4sBBBBBBBBddII")
 _SEG = struct.Struct("<BBBBQQ")
+_MULTI_FIXED = struct.Struct("<4sBBH")
+_MULTI_TRAILER = struct.Struct("<QI4s")
+_FRAME = struct.Struct("<QQB7x")
+#: numpy mirror of ``_FRAME`` — table emitted/parsed in one shot
+_FRAME_DTYPE = np.dtype(
+    [
+        ("offset", "<u8"),
+        ("length", "<u8"),
+        ("flags", "u1"),
+        ("pad", "u1", (7,)),
+    ]
+)
+assert _FRAME_DTYPE.itemsize == _FRAME.size
 #: numpy mirror of ``_SEG`` — lets the writer emit and the reader parse
 #: the whole segment table with one vectorized call instead of a
 #: per-segment ``struct`` loop
@@ -246,6 +294,11 @@ class StreamReader:
             nseg,
         ) = _FIXED.unpack(head)
         if magic != MAGIC:
+            if magic == MULTI_MAGIC:
+                raise ValueError(
+                    "multi-frame STZ container; open it with "
+                    "MultiFrameReader / the streaming API"
+                )
             raise ValueError("not an STZ container")
         if version != VERSION:
             raise ValueError(f"unsupported STZ container version {version}")
@@ -307,3 +360,211 @@ class StreamReader:
         """
         self.bytes_read += seg.length
         return self._read_at(self._payload_start + seg.offset, seg.length)
+
+
+# ---------------------------------------------------------------------------
+# container v2: multi-frame archives
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FrameInfo:
+    """One entry of the v2 frame table."""
+
+    index: int
+    offset: int  # absolute, from container start
+    length: int
+    flags: int
+
+    @property
+    def is_delta(self) -> bool:
+        return bool(self.flags & FRAME_DELTA)
+
+
+def is_multiframe(source: bytes | memoryview | io.IOBase) -> bool:
+    """Whether ``source`` starts with the v2 multi-frame magic.
+
+    File sources are restored to their prior position, so sniffing is
+    safe before handing the object to either reader.
+    """
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        return bytes(memoryview(source)[:4]) == MULTI_MAGIC
+    pos = source.tell()
+    head = source.read(4)
+    source.seek(pos)
+    return head == MULTI_MAGIC
+
+
+class MultiFrameWriter:
+    """Append-only writer for multi-frame (container v2) archives.
+
+    Frames — complete STZ1 blobs — are written to ``sink`` as they
+    arrive; only the per-frame table rows (24 bytes each) are retained,
+    so writer memory is O(1 frame) regardless of stream length.  The
+    table and trailer land at the end on :meth:`finalize`, which means
+    the sink is never seeked: any append-only byte sink works.  With no
+    ``sink`` an in-memory buffer is used and :meth:`getvalue` returns
+    the archive bytes.
+    """
+
+    def __init__(self, sink: io.IOBase | None = None):
+        self._own = sink is None
+        self._sink: io.IOBase = io.BytesIO() if sink is None else sink
+        self._sink.write(
+            _MULTI_FIXED.pack(MULTI_MAGIC, MULTI_VERSION, 0, 0)
+        )
+        self._pos = _MULTI_FIXED.size
+        self._offsets: list[int] = []
+        self._lengths: list[int] = []
+        self._flags: list[int] = []
+        self._finalized = False
+
+    @property
+    def nframes(self) -> int:
+        return len(self._offsets)
+
+    @property
+    def in_memory(self) -> bool:
+        """Whether the writer owns an in-memory sink (:meth:`getvalue`
+        is only valid then)."""
+        return self._own
+
+    def add_frame(self, payload: bytes | memoryview, flags: int = 0) -> FrameInfo:
+        """Append one frame; returns its table entry."""
+        if self._finalized:
+            raise ValueError("archive already finalized")
+        if flags & ~_KNOWN_FRAME_FLAGS:
+            raise ValueError(f"unknown frame flags 0x{flags:02x}")
+        info = FrameInfo(self.nframes, self._pos, len(payload), flags)
+        self._offsets.append(info.offset)
+        self._lengths.append(info.length)
+        self._flags.append(flags)
+        self._sink.write(payload)
+        self._pos += info.length
+        return info
+
+    def finalize(self) -> None:
+        """Write the frame table and trailer (idempotent)."""
+        if self._finalized:
+            return
+        table = np.zeros(self.nframes, dtype=_FRAME_DTYPE)
+        table["offset"] = self._offsets
+        table["length"] = self._lengths
+        table["flags"] = self._flags
+        self._sink.write(table.tobytes())
+        self._sink.write(
+            _MULTI_TRAILER.pack(self._pos, self.nframes, MULTI_END_MAGIC)
+        )
+        self._finalized = True
+
+    def getvalue(self) -> bytes:
+        """The finished archive (in-memory sinks only)."""
+        if not self._own:
+            raise ValueError("writer streams to an external sink")
+        self.finalize()
+        return self._sink.getvalue()
+
+
+class MultiFrameReader:
+    """Random-access reader for multi-frame archives.
+
+    Opening parses only the 8-byte head, the 16-byte trailer and the
+    frame table; frame payloads are fetched on demand, so random access
+    to frame ``k`` of a file archive reads exactly that frame's bytes.
+    Unknown container or frame flag bits are rejected at open (they may
+    change decode semantics — see the module docstring).
+    """
+
+    def __init__(self, source: bytes | memoryview | io.IOBase):
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            self._buf: memoryview | None = memoryview(source)
+            self._file: io.IOBase | None = None
+            total = len(self._buf)
+        else:
+            self._buf = None
+            self._file = source
+            total = source.seek(0, io.SEEK_END)
+        if total < _MULTI_FIXED.size + _MULTI_TRAILER.size:
+            raise ValueError("truncated multi-frame STZ container")
+        magic, version, flags, _ = _MULTI_FIXED.unpack(
+            self._read_at(0, _MULTI_FIXED.size)
+        )
+        if magic != MULTI_MAGIC:
+            if magic == MAGIC:
+                raise ValueError(
+                    "single-frame STZ container; open it with StreamReader"
+                )
+            raise ValueError("not a multi-frame STZ container")
+        if version != MULTI_VERSION:
+            raise ValueError(
+                f"unsupported multi-frame container version {version}"
+            )
+        if flags & ~_KNOWN_MULTI_FLAGS:
+            raise ValueError(
+                "container uses unknown feature flags "
+                f"0x{flags & ~_KNOWN_MULTI_FLAGS:02x}; upgrade the reader"
+            )
+        table_off, nframes, end_magic = _MULTI_TRAILER.unpack(
+            self._read_at(total - _MULTI_TRAILER.size, _MULTI_TRAILER.size)
+        )
+        if end_magic != MULTI_END_MAGIC:
+            raise ValueError("truncated multi-frame STZ container")
+        if table_off + _FRAME.size * nframes + _MULTI_TRAILER.size != total:
+            raise ValueError("corrupt multi-frame table geometry")
+        table = np.frombuffer(
+            self._read_at(table_off, _FRAME.size * nframes),
+            dtype=_FRAME_DTYPE,
+        )
+        self.frames: tuple[FrameInfo, ...] = tuple(
+            FrameInfo(i, int(off), int(length), int(fl))
+            for i, (off, length, fl) in enumerate(
+                zip(
+                    table["offset"].tolist(),
+                    table["length"].tolist(),
+                    table["flags"].tolist(),
+                )
+            )
+        )
+        for f in self.frames:
+            if f.flags & ~_KNOWN_FRAME_FLAGS:
+                raise ValueError(
+                    f"frame {f.index} uses unknown frame flags "
+                    f"0x{f.flags & ~_KNOWN_FRAME_FLAGS:02x}; "
+                    "upgrade the reader"
+                )
+            if f.offset + f.length > table_off:
+                raise ValueError("corrupt multi-frame table geometry")
+        if self.frames and self.frames[0].is_delta:
+            raise ValueError("frame 0 cannot be a temporal delta")
+        self.bytes_read = 0  # frame payload bytes actually fetched
+
+    @property
+    def nframes(self) -> int:
+        return len(self.frames)
+
+    def _read_at(self, offset: int, length: int) -> bytes | memoryview:
+        if self._buf is not None:
+            if offset + length > len(self._buf):
+                raise ValueError("truncated multi-frame STZ container")
+            return self._buf[offset : offset + length]
+        self._file.seek(offset)
+        data = self._file.read(length)
+        if len(data) != length:
+            raise ValueError("truncated multi-frame STZ container")
+        return data
+
+    def frame(self, index: int) -> FrameInfo:
+        if not (0 <= index < self.nframes):
+            raise IndexError(
+                f"frame index {index} out of range [0, {self.nframes})"
+            )
+        return self.frames[index]
+
+    def read_frame(self, index: int) -> bytes | memoryview:
+        """The STZ1 payload of frame ``index`` (zero-copy in memory)."""
+        info = self.frame(index)
+        self.bytes_read += info.length
+        return self._read_at(info.offset, info.length)
+
+    def open_frame(self, index: int) -> StreamReader:
+        """A :class:`StreamReader` over frame ``index``'s payload."""
+        return StreamReader(self.read_frame(index))

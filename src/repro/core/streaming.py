@@ -1,0 +1,286 @@
+"""Stateful streaming compression of time-step sequences (container v2).
+
+Scientific simulations (WarpX, Nyx, ...) emit one field snapshot per
+time step, and consecutive snapshots are highly correlated.  The
+batch pipeline in :mod:`repro.core.pipeline` treats every array as an
+island; this module adds the temporal dimension on top of it without
+touching the per-frame format:
+
+* :class:`StreamingCompressor` accepts steps one at a time under a
+  bounded-memory window — it holds the previous step's *reconstruction*
+  (never the raw inputs) plus one in-flight frame, so memory is O(1
+  step) for arbitrarily long sequences.
+* Each step is compressed as a *temporal delta*: the residual
+  ``step - recon(previous step)`` runs through the full spatial STZ
+  cascade (SZ3 level 1 + interpolation levels, the batched
+  ``quantize_many``/``huffman_encode_many`` encode path).  Prediction
+  is closed-loop — the delta is taken against the decoder's exact
+  reconstruction (:func:`repro.core.pipeline.stz_compress_with_recon`),
+  so per-step errors never accumulate: every step individually
+  satisfies ``max|x_t - x_hat_t| <= abs_eb``.
+* Every ``keyframe_interval``-th step is encoded *intra* (no temporal
+  prediction), which bounds the roll-forward cost of random access to
+  any frame; frame 0 is always intra.
+* Frames land in the v2 multi-frame container
+  (:class:`repro.core.stream.MultiFrameWriter`): each one is a
+  complete, independently seekable STZ1 blob, with the temporal-delta
+  fact recorded as a per-frame flag bit.
+
+The hard bound on delta frames deserves a note.  The decoder computes
+``recon_t = recon_{t-1} + decode(frame_t)`` in the payload dtype; the
+encoder performs the bit-identical addition with bit-identical operands
+(both reconstructions are decoder-exact by induction), so it *knows*
+the decoder's output and verifies ``max|step - recon_t| <= abs_eb`` in
+exact float64.  The spatial pipeline guarantees the residual itself is
+within the bound, but the final addition can round in float32 near the
+bound edge; on the (rare) step where verification fails, the encoder
+falls back to an intra frame — the guarantee stays hard instead of
+probabilistic.  :class:`StreamingDecompressor` mirrors all of this and
+serves both sequential iteration (O(1) work per step via a one-frame
+cache) and per-frame random access (roll-forward from the nearest
+keyframe at or before the request).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import STZConfig
+from repro.core.pipeline import stz_compress_with_recon, stz_decompress
+from repro.core.stream import (
+    FRAME_DELTA,
+    FrameInfo,
+    MultiFrameReader,
+    MultiFrameWriter,
+)
+from repro.util.validation import as_float_array, resolve_eb
+
+#: default intra-frame cadence: random access rolls forward through at
+#: most this many delta frames
+DEFAULT_KEYFRAME_INTERVAL = 8
+
+
+@dataclass(frozen=True)
+class FrameStats:
+    """Accounting for one appended step."""
+
+    index: int
+    nbytes: int
+    is_delta: bool
+    #: the delta encoding was attempted but its closed-loop verification
+    #: exceeded the bound (float32 rounding of the final addition), so
+    #: the step was re-encoded intra
+    fallback: bool
+
+
+class StreamingCompressor:
+    """Compress a sequence of equal-shape time steps, one at a time.
+
+    Parameters
+    ----------
+    eb, eb_mode:
+        Error bound for *every* step.  ``"rel"`` resolves against the
+        value range of the first step and then stays fixed, so the
+        whole stream shares one absolute bound (a per-step relative
+        bound would make the guarantee depend on decode order).
+    config:
+        Spatial pipeline configuration, applied per frame.
+    keyframe_interval:
+        Every ``k``-th frame is encoded intra; 1 disables temporal
+        prediction entirely.
+    sink:
+        Optional append-only binary sink (e.g. a file opened ``"wb"``).
+        Frames stream straight into it; without a sink the archive
+        accumulates in memory and :meth:`close` returns the bytes.
+    threads:
+        Passed through to the spatial pipeline (the paper's OMP mode).
+    """
+
+    def __init__(
+        self,
+        eb: float,
+        eb_mode: str = "abs",
+        config: STZConfig | None = None,
+        keyframe_interval: int = DEFAULT_KEYFRAME_INTERVAL,
+        sink: io.IOBase | None = None,
+        threads: int | None = None,
+    ):
+        if keyframe_interval < 1:
+            raise ValueError("keyframe_interval must be >= 1")
+        self.eb = eb
+        self.eb_mode = eb_mode
+        self.config = config or STZConfig()
+        self.keyframe_interval = int(keyframe_interval)
+        self.threads = threads
+        self._writer = MultiFrameWriter(sink)
+        self.abs_eb: float | None = None  # resolved at the first step
+        self._shape: tuple[int, ...] | None = None
+        self._dtype: np.dtype | None = None
+        self._prev_recon: np.ndarray | None = None
+        self._result: bytes | None = None
+        self._closed = False
+
+    @property
+    def nframes(self) -> int:
+        return self._writer.nframes
+
+    def _delta_eb(self, step: np.ndarray) -> float:
+        """Residual bound for a delta frame: the user bound minus the
+        worst-case rounding of the decoder's final ``prev + residual``
+        addition (0.5 ulp at the reconstruction's magnitude).  The
+        spatial pipeline uses its bound fully — quantized points sit up
+        to exactly ``eb`` off — so without this headroom the edge points
+        spill past the user bound and every delta frame would fail
+        closed-loop verification.  Nonpositive means the bound is below
+        the dtype's resolution at this data scale and delta frames
+        cannot guarantee it — the caller encodes intra instead.
+        """
+        if self._prev_recon is None or not step.size:
+            return self.abs_eb
+        scale = float(np.max(np.abs(self._prev_recon))) + self.abs_eb
+        ulp = 2.0**-23 if step.dtype == np.float32 else 2.0**-52
+        return self.abs_eb - scale * ulp
+
+    def append(self, step: np.ndarray) -> FrameStats:
+        """Compress and write one time step; returns its accounting."""
+        if self._closed:
+            raise ValueError("compressor already closed")
+        step = as_float_array(np.asarray(step))
+        if self._shape is None:
+            self._shape = step.shape
+            self._dtype = step.dtype
+            self.abs_eb = resolve_eb(step, self.eb, self.eb_mode)
+        elif step.shape != self._shape or step.dtype != self._dtype:
+            raise ValueError(
+                f"step {self.nframes} is {step.shape} {step.dtype}; "
+                f"stream is {self._shape} {self._dtype}"
+            )
+        index = self.nframes
+        fallback = False
+        delta_eb = self._delta_eb(step)
+        if (
+            self._prev_recon is not None
+            and index % self.keyframe_interval
+            and delta_eb > 0
+        ):
+            blob, resid_recon = stz_compress_with_recon(
+                step - self._prev_recon,
+                delta_eb,
+                "abs",
+                self.config,
+                self.threads,
+            )
+            # the decoder's exact output for this frame — verify the
+            # end-to-end bound in float64 before committing (see module
+            # docstring for why the final addition can spill)
+            recon = self._prev_recon + resid_recon
+            err = (
+                float(
+                    np.max(
+                        np.abs(
+                            recon.astype(np.float64)
+                            - step.astype(np.float64)
+                        )
+                    )
+                )
+                if step.size
+                else 0.0
+            )
+            if err <= self.abs_eb:
+                self._writer.add_frame(blob, FRAME_DELTA)
+                self._prev_recon = recon
+                return FrameStats(index, len(blob), True, False)
+            fallback = True
+        blob, recon = stz_compress_with_recon(
+            step, self.abs_eb, "abs", self.config, self.threads
+        )
+        self._writer.add_frame(blob)
+        self._prev_recon = recon
+        return FrameStats(index, len(blob), False, fallback)
+
+    def extend(self, steps) -> list[FrameStats]:
+        """Append every step of an iterable (consumed lazily)."""
+        return [self.append(step) for step in steps]
+
+    def close(self) -> bytes | None:
+        """Finalize the archive.  Returns its bytes for in-memory
+        sinks, ``None`` when streaming to an external sink (idempotent
+        either way)."""
+        if not self._closed:
+            self._writer.finalize()
+            self._result = (
+                self._writer.getvalue() if self._writer.in_memory else None
+            )
+            self._prev_recon = None
+            self._closed = True
+        return self._result
+
+    def __enter__(self) -> "StreamingCompressor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class StreamingDecompressor:
+    """Decode a multi-frame archive sequentially or by frame index.
+
+    Holds at most one reconstruction (the last frame decoded), so
+    iterating an arbitrarily long archive is O(1 step) memory, and
+    sequential access decodes each frame exactly once.  Random access
+    to frame ``k`` rolls forward from the nearest intra frame at or
+    before ``k`` — at most ``keyframe_interval - 1`` extra decodes —
+    or from the cache when it is closer.
+    """
+
+    def __init__(
+        self, source: bytes | memoryview | io.IOBase, threads: int | None = None
+    ):
+        self.reader = MultiFrameReader(source)
+        self.threads = threads
+        self._cache_index = -1
+        self._cache: np.ndarray | None = None
+
+    @property
+    def nframes(self) -> int:
+        return self.reader.nframes
+
+    def __len__(self) -> int:
+        return self.nframes
+
+    def frame_info(self, index: int) -> FrameInfo:
+        return self.reader.frame(index)
+
+    def _decode_one(self, index: int) -> np.ndarray:
+        """Decode frame ``index`` given its predecessor in the cache."""
+        arr = stz_decompress(
+            self.reader.read_frame(index), threads=self.threads
+        )
+        if self.reader.frame(index).is_delta:
+            # bit-identical to the encoder's commit-time addition
+            arr = self._cache + arr
+        self._cache = arr
+        self._cache_index = index
+        return arr
+
+    def read_frame(self, index: int) -> np.ndarray:
+        """The reconstruction of time step ``index`` (a private copy —
+        mutating it cannot corrupt later decodes)."""
+        info = self.reader.frame(index)  # validates the index
+        if index == self._cache_index:
+            return self._cache.copy()
+        start = index
+        while self.reader.frame(start).is_delta:
+            start -= 1  # frame 0 is intra (enforced at open)
+        if info.is_delta and start <= self._cache_index < index:
+            start = self._cache_index + 1  # resume from the cache
+        for i in range(start, index + 1):
+            recon = self._decode_one(i)
+        return recon.copy()
+
+    def __iter__(self):
+        for index in range(self.nframes):
+            yield self.read_frame(index)

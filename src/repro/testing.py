@@ -1,0 +1,56 @@
+"""Shared synthetic-volume fixtures for the test and benchmark trees.
+
+``tests/conftest.py`` and ``benchmarks/conftest.py`` used to each
+define their own copies of these fixtures; both now import from here,
+so the two trees cannot drift apart (pytest discovers fixtures by name
+in whatever conftest namespace they are imported into).  The module
+also re-exports :func:`smooth_field` and :func:`max_err`, the helper
+pair every test module pulls from its conftest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import smooth_field  # noqa: F401
+from repro.metrics.error import max_abs_error as max_err  # noqa: F401
+
+
+@pytest.fixture
+def smooth3d_f32() -> np.ndarray:
+    return smooth_field((32, 32, 32), seed=1).astype(np.float32)
+
+
+@pytest.fixture
+def smooth3d_f64() -> np.ndarray:
+    return smooth_field((24, 20, 28), seed=2)
+
+
+@pytest.fixture
+def smooth2d_f32() -> np.ndarray:
+    return smooth_field((48, 40), seed=3).astype(np.float32)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def evolving_field(
+    nsteps: int,
+    shape: tuple[int, ...] = (16, 16, 16),
+    dtype=np.float32,
+    scale: float = 0.05,
+    seed: int = 7,
+    step_seed: int = 300,
+):
+    """Lazily yield a slowly evolving deterministic sequence: each step
+    adds a small smooth forcing term to the previous one (the
+    delta-friendly shape the streaming tests and benchmarks share)."""
+    field = smooth_field(shape, seed=seed).astype(dtype)
+    for t in range(nsteps):
+        field = field + dtype(scale) * smooth_field(
+            shape, seed=step_seed + t
+        ).astype(dtype)
+        yield field

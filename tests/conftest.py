@@ -1,32 +1,16 @@
-"""Shared fixtures: small deterministic fields for fast tests."""
+"""Shared fixtures: small deterministic fields for fast tests.
+
+The fixture bodies live in :mod:`repro.testing` — one definition shared
+with ``benchmarks/conftest.py``, so the two trees cannot drift apart.
+"""
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
-
-# one definition shared with benchmarks/conftest.py — kept in the
-# package so the two trees cannot drift apart
-from repro.datasets.synthetic import smooth_field  # noqa: E402,F401
-from repro.metrics.error import max_abs_error as max_err  # noqa: E402,F401
-
-
-@pytest.fixture
-def smooth3d_f32() -> np.ndarray:
-    return smooth_field((32, 32, 32), seed=1).astype(np.float32)
-
-
-@pytest.fixture
-def smooth3d_f64() -> np.ndarray:
-    return smooth_field((24, 20, 28), seed=2)
-
-
-@pytest.fixture
-def smooth2d_f32() -> np.ndarray:
-    return smooth_field((48, 40), seed=3).astype(np.float32)
-
-
-@pytest.fixture
-def rng() -> np.random.Generator:
-    return np.random.default_rng(1234)
+from repro.testing import (  # noqa: F401
+    max_err,
+    rng,
+    smooth2d_f32,
+    smooth3d_f32,
+    smooth3d_f64,
+    smooth_field,
+)

@@ -1,0 +1,72 @@
+"""Regenerate the golden container fixtures (run from the repo root).
+
+    PYTHONPATH=src python tests/golden/make_golden.py
+
+The committed fixtures lock the container formats: inputs are stored as
+``.npy`` (so no synthetic-generator drift can sneak in), and for each
+input both the archive the writer produced *and* the reconstruction the
+reader produced are committed.  ``tests/test_golden.py`` then asserts
+that today's encoder still reproduces the archives byte-for-byte and
+today's reader still decodes them bit-exactly.  Only regenerate after
+an *intentional*, flag-gated format change — and when you do, keep the
+old fixtures decoding (that is the backward-compat contract the flag
+mechanism exists for).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.api import compress_stream
+from repro.core.config import STZConfig
+from repro.core.pipeline import stz_compress, stz_decompress
+from repro.core.streaming import StreamingDecompressor
+from repro.datasets.synthetic import smooth_field
+
+HERE = Path(__file__).parent
+
+#: (name, shape, dtype, abs_eb, config kwargs) for single-frame fixtures
+SINGLE = [
+    ("single_f32", (12, 10, 8), np.float32, 4e-3, {}),
+    (
+        "single_f64",
+        (9, 7),
+        np.float64,
+        1e-5,
+        {"levels": 2, "interp": "linear", "f32_quant": False},
+    ),
+]
+
+
+def main() -> None:
+    for name, shape, dtype, eb, cfg_kw in SINGLE:
+        data = smooth_field(shape, seed=21).astype(dtype)
+        blob = stz_compress(data, eb, "abs", STZConfig(**cfg_kw))
+        np.save(HERE / f"{name}_input.npy", data)
+        (HERE / f"{name}.stz").write_bytes(blob)
+        np.save(HERE / f"{name}_recon.npy", stz_decompress(blob))
+        print(f"{name}: {data.nbytes} B -> {len(blob)} B")
+
+    base = smooth_field((8, 6, 4), seed=22).astype(np.float32)
+    steps = np.stack(
+        [
+            base
+            + np.float32(0.05)
+            * smooth_field((8, 6, 4), seed=50 + t).astype(np.float32)
+            for t in range(3)
+        ]
+    )
+    blob = compress_stream(list(steps), 4e-3, keyframe_interval=2)
+    np.save(HERE / "multi_input.npy", steps)
+    (HERE / "multi.stz").write_bytes(blob)
+    np.save(
+        HERE / "multi_recon.npy",
+        np.stack(list(StreamingDecompressor(blob))),
+    )
+    print(f"multi: {steps.nbytes} B -> {len(blob)} B")
+
+
+if __name__ == "__main__":
+    main()

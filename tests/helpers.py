@@ -1,0 +1,66 @@
+"""Shared test helpers: the hard error-bound assertion and the codec
+registry the conformance suite sweeps.
+
+``assert_error_bounded`` is the single definition of what "error
+bounded" means in this repo: point-wise, in exact float64, with
+non-finite points required to be stored exactly.  Every codec claims
+this guarantee; every test that checks it should go through here so a
+weakening of the check cannot slip in per test file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import stz_compress, stz_decompress
+from repro.mgard.codec import mgard_compress, mgard_decompress
+from repro.sperr.codec import sperr_compress, sperr_decompress
+from repro.sz3.compressor import sz3_compress, sz3_decompress
+
+
+def assert_error_bounded(
+    orig: np.ndarray, recon: np.ndarray, eb: float, context: str = ""
+) -> None:
+    """Assert ``max|orig - recon| <= eb`` point-wise in float64.
+
+    Shapes must match; non-finite originals (NaN/inf) must be
+    reproduced bit-exactly, since no finite bound covers them.  The
+    failure message reports the worst offender's flat index and values.
+    """
+    prefix = f"{context}: " if context else ""
+    assert recon.shape == orig.shape, (
+        f"{prefix}shape {recon.shape} != original {orig.shape}"
+    )
+    o = np.asarray(orig, dtype=np.float64).reshape(-1)
+    r = np.asarray(recon, dtype=np.float64).reshape(-1)
+    finite = np.isfinite(o)
+    if not finite.all():
+        # NaN != NaN, so "stored exactly" means identical bit patterns
+        exact = (
+            np.asarray(orig).reshape(-1)[~finite].tobytes()
+            == np.asarray(recon).reshape(-1)[~finite].tobytes()
+        )
+        assert exact, (
+            f"{prefix}{int((~finite).sum())} non-finite point(s) "
+            "not stored exactly"
+        )
+    err = np.abs(o[finite] - r[finite])
+    if err.size == 0:
+        return
+    worst = int(np.argmax(err))
+    assert err[worst] <= eb, (
+        f"{prefix}error bound violated: |{o[finite][worst]!r} - "
+        f"{r[finite][worst]!r}| = {err[worst]:.6g} > eb = {eb:.6g} "
+        f"(flat index {np.flatnonzero(finite)[worst]})"
+    )
+
+
+#: name -> (compress(data, abs_eb) -> bytes, decompress(blob) -> array);
+#: every codec claiming the hard L-infinity guarantee, swept by
+#: tests/test_conformance.py
+BOUNDED_CODECS = {
+    "stz": (lambda d, e: stz_compress(d, e, "abs"), stz_decompress),
+    "sz3": (lambda d, e: sz3_compress(d, e, "abs"), sz3_decompress),
+    "sperr": (lambda d, e: sperr_compress(d, e, "abs"), sperr_decompress),
+    "mgard": (lambda d, e: mgard_compress(d, e, "abs"), mgard_decompress),
+}

@@ -88,3 +88,75 @@ class TestCLI:
             assert main(
                 ["compress", str(npy), str(stz), "--eb", "1e-3", *extra]
             ) == 0
+
+
+class TestCLIStream:
+    @pytest.fixture
+    def sequence(self, tmp_path):
+        steps = smooth_field((5, 16, 16, 16), seed=91).astype(np.float32)
+        path = tmp_path / "run.npy"
+        np.save(path, steps)
+        return steps, path
+
+    def test_stream_one_file_per_step(self, sequence, tmp_path, capsys):
+        steps, _ = sequence
+        paths = []
+        for t, step in enumerate(steps):
+            p = tmp_path / f"t{t}.npy"
+            np.save(p, step)
+            paths.append(str(p))
+        out = tmp_path / "steps.stz"
+        assert main(["stream", str(out), *paths, "--eb", "1e-3"]) == 0
+        assert "5 steps" in capsys.readouterr().out
+
+    def test_stream_time_axis_roundtrip(self, sequence, tmp_path, capsys):
+        steps, npy = sequence
+        arch = tmp_path / "steps.stz"
+        assert main([
+            "stream", str(arch), str(npy), "--eb", "1e-3",
+            "--time-axis", "0", "--keyframe-interval", "2",
+        ]) == 0
+        assert main(["info", str(arch)]) == 0
+        assert "multi-frame" in capsys.readouterr().out
+        # all steps, stacked
+        allout = tmp_path / "all.npy"
+        assert main(["decompress", str(arch), str(allout)]) == 0
+        rec = np.load(allout)
+        assert rec.shape == steps.shape
+        vr = float(steps[0].max() - steps[0].min())
+        assert max_err(rec, steps) <= 1e-3 * vr
+        # one frame by random access
+        one = tmp_path / "one.npy"
+        assert main(["decompress", str(arch), str(one), "--frame", "3"]) == 0
+        assert np.array_equal(np.load(one), rec[3])
+
+    def test_frame_flag_rejected_for_single_archives(self, field, tmp_path):
+        _, npy = field
+        stz = tmp_path / "f.stz"
+        main(["compress", str(npy), str(stz), "--eb", "1e-3"])
+        with pytest.raises(SystemExit):
+            main(["decompress", str(stz), str(tmp_path / "o.npy"),
+                  "--frame", "0"])
+
+    def test_stream_bad_time_axis(self, sequence, tmp_path):
+        _, npy = sequence
+        with pytest.raises(SystemExit):
+            main(["stream", str(tmp_path / "s.stz"), str(npy),
+                  "--eb", "1e-3", "--time-axis", "7"])
+
+    def test_level_flag_rejected_for_multiframe(self, sequence, tmp_path):
+        _, npy = sequence
+        arch = tmp_path / "s.stz"
+        main(["stream", str(arch), str(npy), "--eb", "1e-3",
+              "--time-axis", "0"])
+        with pytest.raises(SystemExit, match="single-frame"):
+            main(["decompress", str(arch), str(tmp_path / "o.npy"),
+                  "--level", "1"])
+
+    def test_stream_empty_input_cleans_up(self, tmp_path):
+        np.save(tmp_path / "empty.npy", np.zeros((0, 8, 8), np.float32))
+        out = tmp_path / "s.stz"
+        with pytest.raises(SystemExit, match="no time steps"):
+            main(["stream", str(out), str(tmp_path / "empty.npy"),
+                  "--eb", "1e-3", "--time-axis", "0"])
+        assert not out.exists()

@@ -1,0 +1,118 @@
+"""Golden container fixtures: the format lock.
+
+``tests/golden/`` holds archives produced by the writer at the time the
+format was frozen (see ``make_golden.py`` there), together with the
+exact inputs and the exact reconstructions.  These tests pin three
+things independently:
+
+1. **Reader stability** — today's reader decodes yesterday's archives
+   bit-exactly.  This is the contract that let the multi-frame (v2)
+   extension ship without touching single-frame STZ1 archives.
+2. **Writer stability** — today's encoder reproduces the committed
+   archives byte-for-byte from the committed inputs.  Any intentional
+   format change must be flag-gated (new flag bit or version), at
+   which point the fixtures are *extended*, not regenerated.
+3. **Unknown-flag rejection** — a tampered flag bit must hard-fail,
+   never decode to plausible garbage; that rejection is what makes the
+   flag mechanism a safe evolution path.
+"""
+
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.api import compress_stream, decompress_frame
+from repro.core.pipeline import stz_compress, stz_decompress
+from repro.core.stream import MultiFrameReader, StreamReader
+from repro.core.streaming import StreamingDecompressor
+
+GOLDEN = Path(__file__).parent / "golden"
+
+#: STZ1 fixed header: flags is byte 11 (after magic4 + 7 u8 fields)
+_STZ1_FLAGS_OFFSET = 11
+#: v2 head: flags is byte 5 (after magic4 + version)
+_MULTI_FLAGS_OFFSET = 5
+
+SINGLE_CONFIGS = [
+    ("single_f32", {}),
+    ("single_f64", {"levels": 2, "interp": "linear", "f32_quant": False}),
+]
+
+#: the archives embed DEFLATE streams, so *writer* byte-stability is
+#: only meaningful against the zlib that produced the fixtures; on a
+#: host with a different deflate (e.g. zlib-ng) the writer tests skip
+#: while the reader bit-exactness tests — the actual compat contract —
+#: still run.  Canaries cover both levels the encoders use (payloads
+#: at zlib_level=1, Huffman side tables at 6).
+_REFERENCE_ZLIB = all(
+    zlib.compress(b"stz golden canary" * 8, lvl).hex() == hexdigest
+    for lvl, hexdigest in [
+        (1, "78012b2ea95248cfcf4949cd53484ecc4b2caa2c1e1801001c7a34c1"),
+        (6, "789c2b2ea95248cfcf4949cd53484ecc4b2caa2c1e1801001c7a34c1"),
+    ]
+)
+needs_reference_zlib = pytest.mark.skipif(
+    not _REFERENCE_ZLIB, reason="non-reference zlib deflate output"
+)
+
+
+@pytest.mark.parametrize("name", [n for n, _ in SINGLE_CONFIGS])
+class TestSingleFrameGolden:
+    def test_reader_decodes_bit_exactly(self, name):
+        blob = (GOLDEN / f"{name}.stz").read_bytes()
+        expected = np.load(GOLDEN / f"{name}_recon.npy")
+        recon = stz_decompress(blob)
+        assert recon.dtype == expected.dtype
+        assert np.array_equal(recon, expected)
+
+    @needs_reference_zlib
+    def test_writer_reproduces_archive_bytes(self, name):
+        from repro.core.config import STZConfig
+
+        cfg_kw = dict(SINGLE_CONFIGS)[name]
+        data = np.load(GOLDEN / f"{name}_input.npy")
+        eb = StreamReader((GOLDEN / f"{name}.stz").read_bytes()).header.abs_eb
+        blob = stz_compress(data, eb, "abs", STZConfig(**cfg_kw))
+        assert blob == (GOLDEN / f"{name}.stz").read_bytes()
+
+    def test_unknown_flag_rejected(self, name):
+        blob = bytearray((GOLDEN / f"{name}.stz").read_bytes())
+        blob[_STZ1_FLAGS_OFFSET] |= 0x80
+        with pytest.raises(ValueError, match="unknown feature flags"):
+            StreamReader(bytes(blob))
+
+
+class TestMultiFrameGolden:
+    def test_reader_decodes_bit_exactly(self):
+        blob = (GOLDEN / "multi.stz").read_bytes()
+        expected = np.load(GOLDEN / "multi_recon.npy")
+        frames = list(StreamingDecompressor(blob))
+        assert len(frames) == expected.shape[0]
+        for t, rec in enumerate(frames):
+            assert np.array_equal(rec, expected[t]), f"frame {t}"
+        # random access must agree with the sequential decode
+        assert np.array_equal(decompress_frame(blob, 1), expected[1])
+
+    @needs_reference_zlib
+    def test_writer_reproduces_archive_bytes(self):
+        steps = np.load(GOLDEN / "multi_input.npy")
+        blob = compress_stream(list(steps), 4e-3, keyframe_interval=2)
+        assert blob == (GOLDEN / "multi.stz").read_bytes()
+
+    def test_unknown_container_flag_rejected(self):
+        blob = bytearray((GOLDEN / "multi.stz").read_bytes())
+        blob[_MULTI_FLAGS_OFFSET] |= 0x20
+        with pytest.raises(ValueError, match="unknown feature flags"):
+            MultiFrameReader(bytes(blob))
+
+    def test_unknown_flag_in_embedded_frame_rejected(self):
+        """A frame payload is a full STZ1 container, so the STZ1 flag
+        policy keeps protecting it inside the v2 wrapper."""
+        blob = bytearray((GOLDEN / "multi.stz").read_bytes())
+        frame0 = MultiFrameReader(bytes(blob)).frame(0)
+        blob[frame0.offset + _STZ1_FLAGS_OFFSET] |= 0x80
+        sd = StreamingDecompressor(bytes(blob))
+        with pytest.raises(ValueError, match="unknown feature flags"):
+            sd.read_frame(0)

@@ -1,0 +1,281 @@
+"""Streaming subsystem: multi-frame container, stateful compressor /
+decompressor, temporal prediction, bounded memory."""
+
+import io
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from conftest import smooth_field
+from helpers import assert_error_bounded
+from repro.testing import evolving_field
+from repro.core.api import compress_stream, decompress_frame, iter_decompress
+from repro.core.config import STZConfig
+from repro.core.stream import (
+    FRAME_DELTA,
+    MultiFrameReader,
+    MultiFrameWriter,
+    StreamReader,
+    is_multiframe,
+)
+from repro.core.streaming import StreamingCompressor, StreamingDecompressor
+
+
+def evolving_steps(nsteps, shape=(16, 16, 16), dtype=np.float32, scale=0.05):
+    """The shared evolving sequence, materialized (the memory test below
+    streams the generator form directly)."""
+    return list(evolving_field(nsteps, shape, dtype, scale))
+
+
+class TestMultiFrameContainer:
+    def test_writer_reader_roundtrip(self):
+        w = MultiFrameWriter()
+        w.add_frame(b"frame-zero")
+        w.add_frame(b"frame-one!", FRAME_DELTA)
+        blob = w.getvalue()
+        assert blob[:4] == b"STZM"
+        r = MultiFrameReader(blob)
+        assert r.nframes == 2
+        assert bytes(r.read_frame(0)) == b"frame-zero"
+        assert bytes(r.read_frame(1)) == b"frame-one!"
+        assert not r.frame(0).is_delta
+        assert r.frame(1).is_delta
+
+    def test_file_sink_and_source(self, tmp_path):
+        path = tmp_path / "frames.stz"
+        with open(path, "wb") as fh:
+            w = MultiFrameWriter(fh)
+            w.add_frame(b"abc")
+            w.add_frame(b"defgh", FRAME_DELTA)
+            w.finalize()
+            with pytest.raises(ValueError):
+                w.getvalue()  # external sink: bytes live in the file
+        with open(path, "rb") as fh:
+            r = MultiFrameReader(fh)
+            assert [f.length for f in r.frames] == [3, 5]
+            assert r.read_frame(1) == b"defgh"
+            assert r.bytes_read == 5  # random access read only frame 1
+
+    def test_unknown_frame_flags_rejected_by_writer(self):
+        w = MultiFrameWriter()
+        with pytest.raises(ValueError, match="unknown frame flags"):
+            w.add_frame(b"x", 0x80)
+
+    def test_unknown_container_flags_rejected(self):
+        blob = bytearray(MultiFrameWriter().getvalue())
+        blob[5] |= 0x40  # container-level flags byte
+        with pytest.raises(ValueError, match="unknown feature flags"):
+            MultiFrameReader(bytes(blob))
+
+    def test_unknown_frame_flags_rejected_by_reader(self):
+        w = MultiFrameWriter()
+        w.add_frame(b"payload")
+        blob = bytearray(w.getvalue())
+        # frame table sits right before the 16-byte trailer; the flags
+        # byte is at offset 16 of the 24-byte entry
+        table_off = len(blob) - 16 - 24
+        blob[table_off + 16] |= 0x80
+        with pytest.raises(ValueError, match="unknown frame flags"):
+            MultiFrameReader(bytes(blob))
+
+    def test_delta_frame_zero_rejected(self):
+        w = MultiFrameWriter()
+        w.add_frame(b"x", FRAME_DELTA)
+        with pytest.raises(ValueError, match="frame 0"):
+            MultiFrameReader(w.getvalue())
+
+    def test_truncation_rejected(self):
+        w = MultiFrameWriter()
+        w.add_frame(b"some payload bytes here")
+        blob = w.getvalue()
+        for cut in (len(blob) - 1, len(blob) // 2, 10):
+            with pytest.raises(ValueError):
+                MultiFrameReader(blob[:cut])
+
+    def test_cross_magic_errors_are_helpful(self):
+        data = smooth_field((8, 8), seed=1).astype(np.float32)
+        single = compress_stream([data], 1e-2)
+        from repro.core.pipeline import stz_compress
+
+        with pytest.raises(ValueError, match="MultiFrameReader"):
+            StreamReader(single)
+        with pytest.raises(ValueError, match="StreamReader"):
+            MultiFrameReader(stz_compress(data, 1e-2))
+
+    def test_is_multiframe_sniff_restores_position(self, tmp_path):
+        blob = MultiFrameWriter().getvalue()
+        assert is_multiframe(blob)
+        assert not is_multiframe(b"STZ1" + bytes(32))
+        path = tmp_path / "a.stz"
+        path.write_bytes(blob)
+        with open(path, "rb") as fh:
+            assert is_multiframe(fh)
+            assert fh.tell() == 0
+
+    def test_empty_archive(self):
+        w = MultiFrameWriter()
+        r = MultiFrameReader(w.getvalue())
+        assert r.nframes == 0
+        assert list(StreamingDecompressor(w.getvalue())) == []
+
+
+class TestStreamingRoundtrip:
+    def test_eight_steps_64cubed_hard_bound_and_random_access(self):
+        """The acceptance-criteria scenario: >= 8 steps of 64^3 float32,
+        per-step hard bound, per-frame random access."""
+        steps = evolving_steps(8, (64, 64, 64))
+        eb = 1e-3 * float(steps[0].max() - steps[0].min())
+        blob = compress_stream(steps, eb, keyframe_interval=4)
+        # sequential: every step within the bound
+        count = 0
+        for t, rec in enumerate(iter_decompress(blob)):
+            assert rec.shape == (64, 64, 64) and rec.dtype == np.float32
+            assert_error_bounded(steps[t], rec, eb, context=f"step {t}")
+            count += 1
+        assert count == 8
+        # random access out of order, fresh decompressor each time
+        for t in (6, 1, 3, 7, 0):
+            rec = decompress_frame(blob, t)
+            assert_error_bounded(steps[t], rec, eb, context=f"frame {t}")
+
+    def test_temporal_delta_beats_independent_frames(self):
+        steps = evolving_steps(6, (32, 32, 32), scale=0.02)
+        eb = 1e-3 * float(steps[0].max() - steps[0].min())
+        stream = compress_stream(steps, eb, keyframe_interval=8)
+        indep = compress_stream(steps, eb, keyframe_interval=1)
+        assert len(stream) < 0.6 * len(indep)
+
+    def test_keyframe_cadence_and_stats(self):
+        steps = evolving_steps(7, (12, 12, 12))
+        eb = 1e-2 * float(steps[0].max() - steps[0].min())
+        sc = StreamingCompressor(eb, keyframe_interval=3)
+        stats = sc.extend(steps)
+        blob = sc.close()
+        assert [s.is_delta for s in stats] == [
+            False, True, True, False, True, True, False,
+        ]
+        assert [s.index for s in stats] == list(range(7))
+        assert all(not s.fallback for s in stats)
+        r = MultiFrameReader(blob)
+        assert [f.is_delta for f in r.frames] == [s.is_delta for s in stats]
+        assert sum(f.length for f in r.frames) == sum(s.nbytes for s in stats)
+
+    def test_rel_mode_resolves_against_first_step(self):
+        steps = evolving_steps(4, (12, 12, 12))
+        sc = StreamingCompressor(1e-3, "rel")
+        sc.extend(steps)
+        blob = sc.close()
+        abs_eb = 1e-3 * float(steps[0].max() - steps[0].min())
+        assert sc.abs_eb == pytest.approx(abs_eb)
+        for t, rec in enumerate(iter_decompress(blob)):
+            assert_error_bounded(steps[t], rec, abs_eb, context=f"step {t}")
+
+    def test_float64_stream(self):
+        steps = evolving_steps(4, (10, 14, 6), dtype=np.float64)
+        blob = compress_stream(steps, 1e-6, "abs", keyframe_interval=2)
+        for t, rec in enumerate(iter_decompress(blob)):
+            assert rec.dtype == np.float64
+            assert_error_bounded(steps[t], rec, 1e-6, context=f"step {t}")
+
+    def test_nondefault_config(self):
+        steps = evolving_steps(3, (9, 11, 5))
+        eb = 1e-2 * float(steps[0].max() - steps[0].min())
+        cfg = STZConfig(levels=2, interp="linear", f32_quant=False)
+        blob = compress_stream(steps, eb, config=cfg)
+        for t, rec in enumerate(iter_decompress(blob)):
+            assert_error_bounded(steps[t], rec, eb, context=f"step {t}")
+
+    def test_tiny_bound_falls_back_to_intra(self):
+        """When eb is below the dtype's resolution at the data scale,
+        delta frames cannot guarantee the bound and every frame encodes
+        intra — the guarantee stays hard."""
+        steps = [
+            (1e6 * smooth_field((6, 6, 6), seed=t)).astype(np.float32)
+            for t in range(3)
+        ]
+        eb = 1e-4  # far below 1e6 * 2**-23
+        sc = StreamingCompressor(eb, keyframe_interval=8)
+        stats = sc.extend(steps)
+        blob = sc.close()
+        assert all(not s.is_delta for s in stats)
+        for t, rec in enumerate(iter_decompress(blob)):
+            assert_error_bounded(steps[t], rec, eb, context=f"step {t}")
+
+
+class TestStreamingState:
+    def test_shape_and_dtype_locked(self):
+        sc = StreamingCompressor(1e-2)
+        sc.append(smooth_field((8, 8), seed=1).astype(np.float32))
+        with pytest.raises(ValueError, match="stream is"):
+            sc.append(smooth_field((8, 9), seed=1).astype(np.float32))
+        with pytest.raises(ValueError, match="stream is"):
+            sc.append(smooth_field((8, 8), seed=1))  # float64
+
+    def test_append_after_close_rejected(self):
+        sc = StreamingCompressor(1e-2)
+        sc.append(smooth_field((8, 8), seed=1).astype(np.float32))
+        sc.close()
+        with pytest.raises(ValueError, match="closed"):
+            sc.append(smooth_field((8, 8), seed=1).astype(np.float32))
+
+    def test_close_idempotent_and_context_manager(self):
+        with StreamingCompressor(1e-2) as sc:
+            sc.append(smooth_field((8, 8), seed=1).astype(np.float32))
+            blob = sc.close()
+        assert sc.close() == blob
+
+    def test_bad_keyframe_interval(self):
+        with pytest.raises(ValueError):
+            StreamingCompressor(1e-2, keyframe_interval=0)
+
+    def test_file_sink_roundtrip(self, tmp_path):
+        steps = evolving_steps(5, (12, 10, 8))
+        eb = 1e-2 * float(steps[0].max() - steps[0].min())
+        path = tmp_path / "steps.stz"
+        with open(path, "wb") as fh:
+            with StreamingCompressor(eb, sink=fh) as sc:
+                assert sc.extend(steps)[-1].index == 4
+                assert sc.close() is None
+        with open(path, "rb") as fh:
+            sd = StreamingDecompressor(fh)
+            assert sd.nframes == 5
+            rec = sd.read_frame(3)
+        assert_error_bounded(steps[3], rec, eb)
+
+    def test_mutating_returned_frame_is_safe(self):
+        steps = evolving_steps(4, (10, 10, 10))
+        eb = 1e-2 * float(steps[0].max() - steps[0].min())
+        sd = StreamingDecompressor(compress_stream(steps, eb))
+        first = sd.read_frame(2)
+        first[:] = np.nan  # user scribbles on the returned array
+        again = sd.read_frame(2)  # served from cache
+        assert_error_bounded(steps[2], again, eb)
+        assert_error_bounded(steps[3], sd.read_frame(3), eb)
+
+    def test_random_access_backwards_and_cache_resume(self):
+        steps = evolving_steps(9, (10, 10, 10))
+        eb = 1e-2 * float(steps[0].max() - steps[0].min())
+        sd = StreamingDecompressor(compress_stream(steps, eb, keyframe_interval=4))
+        sequential = list(iter_decompress(compress_stream(steps, eb, keyframe_interval=4)))
+        # forward jump (cache resume), backward jump (keyframe restart),
+        # repeat (cache hit) — all must equal the sequential decode
+        for t in (5, 2, 2, 8, 7, 0, 6):
+            assert np.array_equal(sd.read_frame(t), sequential[t])
+
+    def test_compressor_memory_is_o1_in_steps(self):
+        """Peak memory must not grow with the number of steps (no
+        concatenation or retention of the input sequence)."""
+        shape = (32, 32, 32)
+        frame_bytes = int(np.prod(shape)) * 4
+
+        def run(nsteps):
+            tracemalloc.start()
+            with StreamingCompressor(1e-2, "rel", sink=io.BytesIO()) as sc:
+                sc.extend(evolving_field(nsteps, shape))
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return peak
+
+        run(2)  # warm caches (imports, interned tables)
+        assert run(12) < run(3) + 3 * frame_bytes
