@@ -19,7 +19,9 @@ from repro.zfp import zfp_compress, zfp_decompress
 from conftest import eb_for_target_cr, fmt_table
 
 CODECS = {
-    "ZFP": (lambda d, e: zfp_compress(d, e), zfp_decompress),
+    # certify=False: real zfp's advisory-tolerance behavior (see the
+    # same note in bench_fig11_rate_distortion.py)
+    "ZFP": (lambda d, e: zfp_compress(d, e, certify=False), zfp_decompress),
     "MGARD-X": (lambda d, e: mgard_compress(d, e), mgard_decompress),
     "SZ3": (lambda d, e: sz3_compress(d, e), sz3_decompress),
     "SPERR": (lambda d, e: sperr_compress(d, e), sperr_decompress),

@@ -1,0 +1,123 @@
+"""Selection-overhead benchmark: ``auto`` vs every fixed backend.
+
+For each registry dataset, compress with every fixed candidate codec
+and with ``codec="auto"``, then report:
+
+* the chosen codec and whether it matches the best fixed codec,
+* ``auto``'s compression ratio relative to the best fixed codec's
+  (the acceptance criterion: >= 0.9x per dataset),
+* selection overhead — the time ``auto`` spends on top of running the
+  chosen codec directly.  The probe cost is *fixed* (it compresses a
+  few bounded-size tiles, independent of the array), so the overhead
+  percentage shrinks roughly linearly with data volume: substantial on
+  the 64^3 bench grids, negligible at the paper's 512^3 scale.  The
+  recorded ``probe_ms`` is the number to watch across PRs.
+
+Results land in ``BENCH_speed.json`` under ``select_auto``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.api import compress
+from repro.core.config import STZConfig
+from repro.core.select import CANDIDATES
+from repro.core.stream import CODEC_NAMES, unwrap_selected
+from repro.datasets import dataset_names, load
+
+from conftest import fmt_table, record_bench
+
+REL_EB = 1e-3
+#: acceptance floor: auto's CR vs the best fixed codec, per dataset
+MIN_CR_RATIO = 0.9
+
+
+def _time(fn, *args, repeats: int = 2, **kw):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn(*args, **kw)
+        best = min(best, time.perf_counter() - t0)
+    return out, best
+
+
+def test_select_auto(artifact):
+    cfg = STZConfig()
+    rows = []
+    payload: dict[str, dict] = {}
+    for ds in dataset_names():
+        data = load(ds)
+        abs_eb = REL_EB * float(data.max() - data.min())
+
+        fixed_sizes: dict[str, int] = {}
+        fixed_times: dict[str, float] = {}
+        for name, cand in CANDIDATES.items():
+            blob, t = _time(cand.compress, data, abs_eb, cfg, None)
+            fixed_sizes[name] = len(blob)
+            fixed_times[name] = t
+
+        auto_blob, t_auto = _time(compress, data, abs_eb, "abs", codec="auto")
+        chosen = CODEC_NAMES[unwrap_selected(auto_blob)[0]]
+        best = min(fixed_sizes, key=fixed_sizes.get)
+
+        auto_cr = data.nbytes / len(auto_blob)
+        best_cr = data.nbytes / fixed_sizes[best]
+        ratio = auto_cr / best_cr
+        overhead_s = t_auto - fixed_times[chosen]
+        rows.append(
+            [
+                ds, chosen, best, f"{auto_cr:.2f}", f"{best_cr:.2f}",
+                f"{ratio:.3f}", f"{1e3 * t_auto:.0f}",
+                f"{1e3 * overhead_s:.0f}",
+            ]
+        )
+        payload[ds] = {
+            "chosen": chosen,
+            "best_fixed": best,
+            "auto_cr": round(auto_cr, 3),
+            "best_fixed_cr": round(best_cr, 3),
+            "cr_ratio": round(ratio, 4),
+            "auto_s": round(t_auto, 4),
+            "chosen_fixed_s": round(fixed_times[chosen], 4),
+            "probe_ms": round(1e3 * overhead_s, 1),
+        }
+
+    artifact(
+        "select_auto",
+        fmt_table(
+            [
+                "dataset", "chosen", "best", "auto CR", "best CR",
+                "ratio", "auto (ms)", "overhead (ms)",
+            ],
+            rows,
+        )
+        + "\nshape: auto >= 0.9x the best fixed codec's CR per dataset; "
+        "overhead is a fixed probe cost, amortized at scale\n",
+    )
+    payload["rel_eb"] = REL_EB
+    payload["grids"] = {
+        ds: list(load(ds).shape) for ds in dataset_names()
+    }
+    record_bench("select_auto", payload)
+
+    # --- acceptance shape: auto within ~10% of the best fixed codec ------
+    for ds in dataset_names():
+        assert payload[ds]["cr_ratio"] >= MIN_CR_RATIO, (
+            ds, payload[ds]
+        )
+    # auto's L-inf bound is swept by tests/; here just sanity-check one
+    from repro.core.api import decompress
+
+    data = load("nyx")
+    abs_eb = REL_EB * float(data.max() - data.min())
+    blob = compress(data, abs_eb, "abs", codec="auto")
+    err = float(
+        np.abs(
+            decompress(blob).astype(np.float64) - data.astype(np.float64)
+        ).max()
+    )
+    assert err <= abs_eb

@@ -46,6 +46,21 @@ def main() -> None:
     assert np.array_equal(sl[0], rec[z])  # identical to cropping a full pass
     print(f"ROI slice z={z}: {sl.shape}, bit-identical to full decompression")
 
+    # --- adaptive codec selection: let the engine pick the backend ------
+    # codec="auto" probes the data (smoothness, constant blocks) and
+    # routes it to whichever registered backend — STZ, SZ3, ZFP, SPERR,
+    # or the SZx-style fast tier — wins on estimated bits-per-value at
+    # this bound.  The hard error bound is verified before committing,
+    # and the same bytes come back for the same input + seed.
+    auto_blob = stz.compress(data, eb=1e-3, eb_mode="rel", codec="auto")
+    auto_rec = stz.decompress(auto_blob)
+    err = float(
+        np.abs(auto_rec.astype(np.float64) - data.astype(np.float64)).max()
+    )
+    assert err <= abs_eb
+    print(f"auto codec: {len(auto_blob)} bytes "
+          f"(CR {data.nbytes / len(auto_blob):.1f}), max error {err:.3g}")
+
 
 if __name__ == "__main__":
     main()

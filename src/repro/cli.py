@@ -6,6 +6,7 @@ binary with explicit ``--shape``/``--dtype``.
 Examples::
 
     stz compress field.npy field.stz --eb 1e-3 --mode rel
+    stz compress field.npy field.stz --eb 1e-3 --codec auto
     stz info field.stz
     stz decompress field.stz out.npy --level 1        # coarse preview
     stz roi field.stz slab.npy --box 10:20,:,64       # random access
@@ -22,10 +23,22 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.api import decompress, decompress_progressive, decompress_roi
-from repro.core.config import STZConfig
-from repro.core.pipeline import stz_compress
-from repro.core.stream import KIND_NAMES, StreamReader, is_multiframe
+from repro.core.api import (
+    compress,
+    decompress,
+    decompress_progressive,
+    decompress_roi,
+)
+from repro.core.config import KNOWN_CODECS, STZConfig
+from repro.core.stream import (
+    CODEC_NAMES,
+    CODEC_STZ,
+    KIND_NAMES,
+    StreamReader,
+    is_multiframe,
+    is_selected,
+    unwrap_selected,
+)
 from repro.core.streaming import (
     DEFAULT_KEYFRAME_INTERVAL,
     StreamingCompressor,
@@ -75,14 +88,24 @@ def _parse_box(spec: str, ndim: int) -> tuple:
 
 def cmd_compress(args: argparse.Namespace) -> int:
     data = _load_array(args.input, args.shape, args.dtype)
-    config = STZConfig(levels=args.levels, interp=args.interp)
-    blob = stz_compress(
+    config = STZConfig(
+        levels=args.levels,
+        interp=args.interp,
+        codec=args.codec,
+        select_seed=args.select_seed,
+    )
+    blob = compress(
         data, args.eb, args.mode, config=config, threads=args.threads
     )
     Path(args.output).write_bytes(blob)
+    chosen = (
+        f" [codec {CODEC_NAMES[unwrap_selected(blob)[0]]}]"
+        if is_selected(blob)
+        else ""
+    )
     print(
         f"{args.input}: {data.nbytes} B -> {len(blob)} B "
-        f"(CR {data.nbytes / len(blob):.2f})"
+        f"(CR {data.nbytes / len(blob):.2f}){chosen}"
     )
     return 0
 
@@ -109,7 +132,12 @@ def _iter_input_steps(args: argparse.Namespace):
 
 
 def cmd_stream(args: argparse.Namespace) -> int:
-    config = STZConfig(levels=args.levels, interp=args.interp)
+    config = STZConfig(
+        levels=args.levels,
+        interp=args.interp,
+        codec=args.codec,
+        select_seed=args.select_seed,
+    )
     in_bytes = 0
     with open(args.output, "wb") as sink:
         with StreamingCompressor(
@@ -124,7 +152,9 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 in_bytes += step.nbytes
                 st = sc.append(step)
                 kind = "delta" if st.is_delta else "intra"
-                print(f"  step {st.index}: {kind} {st.nbytes} B")
+                print(
+                    f"  step {st.index}: {kind} {st.codec} {st.nbytes} B"
+                )
             nframes = sc.nframes
     if nframes == 0:
         Path(args.output).unlink()  # don't leave an empty archive behind
@@ -158,9 +188,16 @@ def cmd_decompress(args: argparse.Namespace) -> int:
         else:
             blob = fh.read()
             if args.level is not None:
-                arr = decompress_progressive(
-                    blob, args.level, threads=args.threads
-                )
+                try:
+                    arr = decompress_progressive(
+                        blob, args.level, threads=args.threads
+                    )
+                except ValueError as exc:
+                    if "progressive" in str(exc):
+                        # selected backend without progressive decode:
+                        # a clean message, like cmd_roi's capability path
+                        raise SystemExit(str(exc)) from None
+                    raise
             else:
                 arr = decompress(blob, threads=args.threads)
     _save_array(args.output, arr)
@@ -170,6 +207,14 @@ def cmd_decompress(args: argparse.Namespace) -> int:
 
 def cmd_roi(args: argparse.Namespace) -> int:
     blob = Path(args.input).read_bytes()
+    if is_selected(blob):
+        codec_id, payload = unwrap_selected(blob)
+        if codec_id != CODEC_STZ:
+            raise SystemExit(
+                f"selected codec {CODEC_NAMES[codec_id]!r} does not "
+                "support random access"
+            )
+        blob = bytes(payload)
     reader = StreamReader(blob)
     roi = _parse_box(args.box, reader.header.ndim)
     arr = decompress_roi(reader, roi, threads=args.threads)
@@ -182,7 +227,21 @@ def cmd_info(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as fh:
         if is_multiframe(fh):
             sd = StreamingDecompressor(fh)
-            h = sd.reader.open_frame(0).header if sd.nframes else None
+            # shape/eb live in the per-frame containers; peek at the
+            # first *intra* STZ-coded frame — codec-selected archives
+            # may route frames to backends with their own header
+            # layouts, and a delta frame's header carries the
+            # ulp-trimmed residual bound, not the stream's bound
+            stz_frames = [
+                f
+                for f in sd.reader.frames
+                if f.codec_id == CODEC_STZ and not f.is_delta
+            ]
+            h = (
+                sd.reader.open_frame(stz_frames[0].index).header
+                if stz_frames
+                else None
+            )
             print(f"frames     : {sd.nframes} (multi-frame container v2)")
             if h is not None:
                 print(
@@ -191,9 +250,20 @@ def cmd_info(args: argparse.Namespace) -> int:
                 print(f"error bound: {h.abs_eb:g}")
             for f in sd.reader.frames:
                 kind = "delta" if f.is_delta else "intra"
-                print(f"  frame {f.index:>4d}  {kind:5s} {f.length:>10d} B")
+                print(
+                    f"  frame {f.index:>4d}  {kind:5s} "
+                    f"{f.codec:6s} {f.length:>10d} B"
+                )
             return 0
         blob = fh.read()
+    if is_selected(blob):
+        codec_id, payload = unwrap_selected(blob)
+        name = CODEC_NAMES[codec_id]
+        print(f"codec      : {name} (codec-selected envelope)")
+        if codec_id != CODEC_STZ:
+            print(f"payload    : {len(payload)} B ({name} container)")
+            return 0
+        blob = bytes(payload)
     reader = StreamReader(blob)
     h = reader.header
     cfg = h.config
@@ -228,6 +298,16 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument(
         "--interp", choices=("direct", "linear", "cubic"), default="cubic"
     )
+    c.add_argument(
+        "--codec", choices=KNOWN_CODECS, default="stz",
+        help="backend: a fixed codec, or 'auto' to probe the data and "
+        "route it to the winning backend (default: stz)",
+    )
+    c.add_argument(
+        "--select-seed", type=int, default=0,
+        help="seed for the auto selector (same input + seed -> "
+        "byte-identical output)",
+    )
     c.add_argument("--shape", help="dims for raw input, e.g. 64,64,64")
     c.add_argument("--dtype", help="dtype for raw input, e.g. float32")
     c.add_argument("--threads", type=int, default=None)
@@ -259,6 +339,15 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--levels", type=int, default=3)
     s.add_argument(
         "--interp", choices=("direct", "linear", "cubic"), default="cubic"
+    )
+    s.add_argument(
+        "--codec", choices=KNOWN_CODECS, default="stz",
+        help="backend per frame: fixed, or 'auto' for per-step "
+        "re-selection with keyframe re-probe (default: stz)",
+    )
+    s.add_argument(
+        "--select-seed", type=int, default=0,
+        help="seed for the auto selector's exploration schedule",
     )
     s.add_argument("--shape", help="dims of one raw input, e.g. 64,64,64")
     s.add_argument("--dtype", help="dtype for raw input, e.g. float32")

@@ -24,12 +24,32 @@ from repro.core.config import STZConfig
 from repro.core.pipeline import stz_compress, stz_decompress
 from repro.core.progressive import progressive_ladder
 from repro.core.random_access import RandomAccessResult, stz_decompress_roi
-from repro.core.stream import StreamReader
+from repro.core.select import (
+    CODEC_NAMES,
+    compress_selected,
+    decompress_selected,
+)
+from repro.core.stream import (
+    CODEC_STZ,
+    StreamReader,
+    is_selected,
+    unwrap_selected,
+)
 from repro.core.streaming import (
     DEFAULT_KEYFRAME_INTERVAL,
     StreamingCompressor,
     StreamingDecompressor,
 )
+
+
+def _resolve_codec(
+    config: STZConfig | None, codec: str | None
+) -> STZConfig:
+    """Fold the ``codec=`` convenience argument into the config."""
+    config = config or STZConfig()
+    if codec is not None and codec != config.codec:
+        config = config.with_(codec=codec)
+    return config
 
 
 def compress(
@@ -38,20 +58,33 @@ def compress(
     eb_mode: str = "abs",
     config: STZConfig | None = None,
     threads: int | None = None,
+    codec: str | None = None,
 ) -> bytes:
-    """Compress with the STZ streaming pipeline.
+    """Compress with the STZ streaming pipeline or a selected backend.
 
     ``eb`` is the finest-level error bound; ``eb_mode`` is ``"abs"`` or
     ``"rel"`` (relative to the value range).  ``threads`` enables the
-    paper's OMP mode.
+    paper's OMP mode.  ``codec`` (or ``config.codec``) picks the
+    backend: ``"stz"`` (default, plain STZ1 container), a fixed name
+    from :data:`repro.core.config.KNOWN_CODECS`, or ``"auto"`` to let
+    the selection engine (:mod:`repro.core.select`) probe the data and
+    route it to the winning backend — the result is then a
+    codec-selected ('STZC') envelope, which :func:`decompress` handles
+    transparently.  Every choice preserves the hard L-inf bound.
     """
-    return stz_compress(data, eb, eb_mode, config, threads)
+    config = _resolve_codec(config, codec)
+    if config.codec == "stz":
+        return stz_compress(data, eb, eb_mode, config, threads)
+    return compress_selected(data, eb, eb_mode, config, threads)
 
 
 def decompress(
     source: bytes | memoryview | StreamReader, threads: int | None = None
 ) -> np.ndarray:
-    """Full-resolution reconstruction."""
+    """Full-resolution reconstruction (plain STZ1 containers and
+    codec-selected envelopes alike)."""
+    if not isinstance(source, StreamReader) and is_selected(source):
+        return decompress_selected(source, threads=threads)
     return stz_decompress(source, threads=threads)
 
 
@@ -60,8 +93,41 @@ def decompress_progressive(
     level: int,
     threads: int | None = None,
 ) -> np.ndarray:
-    """Coarse reconstruction at ``level`` (1 = coarsest lattice)."""
+    """Coarse reconstruction at ``level`` (1 = coarsest lattice).
+
+    Codec-selected envelopes are unwrapped first; progressive decode is
+    served when the inner backend supports it (STZ, SPERR, MGARD).
+    """
+    if not isinstance(source, StreamReader) and is_selected(source):
+        codec_id, payload = unwrap_selected(source)
+        name = CODEC_NAMES[codec_id]
+        if name == "stz":
+            return stz_decompress(payload, level=level, threads=threads)
+        if name in ("sperr", "mgard"):
+            from repro.mgard.codec import mgard_decompress
+            from repro.sperr.codec import sperr_decompress
+
+            dec = sperr_decompress if name == "sperr" else mgard_decompress
+            return dec(payload, level=level)
+        raise ValueError(
+            f"selected codec {name!r} does not support progressive decode"
+        )
     return stz_decompress(source, level=level, threads=threads)
+
+
+def _unwrap_stz(
+    source: bytes | memoryview | StreamReader, what: str
+) -> bytes | memoryview | StreamReader:
+    """Open a codec-selected envelope for an STZ-only capability."""
+    if isinstance(source, StreamReader) or not is_selected(source):
+        return source
+    codec_id, payload = unwrap_selected(source)
+    if codec_id != CODEC_STZ:
+        raise ValueError(
+            f"selected codec {CODEC_NAMES[codec_id]!r} does not "
+            f"support {what}"
+        )
+    return payload
 
 
 def decompress_roi(
@@ -70,6 +136,7 @@ def decompress_roi(
     threads: int | None = None,
 ) -> np.ndarray:
     """Random-access reconstruction of a full-resolution ROI box/slice."""
+    source = _unwrap_stz(source, "random access")
     return stz_decompress_roi(source, roi, threads=threads).data
 
 
@@ -80,6 +147,7 @@ def decompress_roi_detailed(
 ) -> RandomAccessResult:
     """Like :func:`decompress_roi` but returns the full accounting
     (stage timings, segments decoded/skipped, bytes read)."""
+    source = _unwrap_stz(source, "random access")
     return stz_decompress_roi(source, roi, threads=threads)
 
 
@@ -90,6 +158,7 @@ def compress_stream(
     config: STZConfig | None = None,
     keyframe_interval: int = DEFAULT_KEYFRAME_INTERVAL,
     threads: int | None = None,
+    codec: str | None = None,
 ) -> bytes:
     """Compress an iterable of equal-shape time steps into one
     multi-frame archive.
@@ -97,10 +166,13 @@ def compress_stream(
     ``steps`` is consumed lazily one step at a time (a generator works
     and keeps memory at O(1 step)); each step is temporally
     delta-predicted from the previous step's reconstruction, with an
-    intra frame every ``keyframe_interval`` steps.  To stream frames to
+    intra frame every ``keyframe_interval`` steps.  ``codec="auto"``
+    re-selects the backend per step (keyframes re-probe); each frame's
+    choice is recorded in the v2 frame table.  To stream frames to
     disk instead of accumulating the archive in memory, use
     :class:`~repro.core.streaming.StreamingCompressor` with a ``sink``.
     """
+    config = _resolve_codec(config, codec)
     with StreamingCompressor(
         eb, eb_mode, config, keyframe_interval, threads=threads
     ) as sc:

@@ -16,6 +16,13 @@ from repro.encoding.quantizer import DEFAULT_RADIUS
 #: residual compression backends for levels >= 2
 RESIDUAL_CODECS = ("quantize", "sz3")
 
+#: whole-array compression backends selectable at the API/CLI layer.
+#: "stz" is this repo's pipeline (plain STZ1 container); the other
+#: fixed names wrap that backend's own container in the selected-codec
+#: envelope; "auto" routes each array/stream step to the winning
+#: backend online (:mod:`repro.core.select`).
+KNOWN_CODECS = ("stz", "sz3", "zfp", "sperr", "szx", "mgard", "auto")
+
 
 @dataclass(frozen=True)
 class STZConfig:
@@ -59,6 +66,18 @@ class STZConfig:
         the encoder's formula; containers without the bit (written
         before it existed, or with this off) decode with the float64
         formula.
+    codec:
+        Whole-array backend (:data:`KNOWN_CODECS`).  ``"stz"`` (the
+        default) is this pipeline and changes nothing; fixed foreign
+        names and ``"auto"`` are dispatched by :mod:`repro.core.api` /
+        :mod:`repro.core.streaming` through the selection engine and
+        recorded in the container's codec-id byte.  Never serialized
+        into the STZ1 header — the container that *carries* the choice
+        is the envelope / v2 frame table.
+    select_seed:
+        Seed for the ``auto`` selector's exploration schedule.  The
+        selector is fully deterministic given (input, seed), which is
+        what makes ``auto`` containers reproducible byte for byte.
     """
 
     levels: int = 3
@@ -72,10 +91,16 @@ class STZConfig:
     partition_only: bool = False
     sz3_interp: str = "cubic"
     f32_quant: bool = True
+    codec: str = "stz"
+    select_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.levels < 2:
             raise ValueError("STZ needs at least 2 levels")
+        if self.codec not in KNOWN_CODECS:
+            raise ValueError(
+                f"unknown codec {self.codec!r}; known: {KNOWN_CODECS}"
+            )
         if self.interp not in ("direct", "linear", "cubic"):
             raise ValueError(f"unknown interp {self.interp!r}")
         if self.cubic_mode not in ("diagonal", "tensor"):

@@ -206,6 +206,14 @@ def stz_compress_with_recon(
     back to an explicit round-trip.
     """
     config = config or STZConfig()
+    if config.codec != "stz":
+        # codec dispatch (fixed foreign backends, "auto" selection)
+        # happens a layer up; silently running the STZ cascade under a
+        # config that names another backend would mislabel the output
+        raise ValueError(
+            f"config.codec={config.codec!r}: use repro.core.api.compress "
+            "for codec dispatch; the STZ pipeline only encodes codec='stz'"
+        )
     data = as_float_array(data)
     if data.ndim > _ZERO_EPS_LIMIT:
         raise ValueError("STZ supports at most 8 dimensions")

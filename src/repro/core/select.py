@@ -1,0 +1,513 @@
+"""Adaptive online codec/config selection ("auto" mode).
+
+STZ's pitch is high quality *and* high speed, but no single backend
+wins everywhere: the interpolation cascade dominates on smooth fields,
+the ZFP-like transform tier is cheap on rough data, the SZx-style fast
+tier crushes constant regions at a fraction of everyone's latency.
+Following Tao et al.'s automatic online SZ/ZFP selection and Liu
+et al.'s dynamic quality-metric-oriented compression (PAPERS.md), this
+module routes each array — and, through
+:mod:`repro.core.streaming`, each time step — to the winning backend
+using cheap probes instead of user guesswork:
+
+1. :func:`probe_features` samples a few contiguous chunks of the data
+   (head / middle / tail, a few thousand points total) and derives
+   value range, a second-difference smoothness score, and the fraction
+   of sampled blocks that are constant within the bound; the resulting
+   label in {``constant``, ``smooth``, ``rough``} gates which
+   candidates are worth probing at all (constant data short-circuits
+   straight to the SZx tier).
+2. Every backend is registered as a :class:`CodecCandidate` behind one
+   ``compress``/``decompress``/``compress_with_recon`` interface, so
+   the engine is pluggable — adding a codec is one registry entry plus
+   a container codec id (:data:`repro.core.stream.CODEC_NAMES`).
+3. :class:`CodecSelector` scores candidates online by *estimated
+   bits-per-value at the requested L-inf bound*: a full probe
+   compresses a small centered tile with each shortlisted candidate;
+   scores are folded into per-codec exponential moving averages, and a
+   seeded epsilon-greedy draw schedules refresh probes between the
+   periodic full ones (bandit-style).  Everything is deterministic
+   given (input, seed) — ``auto`` containers are reproducible byte for
+   byte, which the determinism tests and golden archives pin.
+
+The chosen backend's container is wrapped in the ``'STZC'`` envelope
+(single arrays) or recorded in the v2 frame table's codec-id byte
+(streams).  The user's hard L-infinity bound survives selection
+unconditionally: every candidate here certifies the bound itself, and
+the engine *additionally* verifies the chosen reconstruction in exact
+float64 before committing, falling back down the ranking (ultimately
+to STZ) on any violation — selection can change size and speed, never
+correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import STZConfig
+from repro.core.pipeline import stz_compress_with_recon, stz_decompress
+from repro.core.stream import (
+    CODEC_IDS,
+    CODEC_NAMES,
+    unwrap_selected,
+    wrap_selected,
+)
+from repro.mgard.codec import mgard_compress, mgard_decompress
+from repro.sperr.codec import sperr_compress, sperr_decompress
+from repro.sz3.compressor import (
+    sz3_compress,
+    sz3_compress_with_recon,
+    sz3_decompress,
+)
+from repro.szx.codec import szx_compress, szx_decompress
+from repro.util.validation import as_float_array, resolve_eb
+from repro.zfp.codec import zfp_compress, zfp_decompress
+
+#: probe geometry: total sampled points, contiguous chunk count, and
+#: the block size used for the constant-fraction feature
+_PROBE_BUDGET = 4096
+_PROBE_CHUNKS = 3
+_PROBE_BLOCK = 64
+#: full probes compress tiles of at most this edge per axis, taken at
+#: three positions along the array diagonal — one tile can sit on an
+#: unrepresentative feature (a density spike, a flat void) and flip the
+#: ranking on heterogeneous fields
+_TILE_EDGE = 24
+
+#: second-difference-to-range ratio below which data counts as smooth
+#: (smooth synthetic fields score ~0.02-0.035 even at 16^3 resolution;
+#: white noise scores ~0.3 — an order of magnitude of margin each way)
+_SMOOTH_THRESHOLD = 0.05
+
+
+# ---------------------------------------------------------------------------
+# candidate registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CodecCandidate:
+    """One selectable backend behind the uniform engine interface.
+
+    ``compress`` takes ``(data, abs_eb, config, threads)`` — candidates
+    ignore the knobs they do not have.  ``decompress`` takes the blob.
+    """
+
+    name: str
+    codec_id: int
+    compress: Callable[..., bytes]
+    decompress: Callable[..., np.ndarray]
+
+    def compress_with_recon(
+        self,
+        data: np.ndarray,
+        abs_eb: float,
+        config: STZConfig,
+        threads: int | None,
+    ) -> tuple[bytes, np.ndarray]:
+        """Compress plus the decoder's exact reconstruction.
+
+        STZ and SZ3 track their reconstruction during encoding (no
+        extra pass); the other backends pay one decompression — the
+        price of the engine's commit-time bound verification.
+        """
+        if self.name == "stz":
+            return stz_compress_with_recon(
+                data, abs_eb, "abs", config.with_(codec="stz"), threads
+            )
+        if self.name == "sz3":
+            return sz3_compress_with_recon(
+                data, abs_eb, "abs", config.sz3_interp,
+                config.quant_radius, config.zlib_level,
+            )
+        blob = self.compress(data, abs_eb, config, threads)
+        return blob, self.decompress(blob)
+
+
+def _stz_c(data, eb, config, threads):
+    return stz_compress_with_recon(
+        data, eb, "abs", config.with_(codec="stz"), threads
+    )[0]
+
+
+def _sz3_c(data, eb, config, threads):
+    return sz3_compress(
+        data, eb, "abs", config.sz3_interp, config.quant_radius,
+        config.zlib_level,
+    )
+
+
+def _zfp_c(data, eb, config, threads):
+    return zfp_compress(data, eb, "abs", config.zlib_level)
+
+
+def _sperr_c(data, eb, config, threads):
+    return sperr_compress(data, eb, "abs", zlib_level=config.zlib_level)
+
+
+def _szx_c(data, eb, config, threads):
+    return szx_compress(data, eb, "abs", config.zlib_level)
+
+
+def _mgard_c(data, eb, config, threads):
+    return mgard_compress(
+        data, eb, "abs", radius=config.quant_radius,
+        zlib_level=config.zlib_level,
+    )
+
+
+#: name -> candidate; ids come from the container layer so the registry
+#: cannot drift from what the format can record
+CANDIDATES: dict[str, CodecCandidate] = {
+    name: CodecCandidate(name, CODEC_IDS[name], comp, dec)
+    for name, comp, dec in [
+        ("stz", _stz_c, lambda blob: stz_decompress(blob)),
+        ("sz3", _sz3_c, sz3_decompress),
+        ("zfp", _zfp_c, zfp_decompress),
+        ("sperr", _sperr_c, sperr_decompress),
+        ("szx", _szx_c, szx_decompress),
+        ("mgard", _mgard_c, mgard_decompress),
+    ]
+}
+assert set(CANDIDATES) == set(CODEC_NAMES.values())
+
+#: probe shortlists per probe label.  Constant data short-circuits to
+#: the SZx tier (with the engine's STZ fallback behind it); the other
+#: labels probe in a label-informed order — ordering matters only for
+#: ties and for which codec wins when scores are missing (a candidate
+#: that failed to probe is ranked last).  The MGARD-like backend stays
+#: registered (selectable as a fixed codec, decodable by id) but is
+#: not probed by default: it is an order of magnitude slower than any
+#: other candidate here and loses on ratio across the registry
+#: datasets, so probing it would only inflate selection overhead.
+SHORTLISTS: dict[str, tuple[str, ...]] = {
+    "constant": ("szx",),
+    "smooth": ("stz", "sz3", "sperr", "szx", "zfp"),
+    "rough": ("zfp", "szx", "sz3", "stz", "sperr"),
+}
+
+
+# ---------------------------------------------------------------------------
+# probe features
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BlockProbe:
+    """Cheap sampled features of one array (see :func:`probe_features`)."""
+
+    vrange: float
+    smoothness: float  # mean |second difference| / vrange
+    const_frac: float  # sampled blocks constant within the bound
+    nonfinite_frac: float
+    label: str  # "constant" | "smooth" | "rough"
+
+
+def _sample_chunks(flat: np.ndarray) -> list[np.ndarray]:
+    """Up to three contiguous chunks (head/middle/tail) of the flat view.
+
+    Contiguity matters: the smoothness feature is a second difference,
+    which strided sampling would destroy.
+    """
+    n = flat.size
+    per = _PROBE_BUDGET // _PROBE_CHUNKS
+    if n <= _PROBE_BUDGET:
+        return [flat]
+    mid = (n - per) // 2
+    return [flat[:per], flat[mid : mid + per], flat[n - per :]]
+
+
+def probe_features(data: np.ndarray, abs_eb: float) -> BlockProbe:
+    """Classify ``data`` from a few thousand sampled points."""
+    chunks = [c.astype(np.float64) for c in _sample_chunks(data.reshape(-1))]
+    s = np.concatenate(chunks)
+    finite = np.isfinite(s)
+    nonfinite_frac = float(1.0 - finite.mean())
+    sf = s[finite]
+    if sf.size == 0:
+        return BlockProbe(0.0, 0.0, 0.0, nonfinite_frac, "rough")
+    vrange = float(sf.max() - sf.min())
+
+    d2_parts = [c[2:] - 2.0 * c[1:-1] + c[:-2] for c in chunks if c.size >= 3]
+    if d2_parts and vrange > 0:
+        d2 = np.concatenate(d2_parts)
+        d2 = d2[np.isfinite(d2)]
+        smoothness = float(np.mean(np.abs(d2)) / vrange) if d2.size else 0.0
+    else:
+        smoothness = 0.0
+
+    nconst = 0
+    nblocks = 0
+    for c in chunks:
+        nb = c.size // _PROBE_BLOCK
+        if nb == 0:
+            continue
+        b = c[: nb * _PROBE_BLOCK].reshape(nb, _PROBE_BLOCK)
+        with np.errstate(invalid="ignore"):
+            spread = b.max(axis=1) - b.min(axis=1)
+        nconst += int((spread <= 2.0 * abs_eb).sum())
+        nblocks += nb
+    const_frac = nconst / nblocks if nblocks else float(vrange <= 2.0 * abs_eb)
+
+    # "constant" means the *sampled array* is constant within the bound
+    # (the szx short-circuit is provably near-optimal then).  A high
+    # constant-block fraction alone is NOT enough: a field that is
+    # mostly flat but has structured features (e.g. the Nyx density
+    # spikes) is routed far better by a probe than by this label.
+    if nonfinite_frac == 0.0 and vrange <= 2.0 * abs_eb:
+        label = "constant"
+    elif nonfinite_frac == 0.0 and smoothness <= _SMOOTH_THRESHOLD:
+        label = "smooth"
+    else:
+        label = "rough"
+    return BlockProbe(vrange, smoothness, const_frac, nonfinite_frac, label)
+
+
+def sample_tile(data: np.ndarray, edge: int = _TILE_EDGE) -> np.ndarray:
+    """Centered contiguous sub-box of at most ``edge`` per axis."""
+    sl = tuple(
+        slice((n - min(n, edge)) // 2, (n - min(n, edge)) // 2 + min(n, edge))
+        for n in data.shape
+    )
+    return np.ascontiguousarray(data[sl])
+
+
+def sample_tiles(data: np.ndarray, edge: int = _TILE_EDGE) -> list[np.ndarray]:
+    """Up to three distinct sub-boxes along the array diagonal (origin,
+    center, far corner) — the payloads full probes compress to estimate
+    bits-per-value.  Degenerates to one tile when the array is small
+    enough that the positions coincide."""
+    edges = tuple(min(n, edge) for n in data.shape)
+    if edges == data.shape:
+        return [np.ascontiguousarray(data)]
+    tiles = []
+    seen = set()
+    for frac in (0.0, 0.5, 1.0):
+        starts = tuple(
+            int(round((n - k) * frac)) for n, k in zip(data.shape, edges)
+        )
+        if starts in seen:
+            continue
+        seen.add(starts)
+        sl = tuple(
+            slice(s, s + k) for s, k in zip(starts, edges)
+        )
+        tiles.append(np.ascontiguousarray(data[sl]))
+    return tiles
+
+
+# ---------------------------------------------------------------------------
+# the selector
+# ---------------------------------------------------------------------------
+
+class CodecSelector:
+    """Online bits-per-value scorer over the candidate registry.
+
+    ``probe`` compresses a sample tile with each shortlisted candidate
+    and folds the observed bits-per-value into a per-codec exponential
+    moving average (decay keeps old evidence relevant but lets the
+    ranking track drifting data).  ``explore_draw`` is the seeded
+    epsilon-greedy coin that schedules refresh probes between periodic
+    full ones.  All state is deterministic given the seed and the call
+    sequence — the engine's reproducibility contract.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        decay: float = 0.6,
+        explore: float = 0.25,
+    ):
+        if not (0.0 <= decay < 1.0):
+            raise ValueError("decay must be in [0, 1)")
+        self.decay = float(decay)
+        self.explore = float(explore)
+        self.scores: dict[str, float] = {}  # EMA bits-per-value
+        self.nprobes = 0
+        self._rng = np.random.default_rng(seed)
+
+    def probe(
+        self,
+        data: np.ndarray,
+        abs_eb: float,
+        config: STZConfig,
+        names: tuple[str, ...],
+    ) -> dict[str, float]:
+        """Full probe: score ``names`` on diagonal sample tiles of
+        ``data``; returns the raw (pre-EMA) scores.
+
+        The score is the *marginal* bits-per-value between two tile
+        sizes: each candidate compresses the diagonal tiles at
+        ``_TILE_EDGE`` and at half that edge, and the size difference
+        is what scales to the full array.  Absolute tile sizes would
+        systematically punish backends with per-container overhead
+        (anchors, code tables) that does not grow with the data —
+        small-tile probes then rank the low-overhead fast tier above
+        codecs that are 2x better at scale; differencing cancels the
+        fixed cost exactly.  When the tiles already cover the whole
+        array the absolute size *is* the truth and is used directly.
+        Candidates that cannot handle the data (e.g. ZFP beyond 4
+        dimensions) are skipped.
+        """
+        tiles = sample_tiles(data)
+        npoints = sum(t.size for t in tiles)
+        small: list[np.ndarray] | None = None
+        nsmall = 0
+        if not (len(tiles) == 1 and tiles[0].size == data.size):
+            small = sample_tiles(data, _TILE_EDGE // 2)
+            nsmall = sum(t.size for t in small)
+            if nsmall >= npoints:  # overlapping tiles on a small array
+                small = None
+        raw: dict[str, float] = {}
+        for name in names:
+            cand = CANDIDATES[name]
+            try:
+                nbytes = sum(
+                    len(cand.compress(t, abs_eb, config, None))
+                    for t in tiles
+                )
+                if small is not None:
+                    nbytes_small = sum(
+                        len(cand.compress(t, abs_eb, config, None))
+                        for t in small
+                    )
+                    bpv = (
+                        8.0 * max(nbytes - nbytes_small, 1)
+                        / (npoints - nsmall)
+                    )
+                else:
+                    bpv = 8.0 * nbytes / npoints
+            except (ValueError, TypeError):
+                continue
+            raw[name] = bpv
+            old = self.scores.get(name)
+            self.scores[name] = (
+                bpv if old is None
+                else self.decay * old + (1.0 - self.decay) * bpv
+            )
+        self.nprobes += 1
+        return raw
+
+    def explore_draw(self) -> bool:
+        """Seeded epsilon-greedy coin (one deterministic draw)."""
+        return float(self._rng.random()) < self.explore
+
+    def rank(self, shortlist: tuple[str, ...]) -> list[str]:
+        """Shortlist ordered best-scored first; unscored names keep
+        their shortlist order after every scored one; the certified STZ
+        fallback is always present and always last when unscored."""
+        scored = sorted(
+            (self.scores[n], n) for n in shortlist if n in self.scores
+        )
+        order = [n for _, n in scored]
+        order += [n for n in shortlist if n not in self.scores]
+        if "stz" not in order:
+            order.append("stz")
+        return order
+
+
+# ---------------------------------------------------------------------------
+# bound verification and envelope round-trip
+# ---------------------------------------------------------------------------
+
+def bound_holds(orig: np.ndarray, recon: np.ndarray, abs_eb: float) -> bool:
+    """Exact float64 check of the hard bound, non-finite points
+    bit-exact — the engine's commit-time gate (the boolean twin of the
+    test suite's ``assert_error_bounded``)."""
+    if recon.shape != orig.shape or recon.dtype != orig.dtype:
+        return False
+    o = orig.reshape(-1)
+    r = recon.reshape(-1)
+    o64 = o.astype(np.float64)
+    finite = np.isfinite(o64)
+    if not finite.all():
+        if o[~finite].tobytes() != r[~finite].tobytes():
+            return False
+    if not finite.any():
+        return True
+    err = np.abs(o64[finite] - r[finite].astype(np.float64))
+    return bool(err.max() <= abs_eb)
+
+
+def select_and_compress(
+    data: np.ndarray,
+    abs_eb: float,
+    config: STZConfig,
+    threads: int | None = None,
+    selector: CodecSelector | None = None,
+    shortlist: tuple[str, ...] | None = None,
+) -> tuple[str, bytes, np.ndarray]:
+    """Pick a backend for ``data``, compress, verify, return
+    ``(name, blob, recon)``.
+
+    The ranking comes from a full probe (fresh selector) or the
+    caller's selector state (streaming reuse); the first candidate
+    whose verified reconstruction holds the bound wins.  STZ certifies
+    the bound by construction, so the loop always terminates with a
+    valid container.
+    """
+    selector = selector or CodecSelector(seed=config.select_seed)
+    if shortlist is None:
+        shortlist = SHORTLISTS[probe_features(data, abs_eb).label]
+        selector.probe(data, abs_eb, config, shortlist)
+    last_err: Exception | None = None
+    for name in selector.rank(shortlist):
+        cand = CANDIDATES[name]
+        try:
+            blob, recon = cand.compress_with_recon(
+                data, abs_eb, config, threads
+            )
+        except (ValueError, TypeError) as exc:
+            last_err = exc
+            continue
+        if bound_holds(data, recon, abs_eb):
+            return name, blob, recon
+    if last_err is not None:
+        # every candidate rejected the input (e.g. 9+ dimensions);
+        # surface the final — STZ — rejection instead of burying it
+        raise last_err
+    raise AssertionError("unreachable: the STZ fallback certifies the bound")
+
+
+def compress_selected(
+    data: np.ndarray,
+    eb: float,
+    eb_mode: str = "abs",
+    config: STZConfig | None = None,
+    threads: int | None = None,
+) -> bytes:
+    """Single-array entry point for fixed non-STZ codecs and ``auto``;
+    returns an 'STZC' envelope."""
+    config = config or STZConfig(codec="auto")
+    data = as_float_array(data)
+    abs_eb = resolve_eb(data, eb, eb_mode)
+    if config.codec != "auto":
+        cand = CANDIDATES[config.codec]
+        blob = cand.compress(data, abs_eb, config, threads)
+        return wrap_selected(cand.codec_id, blob)
+    name, blob, _ = select_and_compress(data, abs_eb, config, threads)
+    return wrap_selected(CANDIDATES[name].codec_id, blob)
+
+
+def decode_by_id(
+    codec_id: int,
+    payload: bytes | memoryview,
+    threads: int | None = None,
+) -> np.ndarray:
+    """Decode a payload by container codec id (unknown ids were already
+    rejected by the container layer; reject again for direct callers)."""
+    if codec_id not in CODEC_NAMES:
+        raise ValueError(f"unknown codec id {codec_id}")
+    name = CODEC_NAMES[codec_id]
+    if name == "stz":
+        return stz_decompress(payload, threads=threads)
+    return CANDIDATES[name].decompress(payload)
+
+
+def decompress_selected(
+    source: bytes | memoryview, threads: int | None = None
+) -> np.ndarray:
+    """Decode an 'STZC' envelope produced by :func:`compress_selected`."""
+    codec_id, payload = unwrap_selected(source)
+    return decode_by_id(codec_id, payload, threads)

@@ -46,6 +46,25 @@ may change decode semantics, and ignoring one would produce
 plausible-looking garbage outside the hard error bound.  Single-frame
 STZ1 archives are untouched by all of this (the golden-container tests
 pin their bytes), and :class:`StreamReader` keeps decoding them.
+
+Codec selection (:mod:`repro.core.select`) adds one byte in two places,
+both with the same unknown-value-rejection policy:
+
+* **v2 frame table** — each row carries a *codec id*
+  (:data:`CODEC_NAMES`) naming the backend that encoded the frame's
+  payload, so ``auto`` streams can route every step to the winning
+  codec.  The byte occupies what was a zero pad byte, so all-STZ
+  archives written before the field existed (and after: id 0 = STZ)
+  are byte-identical.  Archives that *use* a non-STZ codec must set the
+  container-level :data:`MULTI_CODEC` flag bit — the version gate that
+  makes pre-codec-id readers reject them cleanly at open instead of
+  misparsing a foreign payload.  Unknown codec ids are rejected at
+  open.
+* **selected-codec envelope** (magic ``'STZC'``) — a 8-byte wrapper for
+  single-array archives whose codec was chosen per container (``stz
+  compress --codec auto``/fixed non-STZ backends): magic, version,
+  codec id, flags, then the chosen codec's own container verbatim.
+  Unknown codec ids and unknown flag bits are rejected.
 """
 
 from __future__ import annotations
@@ -68,15 +87,49 @@ MULTI_MAGIC = b"STZM"
 MULTI_END_MAGIC = b"STZE"
 MULTI_VERSION = 1
 
+SELECT_MAGIC = b"STZC"
+SELECT_VERSION = 1
+_SELECT_HEADER = struct.Struct("<4sBBBB")
+# magic, version, codec_id, flags, pad
+#: envelope flag bits this reader understands (none defined; unknown
+#: bits are rejected like every other flag field in this module)
+_KNOWN_SELECT_FLAGS = 0
+
 #: frame payload is the STZ1 compression of ``step - prev_recon``; the
 #: decoder must add the previous frame's reconstruction back
 FRAME_DELTA = 1
 #: frame flags this reader understands (unknown bits are rejected at
 #: open, mirroring the STZ1 header-flag policy)
 _KNOWN_FRAME_FLAGS = FRAME_DELTA
-#: container-level v2 flags (none defined yet; the field exists so a
-#: future semantic change can be rejected by today's readers)
-_KNOWN_MULTI_FLAGS = 0
+#: container-level v2 flag: some frame's payload may be encoded by a
+#: non-STZ backend (see the per-frame codec id).  Writers set it for
+#: codec-selected streams so pre-codec-id readers reject the archive at
+#: open instead of handing a foreign payload to the STZ1 parser.
+MULTI_CODEC = 1
+#: container-level v2 flags this reader understands (unknown bits are
+#: rejected at open so a future semantic change fails loudly)
+_KNOWN_MULTI_FLAGS = MULTI_CODEC
+
+#: stable on-disk codec ids for codec-selected containers — the v2
+#: frame-table codec byte and the 'STZC' envelope.  0 (STZ) doubles as
+#: the pre-codec-id pad byte, which is what keeps old all-STZ v2
+#: archives decoding byte-identically.  Ids are append-only: never
+#: renumber, never reuse.
+CODEC_STZ = 0
+CODEC_SZ3 = 1
+CODEC_ZFP = 2
+CODEC_SPERR = 3
+CODEC_SZX = 4
+CODEC_MGARD = 5
+CODEC_NAMES = {
+    CODEC_STZ: "stz",
+    CODEC_SZ3: "sz3",
+    CODEC_ZFP: "zfp",
+    CODEC_SPERR: "sperr",
+    CODEC_SZX: "szx",
+    CODEC_MGARD: "mgard",
+}
+CODEC_IDS = {name: cid for cid, name in CODEC_NAMES.items()}
 
 KIND_L1_SZ3 = 0  # coarsest level, full SZ3 container
 KIND_RESIDUAL_Q = 1  # quantized prediction residuals (+ Huffman)
@@ -113,14 +166,17 @@ _FIXED = struct.Struct("<4sBBBBBBBBddII")
 _SEG = struct.Struct("<BBBBQQ")
 _MULTI_FIXED = struct.Struct("<4sBBH")
 _MULTI_TRAILER = struct.Struct("<QI4s")
-_FRAME = struct.Struct("<QQB7x")
+#: the codec byte sits where a zero pad byte used to: old rows parse
+#: identically (codec 0 = STZ) and all-STZ tables stay byte-exact
+_FRAME = struct.Struct("<QQBB6x")
 #: numpy mirror of ``_FRAME`` — table emitted/parsed in one shot
 _FRAME_DTYPE = np.dtype(
     [
         ("offset", "<u8"),
         ("length", "<u8"),
         ("flags", "u1"),
-        ("pad", "u1", (7,)),
+        ("codec", "u1"),
+        ("pad", "u1", (6,)),
     ]
 )
 assert _FRAME_DTYPE.itemsize == _FRAME.size
@@ -299,6 +355,11 @@ class StreamReader:
                     "multi-frame STZ container; open it with "
                     "MultiFrameReader / the streaming API"
                 )
+            if magic == SELECT_MAGIC:
+                raise ValueError(
+                    "codec-selected container; open it with "
+                    "repro.core.api.decompress"
+                )
             raise ValueError("not an STZ container")
         if version != VERSION:
             raise ValueError(f"unsupported STZ container version {version}")
@@ -374,10 +435,16 @@ class FrameInfo:
     offset: int  # absolute, from container start
     length: int
     flags: int
+    codec_id: int = CODEC_STZ
 
     @property
     def is_delta(self) -> bool:
         return bool(self.flags & FRAME_DELTA)
+
+    @property
+    def codec(self) -> str:
+        """Name of the backend that encoded this frame's payload."""
+        return CODEC_NAMES[self.codec_id]
 
 
 def is_multiframe(source: bytes | memoryview | io.IOBase) -> bool:
@@ -406,16 +473,20 @@ class MultiFrameWriter:
     the archive bytes.
     """
 
-    def __init__(self, sink: io.IOBase | None = None):
+    def __init__(self, sink: io.IOBase | None = None, flags: int = 0):
+        if flags & ~_KNOWN_MULTI_FLAGS:
+            raise ValueError(f"unknown container flags 0x{flags:02x}")
         self._own = sink is None
         self._sink: io.IOBase = io.BytesIO() if sink is None else sink
         self._sink.write(
-            _MULTI_FIXED.pack(MULTI_MAGIC, MULTI_VERSION, 0, 0)
+            _MULTI_FIXED.pack(MULTI_MAGIC, MULTI_VERSION, flags, 0)
         )
+        self.flags = flags
         self._pos = _MULTI_FIXED.size
         self._offsets: list[int] = []
         self._lengths: list[int] = []
         self._flags: list[int] = []
+        self._codecs: list[int] = []
         self._finalized = False
 
     @property
@@ -428,16 +499,31 @@ class MultiFrameWriter:
         is only valid then)."""
         return self._own
 
-    def add_frame(self, payload: bytes | memoryview, flags: int = 0) -> FrameInfo:
+    def add_frame(
+        self,
+        payload: bytes | memoryview,
+        flags: int = 0,
+        codec_id: int = CODEC_STZ,
+    ) -> FrameInfo:
         """Append one frame; returns its table entry."""
         if self._finalized:
             raise ValueError("archive already finalized")
         if flags & ~_KNOWN_FRAME_FLAGS:
             raise ValueError(f"unknown frame flags 0x{flags:02x}")
-        info = FrameInfo(self.nframes, self._pos, len(payload), flags)
+        if codec_id not in CODEC_NAMES:
+            raise ValueError(f"unknown codec id {codec_id}")
+        if codec_id != CODEC_STZ and not (self.flags & MULTI_CODEC):
+            # the version gate: non-STZ payloads are only legal in
+            # archives whose header flag warns pre-codec-id readers off
+            raise ValueError(
+                "non-STZ frame codec requires a writer opened with "
+                "flags=MULTI_CODEC"
+            )
+        info = FrameInfo(self.nframes, self._pos, len(payload), flags, codec_id)
         self._offsets.append(info.offset)
         self._lengths.append(info.length)
         self._flags.append(flags)
+        self._codecs.append(codec_id)
         self._sink.write(payload)
         self._pos += info.length
         return info
@@ -450,6 +536,7 @@ class MultiFrameWriter:
         table["offset"] = self._offsets
         table["length"] = self._lengths
         table["flags"] = self._flags
+        table["codec"] = self._codecs
         self._sink.write(table.tobytes())
         self._sink.write(
             _MULTI_TRAILER.pack(self._pos, self.nframes, MULTI_END_MAGIC)
@@ -503,6 +590,7 @@ class MultiFrameReader:
                 "container uses unknown feature flags "
                 f"0x{flags & ~_KNOWN_MULTI_FLAGS:02x}; upgrade the reader"
             )
+        self.flags = flags
         table_off, nframes, end_magic = _MULTI_TRAILER.unpack(
             self._read_at(total - _MULTI_TRAILER.size, _MULTI_TRAILER.size)
         )
@@ -515,12 +603,13 @@ class MultiFrameReader:
             dtype=_FRAME_DTYPE,
         )
         self.frames: tuple[FrameInfo, ...] = tuple(
-            FrameInfo(i, int(off), int(length), int(fl))
-            for i, (off, length, fl) in enumerate(
+            FrameInfo(i, int(off), int(length), int(fl), int(cid))
+            for i, (off, length, fl, cid) in enumerate(
                 zip(
                     table["offset"].tolist(),
                     table["length"].tolist(),
                     table["flags"].tolist(),
+                    table["codec"].tolist(),
                 )
             )
         )
@@ -530,6 +619,11 @@ class MultiFrameReader:
                     f"frame {f.index} uses unknown frame flags "
                     f"0x{f.flags & ~_KNOWN_FRAME_FLAGS:02x}; "
                     "upgrade the reader"
+                )
+            if f.codec_id not in CODEC_NAMES:
+                raise ValueError(
+                    f"frame {f.index} uses unknown codec id "
+                    f"{f.codec_id}; upgrade the reader"
                 )
             if f.offset + f.length > table_off:
                 raise ValueError("corrupt multi-frame table geometry")
@@ -568,3 +662,66 @@ class MultiFrameReader:
     def open_frame(self, index: int) -> StreamReader:
         """A :class:`StreamReader` over frame ``index``'s payload."""
         return StreamReader(self.read_frame(index))
+
+
+# ---------------------------------------------------------------------------
+# selected-codec envelope (single-array archives with a chosen backend)
+# ---------------------------------------------------------------------------
+
+def is_selected(source: bytes | memoryview | io.IOBase) -> bool:
+    """Whether ``source`` starts with the selected-codec envelope magic.
+
+    File sources are restored to their prior position, like
+    :func:`is_multiframe`.
+    """
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        return bytes(memoryview(source)[:4]) == SELECT_MAGIC
+    pos = source.tell()
+    head = source.read(4)
+    source.seek(pos)
+    return head == SELECT_MAGIC
+
+
+def wrap_selected(codec_id: int, payload: bytes | memoryview) -> bytes:
+    """Wrap one codec's container in the 'STZC' envelope."""
+    if codec_id not in CODEC_NAMES:
+        raise ValueError(f"unknown codec id {codec_id}")
+    return (
+        _SELECT_HEADER.pack(SELECT_MAGIC, SELECT_VERSION, codec_id, 0, 0)
+        + bytes(payload)
+    )
+
+
+def unwrap_selected(
+    source: bytes | memoryview,
+) -> tuple[int, memoryview]:
+    """Parse an 'STZC' envelope into (codec_id, inner payload view).
+
+    Unknown codec ids and unknown flag bits are rejected — either could
+    change decode semantics, and misrouting a payload to the wrong
+    backend parser would at best fail confusingly and at worst decode
+    plausible garbage.
+    """
+    buf = memoryview(source)
+    if len(buf) < _SELECT_HEADER.size:
+        raise ValueError("truncated codec-selected container")
+    magic, version, codec_id, flags, _pad = _SELECT_HEADER.unpack(
+        buf[: _SELECT_HEADER.size]
+    )
+    if magic != SELECT_MAGIC:
+        raise ValueError("not a codec-selected container")
+    if version != SELECT_VERSION:
+        raise ValueError(
+            f"unsupported codec-selected container version {version}"
+        )
+    if flags & ~_KNOWN_SELECT_FLAGS:
+        raise ValueError(
+            "container uses unknown feature flags "
+            f"0x{flags & ~_KNOWN_SELECT_FLAGS:02x}; upgrade the reader"
+        )
+    if codec_id not in CODEC_NAMES:
+        raise ValueError(
+            f"container uses unknown codec id {codec_id}; "
+            "upgrade the reader"
+        )
+    return codec_id, buf[_SELECT_HEADER.size :]

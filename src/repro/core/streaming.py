@@ -49,9 +49,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import STZConfig
-from repro.core.pipeline import stz_compress_with_recon, stz_decompress
+from repro.core.pipeline import stz_compress_with_recon
+from repro.core.select import (
+    CANDIDATES,
+    SHORTLISTS,
+    CodecSelector,
+    bound_holds,
+    decode_by_id,
+    probe_features,
+    select_and_compress,
+)
 from repro.core.stream import (
+    CODEC_IDS,
     FRAME_DELTA,
+    MULTI_CODEC,
     FrameInfo,
     MultiFrameReader,
     MultiFrameWriter,
@@ -74,6 +85,9 @@ class FrameStats:
     #: exceeded the bound (float32 rounding of the final addition), so
     #: the step was re-encoded intra
     fallback: bool
+    #: backend that encoded this frame's payload (always "stz" unless
+    #: the stream runs a fixed foreign codec or codec="auto")
+    codec: str = "stz"
 
 
 class StreamingCompressor:
@@ -115,7 +129,21 @@ class StreamingCompressor:
         self.config = config or STZConfig()
         self.keyframe_interval = int(keyframe_interval)
         self.threads = threads
-        self._writer = MultiFrameWriter(sink)
+        # codec-selected streams set the MULTI_CODEC gate bit so
+        # pre-codec-id readers reject the archive at open; plain STZ
+        # streams keep flags 0 and stay byte-identical to before the
+        # codec byte existed
+        self._writer = MultiFrameWriter(
+            sink, flags=MULTI_CODEC if self.config.codec != "stz" else 0
+        )
+        if self.config.codec == "auto":
+            # independent scorers for intra and delta payloads: a field
+            # and its temporal residual have very different statistics,
+            # and one EMA would let either pollute the other's ranking
+            self._sel_intra = CodecSelector(seed=self.config.select_seed)
+            self._sel_delta = CodecSelector(seed=self.config.select_seed + 1)
+            self._intra_shortlist: tuple[str, ...] | None = None
+            self._delta_shortlist: tuple[str, ...] | None = None
         self.abs_eb: float | None = None  # resolved at the first step
         self._shape: tuple[int, ...] | None = None
         self._dtype: np.dtype | None = None
@@ -144,6 +172,78 @@ class StreamingCompressor:
         ulp = 2.0**-23 if step.dtype == np.float32 else 2.0**-52
         return self.abs_eb - scale * ulp
 
+    def _encode_intra(
+        self, step: np.ndarray, reprobe: bool
+    ) -> tuple[bytes, np.ndarray, str]:
+        """Encode ``step`` with no temporal prediction; returns
+        ``(blob, recon, codec name)``.
+
+        ``codec="auto"`` re-selects per step: keyframes trigger a full
+        probe (features + per-candidate tile scoring), non-keyframe
+        intra fallbacks reuse the current ranking.  Fixed codecs are
+        verified at commit time and drop to STZ on a bound violation,
+        so the stream guarantee never depends on a foreign backend's
+        certification being correct.
+        """
+        if self.config.codec == "auto":
+            sel = self._sel_intra
+            if reprobe or self._intra_shortlist is None:
+                self._intra_shortlist = SHORTLISTS[
+                    probe_features(step, self.abs_eb).label
+                ]
+                sel.probe(step, self.abs_eb, self.config, self._intra_shortlist)
+            name, blob, recon = select_and_compress(
+                step, self.abs_eb, self.config, self.threads,
+                selector=sel, shortlist=self._intra_shortlist,
+            )
+            return blob, recon, name
+        if self.config.codec != "stz":
+            cand = CANDIDATES[self.config.codec]
+            blob, recon = cand.compress_with_recon(
+                step, self.abs_eb, self.config, self.threads
+            )
+            if bound_holds(step, recon, self.abs_eb):
+                return blob, recon, cand.name
+        blob, recon = stz_compress_with_recon(
+            step, self.abs_eb, "abs", self.config.with_(codec="stz"),
+            self.threads,
+        )
+        return blob, recon, "stz"
+
+    def _encode_delta(
+        self, resid: np.ndarray, delta_eb: float
+    ) -> tuple[bytes, np.ndarray, str]:
+        """Encode one temporal residual; returns ``(blob, resid recon,
+        codec name)``.
+
+        ``codec="auto"`` keeps a separate selector over residual
+        statistics: the first delta after a keyframe re-probes, and a
+        seeded epsilon-greedy draw schedules refresh probes in between
+        (the bandit loop that tracks drifting dynamics).
+        """
+        if self.config.codec == "auto":
+            sel = self._sel_delta
+            if self._delta_shortlist is None or sel.explore_draw():
+                self._delta_shortlist = SHORTLISTS[
+                    probe_features(resid, delta_eb).label
+                ]
+                sel.probe(resid, delta_eb, self.config, self._delta_shortlist)
+            name, blob, rr = select_and_compress(
+                resid, delta_eb, self.config, self.threads,
+                selector=sel, shortlist=self._delta_shortlist,
+            )
+            return blob, rr, name
+        if self.config.codec != "stz":
+            cand = CANDIDATES[self.config.codec]
+            blob, rr = cand.compress_with_recon(
+                resid, delta_eb, self.config, self.threads
+            )
+            return blob, rr, cand.name
+        blob, rr = stz_compress_with_recon(
+            resid, delta_eb, "abs", self.config, self.threads
+        )
+        return blob, rr, "stz"
+
     def append(self, step: np.ndarray) -> FrameStats:
         """Compress and write one time step; returns its accounting."""
         if self._closed:
@@ -159,19 +259,17 @@ class StreamingCompressor:
                 f"stream is {self._shape} {self._dtype}"
             )
         index = self.nframes
+        is_keyframe = index % self.keyframe_interval == 0
+        if is_keyframe and self.config.codec == "auto":
+            # keyframe re-probe applies to the residual selector too:
+            # the first delta of the new interval re-probes instead of
+            # waiting for an epsilon draw to notice drifted dynamics
+            self._delta_shortlist = None
         fallback = False
         delta_eb = self._delta_eb(step)
-        if (
-            self._prev_recon is not None
-            and index % self.keyframe_interval
-            and delta_eb > 0
-        ):
-            blob, resid_recon = stz_compress_with_recon(
-                step - self._prev_recon,
-                delta_eb,
-                "abs",
-                self.config,
-                self.threads,
+        if self._prev_recon is not None and not is_keyframe and delta_eb > 0:
+            blob, resid_recon, name = self._encode_delta(
+                step - self._prev_recon, delta_eb
             )
             # the decoder's exact output for this frame — verify the
             # end-to-end bound in float64 before committing (see module
@@ -190,16 +288,16 @@ class StreamingCompressor:
                 else 0.0
             )
             if err <= self.abs_eb:
-                self._writer.add_frame(blob, FRAME_DELTA)
+                self._writer.add_frame(
+                    blob, FRAME_DELTA, codec_id=CODEC_IDS[name]
+                )
                 self._prev_recon = recon
-                return FrameStats(index, len(blob), True, False)
+                return FrameStats(index, len(blob), True, False, name)
             fallback = True
-        blob, recon = stz_compress_with_recon(
-            step, self.abs_eb, "abs", self.config, self.threads
-        )
-        self._writer.add_frame(blob)
+        blob, recon, name = self._encode_intra(step, reprobe=is_keyframe)
+        self._writer.add_frame(blob, codec_id=CODEC_IDS[name])
         self._prev_recon = recon
-        return FrameStats(index, len(blob), False, fallback)
+        return FrameStats(index, len(blob), False, fallback, name)
 
     def extend(self, steps) -> list[FrameStats]:
         """Append every step of an iterable (consumed lazily)."""
@@ -256,8 +354,10 @@ class StreamingDecompressor:
 
     def _decode_one(self, index: int) -> np.ndarray:
         """Decode frame ``index`` given its predecessor in the cache."""
-        arr = stz_decompress(
-            self.reader.read_frame(index), threads=self.threads
+        arr = decode_by_id(
+            self.reader.frame(index).codec_id,
+            self.reader.read_frame(index),
+            threads=self.threads,
         )
         if self.reader.frame(index).is_delta:
             # bit-identical to the encoder's commit-time addition

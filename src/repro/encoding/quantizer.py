@@ -128,6 +128,11 @@ def _quantize_flat_impl(
         # (the bound check below rejects those points on its own: with
         # q = 0 their error is the full residual, far above eb)
         q = np.where(np.abs(qf) < np.float32(radius), qf, np.float32(0))
+        # normalize -0.0 bins to +0.0: rint(-0.5) is -0.0, but the
+        # decoder derives its bin from the *integer* code (code -
+        # radius = +0.0), and recon must mirror that arithmetic down to
+        # the sign of zero for the closed-loop bit-exactness contract
+        np.add(q, np.float32(0.0), out=q)
         recon = q * two_eb  # the decoder's exact f32 formula
         np.add(pflat, recon, out=recon)
         err = recon - flat

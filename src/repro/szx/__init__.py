@@ -1,0 +1,5 @@
+"""SZx-style ultra-fast block codec (the selection engine's fast tier)."""
+
+from repro.szx.codec import SZXCompressor, szx_compress, szx_decompress
+
+__all__ = ["SZXCompressor", "szx_compress", "szx_decompress"]

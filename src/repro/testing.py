@@ -6,15 +6,66 @@ so the two trees cannot drift apart (pytest discovers fixtures by name
 in whatever conftest namespace they are imported into).  The module
 also re-exports :func:`smooth_field` and :func:`max_err`, the helper
 pair every test module pulls from its conftest.
+
+:func:`conformance_field` and :func:`registry_field` are the *cached*
+dataset builders shared by the conformance sweep and the
+codec-selection tests: each (shape, dtype, variant) pair is generated
+once per process instead of once per parametrized test (the sweep
+multiplies every field by codecs x bounds), and the arrays are handed
+out read-only so no codec under test can corrupt a neighbour's input.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 import pytest
 
 from repro.datasets.synthetic import smooth_field  # noqa: F401
 from repro.metrics.error import max_abs_error as max_err  # noqa: F401
+
+#: value-scale edge variants swept by the conformance and selector
+#: suites (NaN-free by construction; non-finite handling has its own
+#: dedicated tests)
+FIELD_VARIANTS = ("unit", "large", "tiny", "shifted", "constant")
+
+
+@lru_cache(maxsize=None)
+def conformance_field(
+    shape: tuple[int, ...],
+    dtype_name: str = "float32",
+    variant: str = "unit",
+    seed: int = 11,
+) -> np.ndarray:
+    """One cached, read-only test field per (shape, dtype, variant)."""
+    dtype = np.dtype(dtype_name)
+    if variant == "constant":
+        data = np.full(shape, 3.25, dtype=dtype)
+    else:
+        data = smooth_field(shape, seed=seed).astype(dtype)
+        if variant == "large":
+            data = data * dtype.type(1e6)
+        elif variant == "tiny":
+            data = data * dtype.type(1e-6)
+        elif variant == "shifted":
+            data = data + dtype.type(1000.0)
+        elif variant != "unit":
+            raise ValueError(f"unknown variant {variant!r}")
+    data.setflags(write=False)
+    return data
+
+
+@lru_cache(maxsize=None)
+def registry_field(
+    name: str, shape: tuple[int, ...] = (32, 32, 32), seed: int = 0
+) -> np.ndarray:
+    """One cached, read-only registry dataset per (name, shape, seed)."""
+    from repro.datasets.registry import load
+
+    data = load(name, shape=shape, seed=seed)
+    data.setflags(write=False)
+    return data
 
 
 @pytest.fixture

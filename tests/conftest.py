@@ -7,7 +7,10 @@ with ``benchmarks/conftest.py``, so the two trees cannot drift apart.
 from __future__ import annotations
 
 from repro.testing import (  # noqa: F401
+    FIELD_VARIANTS,
+    conformance_field,
     max_err,
+    registry_field,
     rng,
     smooth2d_f32,
     smooth3d_f32,

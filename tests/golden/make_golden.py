@@ -19,7 +19,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.api import compress_stream
+from repro.core.api import compress, compress_stream, decompress
 from repro.core.config import STZConfig
 from repro.core.pipeline import stz_compress, stz_decompress
 from repro.core.streaming import StreamingDecompressor
@@ -38,6 +38,40 @@ SINGLE = [
         {"levels": 2, "interp": "linear", "f32_quant": False},
     ),
 ]
+
+#: (name, abs_eb) for codec-selected ('STZC') envelope fixtures; the
+#: inputs come from auto_input() so the winning codec is deterministic
+AUTO_SINGLE = [
+    ("auto_const", 1e-3),  # constant field: the szx short-circuit
+    ("auto_smooth", 4e-3),  # smooth field: probe-scored winner
+]
+
+AUTO_STREAM_EB = 1e-3
+AUTO_STREAM_KEYFRAME = 2
+
+
+def auto_input(name: str) -> np.ndarray:
+    """Deterministic inputs for the auto-mode fixtures."""
+    if name == "auto_const":
+        return np.full((11, 9, 7), 2.5, dtype=np.float32)
+    if name == "auto_smooth":
+        # large enough that a general-purpose backend (not the
+        # low-overhead szx tier) wins the probe — the fixture pins a
+        # non-trivial codec id in the envelope
+        return smooth_field((24, 20, 16), seed=24).astype(np.float32)
+    raise KeyError(name)
+
+
+def auto_stream_steps() -> list[np.ndarray]:
+    """Mixed-statistics steps so the golden archive pins *several*
+    per-frame codec choices, not just one."""
+    shape = (20, 16, 12)
+    return [
+        np.full(shape, 1.5, dtype=np.float32),
+        smooth_field(shape, seed=25).astype(np.float32),
+        np.random.default_rng(26).normal(size=shape).astype(np.float32),
+        smooth_field(shape, seed=27).astype(np.float32),
+    ]
 
 
 def main() -> None:
@@ -66,6 +100,31 @@ def main() -> None:
         np.stack(list(StreamingDecompressor(blob))),
     )
     print(f"multi: {steps.nbytes} B -> {len(blob)} B")
+
+    # codec-selected envelopes (auto mode, select_seed=0)
+    for name, eb in AUTO_SINGLE:
+        data = auto_input(name)
+        blob = compress(data, eb, "abs", codec="auto")
+        np.save(HERE / f"{name}_input.npy", data)
+        (HERE / f"{name}.stz").write_bytes(blob)
+        np.save(HERE / f"{name}_recon.npy", decompress(blob))
+        print(f"{name}: {data.nbytes} B -> {len(blob)} B")
+
+    # codec-selected multi-frame archive (per-frame codec-id bytes)
+    asteps = np.stack(auto_stream_steps())
+    blob = compress_stream(
+        list(asteps),
+        AUTO_STREAM_EB,
+        keyframe_interval=AUTO_STREAM_KEYFRAME,
+        codec="auto",
+    )
+    np.save(HERE / "auto_multi_input.npy", asteps)
+    (HERE / "auto_multi.stz").write_bytes(blob)
+    np.save(
+        HERE / "auto_multi_recon.npy",
+        np.stack(list(StreamingDecompressor(blob))),
+    )
+    print(f"auto_multi: {asteps.nbytes} B -> {len(blob)} B")
 
 
 if __name__ == "__main__":

@@ -12,10 +12,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.api import compress as api_compress
+from repro.core.api import decompress as api_decompress
 from repro.core.pipeline import stz_compress, stz_decompress
 from repro.mgard.codec import mgard_compress, mgard_decompress
 from repro.sperr.codec import sperr_compress, sperr_decompress
 from repro.sz3.compressor import sz3_compress, sz3_decompress
+from repro.szx.codec import szx_compress, szx_decompress
+from repro.zfp.codec import zfp_compress, zfp_decompress
 
 
 def assert_error_bounded(
@@ -57,10 +61,19 @@ def assert_error_bounded(
 
 #: name -> (compress(data, abs_eb) -> bytes, decompress(blob) -> array);
 #: every codec claiming the hard L-infinity guarantee, swept by
-#: tests/test_conformance.py
+#: tests/test_conformance.py.  "zfp" joined when its v2 exact-outlier
+#: pass upgraded the advisory tolerance to a certified bound; "auto" is
+#: the selection engine, which must hold the bound no matter which
+#: backend it routes to.
 BOUNDED_CODECS = {
     "stz": (lambda d, e: stz_compress(d, e, "abs"), stz_decompress),
     "sz3": (lambda d, e: sz3_compress(d, e, "abs"), sz3_decompress),
     "sperr": (lambda d, e: sperr_compress(d, e, "abs"), sperr_decompress),
     "mgard": (lambda d, e: mgard_compress(d, e, "abs"), mgard_decompress),
+    "zfp": (lambda d, e: zfp_compress(d, e, "abs"), zfp_decompress),
+    "szx": (lambda d, e: szx_compress(d, e, "abs"), szx_decompress),
+    "auto": (
+        lambda d, e: api_compress(d, e, "abs", codec="auto"),
+        api_decompress,
+    ),
 }

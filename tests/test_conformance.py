@@ -14,7 +14,7 @@ identical contract.
 import numpy as np
 import pytest
 
-from conftest import smooth_field
+from conftest import conformance_field, smooth_field
 from helpers import BOUNDED_CODECS, assert_error_bounded
 from repro.core.api import compress_stream, iter_decompress
 
@@ -39,16 +39,9 @@ EBS = [1e-2, 1e-4]
 
 
 def field_for(shape, dtype, variant="unit"):
-    data = smooth_field(shape, seed=11).astype(dtype)
-    if variant == "large":
-        return data * dtype(1e6)
-    if variant == "tiny":
-        return data * dtype(1e-6)
-    if variant == "shifted":
-        return data + dtype(1000.0)
-    if variant == "constant":
-        return np.full(shape, 3.25, dtype=dtype)
-    return data
+    # one cached, read-only array per (shape, dtype, variant) — shared
+    # with the selector tests instead of regenerated per sweep row
+    return conformance_field(shape, np.dtype(dtype).name, variant)
 
 
 @pytest.mark.parametrize("codec", CODEC_IDS)

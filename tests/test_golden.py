@@ -17,15 +17,21 @@ things independently:
    flag mechanism a safe evolution path.
 """
 
+import struct
 import zlib
 from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.core.api import compress_stream, decompress_frame
+from repro.core.api import compress, compress_stream, decompress, decompress_frame
 from repro.core.pipeline import stz_compress, stz_decompress
-from repro.core.stream import MultiFrameReader, StreamReader
+from repro.core.stream import (
+    CODEC_NAMES,
+    MultiFrameReader,
+    StreamReader,
+    unwrap_selected,
+)
 from repro.core.streaming import StreamingDecompressor
 
 GOLDEN = Path(__file__).parent / "golden"
@@ -34,6 +40,12 @@ GOLDEN = Path(__file__).parent / "golden"
 _STZ1_FLAGS_OFFSET = 11
 #: v2 head: flags is byte 5 (after magic4 + version)
 _MULTI_FLAGS_OFFSET = 5
+#: 'STZC' envelope: codec id is byte 5, flags byte 6
+_SELECT_CODEC_OFFSET = 5
+_SELECT_FLAGS_OFFSET = 6
+#: v2 frame-table row <QQBB6x>: codec id is byte 17 of the row
+_FRAME_ROW_SIZE = 24
+_FRAME_CODEC_OFFSET = 17
 
 SINGLE_CONFIGS = [
     ("single_f32", {}),
@@ -116,3 +128,111 @@ class TestMultiFrameGolden:
         sd = StreamingDecompressor(bytes(blob))
         with pytest.raises(ValueError, match="unknown feature flags"):
             sd.read_frame(0)
+
+    def test_pre_codec_id_archive_reads_as_all_stz(self):
+        """The codec-id byte took over a zero pad byte: archives written
+        before it existed must parse as codec 0 (STZ) on every frame,
+        with the MULTI_CODEC gate bit unset."""
+        reader = MultiFrameReader((GOLDEN / "multi.stz").read_bytes())
+        assert reader.flags == 0
+        assert all(f.codec == "stz" for f in reader.frames)
+
+
+#: golden codec-selected fixtures: name -> (abs_eb, expected codec).
+#: The expected codec pins the *selection* itself: a probe-scoring
+#: change that silently flips a historical choice should be a
+#: conscious fixture regeneration, not an accident.
+AUTO_SINGLE_GOLDEN = {
+    "auto_const": (1e-3, "szx"),
+    "auto_smooth": (4e-3, "sz3"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(AUTO_SINGLE_GOLDEN))
+class TestAutoEnvelopeGolden:
+    def test_reader_decodes_bit_exactly(self, name):
+        blob = (GOLDEN / f"{name}.stz").read_bytes()
+        expected = np.load(GOLDEN / f"{name}_recon.npy")
+        eb, codec = AUTO_SINGLE_GOLDEN[name]
+        assert CODEC_NAMES[unwrap_selected(blob)[0]] == codec
+        recon = decompress(blob)
+        assert recon.dtype == expected.dtype
+        assert np.array_equal(recon, expected)
+        data = np.load(GOLDEN / f"{name}_input.npy")
+        err = np.abs(
+            recon.astype(np.float64) - data.astype(np.float64)
+        ).max()
+        assert err <= eb
+
+    @needs_reference_zlib
+    def test_writer_reproduces_archive_bytes(self, name):
+        data = np.load(GOLDEN / f"{name}_input.npy")
+        eb, _ = AUTO_SINGLE_GOLDEN[name]
+        blob = compress(data, eb, "abs", codec="auto")
+        assert blob == (GOLDEN / f"{name}.stz").read_bytes()
+
+    def test_unknown_codec_id_rejected(self, name):
+        blob = bytearray((GOLDEN / f"{name}.stz").read_bytes())
+        blob[_SELECT_CODEC_OFFSET] = 0x7F
+        with pytest.raises(ValueError, match="unknown codec id"):
+            decompress(bytes(blob))
+
+    def test_unknown_envelope_flag_rejected(self, name):
+        blob = bytearray((GOLDEN / f"{name}.stz").read_bytes())
+        blob[_SELECT_FLAGS_OFFSET] |= 0x40
+        with pytest.raises(ValueError, match="unknown feature flags"):
+            decompress(bytes(blob))
+
+
+class TestAutoMultiGolden:
+    EB = 1e-3
+    KEYFRAME = 2
+    #: per-frame (codec, is_delta) pinned at fixture time — the v2
+    #: codec-id byte layer plus the per-step selection choices
+    EXPECTED_FRAMES = [
+        ("szx", False), ("sz3", True), ("szx", False), ("szx", True),
+    ]
+
+    def test_reader_decodes_bit_exactly(self):
+        blob = (GOLDEN / "auto_multi.stz").read_bytes()
+        expected = np.load(GOLDEN / "auto_multi_recon.npy")
+        reader = MultiFrameReader(blob)
+        assert [
+            (f.codec, f.is_delta) for f in reader.frames
+        ] == self.EXPECTED_FRAMES
+        frames = list(StreamingDecompressor(blob))
+        assert len(frames) == expected.shape[0]
+        for t, rec in enumerate(frames):
+            assert np.array_equal(rec, expected[t]), f"frame {t}"
+        assert np.array_equal(decompress_frame(blob, 3), expected[3])
+        inputs = np.load(GOLDEN / "auto_multi_input.npy")
+        for t in range(expected.shape[0]):
+            err = np.abs(
+                expected[t].astype(np.float64)
+                - inputs[t].astype(np.float64)
+            ).max()
+            assert err <= self.EB, f"frame {t}"
+
+    @needs_reference_zlib
+    def test_writer_reproduces_archive_bytes(self):
+        steps = np.load(GOLDEN / "auto_multi_input.npy")
+        blob = compress_stream(
+            list(steps), self.EB,
+            keyframe_interval=self.KEYFRAME, codec="auto",
+        )
+        assert blob == (GOLDEN / "auto_multi.stz").read_bytes()
+
+    def test_unknown_frame_codec_id_rejected(self):
+        blob = bytearray((GOLDEN / "auto_multi.stz").read_bytes())
+        table_off, _nframes, _magic = struct.unpack(
+            "<QI4s", bytes(blob[-16:])
+        )
+        blob[table_off + _FRAME_ROW_SIZE + _FRAME_CODEC_OFFSET] = 0x7F
+        with pytest.raises(ValueError, match="unknown codec id"):
+            MultiFrameReader(bytes(blob))
+
+    def test_multi_codec_gate_bit_is_set(self):
+        reader = MultiFrameReader((GOLDEN / "auto_multi.stz").read_bytes())
+        from repro.core.stream import MULTI_CODEC
+
+        assert reader.flags & MULTI_CODEC

@@ -1,0 +1,426 @@
+"""Codec-selection engine tests (probe, selector, auto mode, containers).
+
+Three layers of guarantees, mirroring the engine's design
+(:mod:`repro.core.select`):
+
+* **hard bound** — ``auto`` never violates the L-infinity bound, on
+  adversarial inputs (constant, value-scale edges, mixed-smoothness
+  tiles) and under hypothesis-driven random search (with a seeded
+  parametrized fallback so the properties always run);
+* **determinism** — same input + same ``select_seed`` produces a
+  byte-identical container, single-array and streaming alike;
+* **containers** — the codec-id byte round-trips, unknown ids are
+  rejected (envelope and v2 frame table), and the MULTI_CODEC version
+  gate is enforced on the writer.
+
+The size regression (``auto`` never worse than the *worst* fixed
+codec) runs on the cached registry datasets shared with the
+conformance sweep; the stronger ≥0.9x-of-best criterion lives in
+``benchmarks/bench_select_auto.py`` where the grids are bench-scale.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import conformance_field, registry_field, smooth_field
+from helpers import assert_error_bounded
+from repro.core.api import (
+    compress,
+    compress_stream,
+    decompress,
+    decompress_progressive,
+    iter_decompress,
+)
+from repro.core.config import STZConfig
+from repro.core.pipeline import stz_compress
+from repro.core.select import (
+    CANDIDATES,
+    SHORTLISTS,
+    CodecSelector,
+    bound_holds,
+    compress_selected,
+    decompress_selected,
+    probe_features,
+    sample_tile,
+)
+from repro.core.stream import (
+    CODEC_IDS,
+    CODEC_NAMES,
+    CODEC_STZ,
+    MULTI_CODEC,
+    MultiFrameReader,
+    MultiFrameWriter,
+    is_selected,
+    unwrap_selected,
+    wrap_selected,
+)
+from repro.core.streaming import StreamingDecompressor
+
+pytestmark = pytest.mark.select
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - the image bakes hypothesis in
+    HAVE_HYPOTHESIS = False
+
+needs_hypothesis = pytest.mark.skipif(
+    not HAVE_HYPOTHESIS, reason="hypothesis not installed"
+)
+
+REGISTRY = ("nyx", "warpx", "magrec", "miranda")
+
+
+def mixed_smoothness_tile(shape=(16, 16, 16), dtype=np.float32, seed=9):
+    """Half smooth field, half white noise — the adversarial case for a
+    sampled probe (whichever half it samples, the other half differs)."""
+    data = smooth_field(shape, seed=seed).astype(dtype)
+    noisy = data.copy()
+    half = shape[0] // 2
+    noise = np.random.default_rng(seed).normal(size=noisy[half:].shape)
+    noisy[half:] += noise.astype(dtype)
+    return noisy
+
+
+# ---------------------------------------------------------------------------
+# probe features
+# ---------------------------------------------------------------------------
+
+class TestProbe:
+    def test_constant_label(self):
+        data = conformance_field((16, 16, 16), "float32", "constant")
+        assert probe_features(data, 1e-3).label == "constant"
+
+    def test_smooth_label(self):
+        data = conformance_field((16, 16, 16), "float32")
+        p = probe_features(data, 1e-4 * float(data.max() - data.min()))
+        assert p.label == "smooth"
+        assert p.smoothness < 0.05
+        assert p.vrange > 0
+
+    def test_rough_label(self):
+        data = (
+            np.random.default_rng(3).normal(size=(16, 16, 16))
+            .astype(np.float32)
+        )
+        assert probe_features(data, 1e-4).label == "rough"
+
+    def test_nonfinite_counts_as_rough(self):
+        data = smooth_field((16, 16, 16), seed=4).astype(np.float32)
+        data[0, 0, :] = np.nan
+        p = probe_features(data, 1e-3)
+        assert p.nonfinite_frac > 0
+        assert p.label == "rough"
+
+    def test_probe_is_sampled_not_full(self):
+        # identical head/middle/tail => identical features, however much
+        # unsampled data changes in between
+        a = smooth_field((200_000,), seed=5)
+        b = a.copy()
+        b[50_000:60_000] += 17.0  # outside all three sampled chunks
+        assert probe_features(a, 1e-3) == probe_features(b, 1e-3)
+
+    def test_sample_tile_is_centered_crop(self):
+        data = np.arange(64 * 64, dtype=np.float32).reshape(64, 64)
+        tile = sample_tile(data, edge=32)
+        assert tile.shape == (32, 32)
+        assert np.array_equal(tile, data[16:48, 16:48])
+        small = np.ones((3, 5), np.float32)
+        assert sample_tile(small).shape == (3, 5)
+
+
+# ---------------------------------------------------------------------------
+# the selector
+# ---------------------------------------------------------------------------
+
+class TestSelector:
+    def test_probe_updates_ema(self):
+        data = conformance_field((16, 16, 16), "float32")
+        sel = CodecSelector(seed=0, decay=0.5)
+        first = sel.probe(data, 1e-3, STZConfig(), ("stz", "sz3"))
+        assert set(first) == {"stz", "sz3"}
+        assert sel.scores == first  # first observation seeds the EMA
+        second = sel.probe(data, 1e-3, STZConfig(), ("stz", "sz3"))
+        for name in ("stz", "sz3"):
+            assert sel.scores[name] == pytest.approx(
+                0.5 * first[name] + 0.5 * second[name]
+            )
+
+    def test_rank_orders_by_score_and_keeps_stz_fallback(self):
+        sel = CodecSelector(seed=0)
+        sel.scores = {"zfp": 3.0, "szx": 1.0}
+        assert sel.rank(("zfp", "szx")) == ["szx", "zfp", "stz"]
+        # unscored candidates keep shortlist order after scored ones
+        assert sel.rank(("sperr", "szx", "zfp")) == [
+            "szx", "zfp", "sperr", "stz",
+        ]
+
+    def test_explore_draws_are_seed_deterministic(self):
+        a = CodecSelector(seed=42)
+        b = CodecSelector(seed=42)
+        assert [a.explore_draw() for _ in range(64)] == [
+            b.explore_draw() for _ in range(64)
+        ]
+
+    def test_candidate_registry_matches_container_ids(self):
+        assert set(CANDIDATES) == set(CODEC_NAMES.values())
+        for name, cand in CANDIDATES.items():
+            assert cand.codec_id == CODEC_IDS[name]
+        for shortlist in SHORTLISTS.values():
+            assert set(shortlist) <= set(CANDIDATES)
+
+
+# ---------------------------------------------------------------------------
+# auto mode: hard bound on adversarial inputs
+# ---------------------------------------------------------------------------
+
+class TestAutoBound:
+    @pytest.mark.parametrize(
+        "variant", ["unit", "large", "tiny", "shifted", "constant"]
+    )
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    def test_value_edges(self, variant, dtype):
+        data = conformance_field((16, 16, 16), dtype, variant)
+        vrange = float(data.max() - data.min())
+        abs_eb = 1e-3 * vrange if vrange else 1e-3
+        blob = compress(data, abs_eb, "abs", codec="auto")
+        recon = decompress(blob)
+        assert recon.dtype == data.dtype
+        assert_error_bounded(data, recon, abs_eb, context=f"auto {variant}")
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    def test_mixed_smoothness_tile(self, dtype):
+        data = mixed_smoothness_tile(dtype=np.dtype(dtype))
+        abs_eb = 1e-3 * float(data.max() - data.min())
+        recon = decompress(compress(data, abs_eb, "abs", codec="auto"))
+        assert_error_bounded(data, recon, abs_eb, context="auto mixed")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_seeded_random_fields(self, seed):
+        # the always-on twin of the hypothesis property below
+        rng = np.random.default_rng(seed)
+        ndim = int(rng.integers(1, 4))
+        shape = tuple(int(rng.integers(2, 14)) for _ in range(ndim))
+        data = rng.normal(size=shape).astype(
+            np.float32 if seed % 2 else np.float64
+        )
+        abs_eb = float(10.0 ** rng.uniform(-5, -1))
+        recon = decompress(compress(data, abs_eb, "abs", codec="auto"))
+        assert_error_bounded(data, recon, abs_eb, context=f"auto seed{seed}")
+
+    @needs_hypothesis
+    @given(
+        st.integers(0, 2**31),
+        st.lists(st.integers(2, 12), min_size=1, max_size=3),
+        st.floats(1e-6, 1e-1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_bound_property(self, seed, dims, eb):
+        data = (
+            np.random.default_rng(seed)
+            .normal(size=tuple(dims))
+            .astype(np.float32)
+        )
+        recon = decompress(compress(data, eb, "abs", codec="auto"))
+        assert_error_bounded(data, recon, eb, context="auto hypothesis")
+
+    def test_streaming_bound_on_mixed_steps(self):
+        # constant, smooth, and rough steps in one stream: per-step
+        # re-selection must hold the bound through every transition
+        shape = (12, 10, 8)
+        steps = [
+            np.full(shape, 2.5, np.float32),
+            smooth_field(shape, seed=31).astype(np.float32),
+            np.random.default_rng(7).normal(size=shape).astype(np.float32),
+            smooth_field(shape, seed=32).astype(np.float32),
+        ]
+        abs_eb = 1e-3
+        blob = compress_stream(
+            steps, abs_eb, keyframe_interval=2, codec="auto"
+        )
+        for t, rec in enumerate(iter_decompress(blob)):
+            assert_error_bounded(
+                steps[t], rec, abs_eb, context=f"auto stream step {t}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+class TestDeterminism:
+    def test_single_array_byte_identical(self):
+        data = conformance_field((16, 16, 16), "float32")
+        cfg = STZConfig(codec="auto", select_seed=7)
+        assert compress(data, 1e-3, "abs", cfg) == compress(
+            data, 1e-3, "abs", cfg
+        )
+
+    def test_stream_byte_identical(self):
+        steps = [
+            smooth_field((10, 9, 8), seed=60 + t).astype(np.float32)
+            for t in range(5)
+        ]
+        cfg = STZConfig(codec="auto", select_seed=3)
+        a = compress_stream(steps, 1e-3, config=cfg, keyframe_interval=2)
+        b = compress_stream(steps, 1e-3, config=cfg, keyframe_interval=2)
+        assert a == b
+
+    def test_seed_lives_in_config(self):
+        data = mixed_smoothness_tile()
+        blobs = {
+            seed: compress(
+                data, 1e-3, "abs", STZConfig(codec="auto", select_seed=seed)
+            )
+            for seed in (0, 1)
+        }
+        # both decode within the bound regardless of the seed's choices
+        for blob in blobs.values():
+            assert_error_bounded(data, decompress(blob), 1e-3)
+
+
+# ---------------------------------------------------------------------------
+# containers: envelope and frame-table codec ids
+# ---------------------------------------------------------------------------
+
+class TestSelectedEnvelope:
+    def test_fixed_codec_roundtrip_and_id(self):
+        data = conformance_field((16, 16, 16), "float32")
+        for name in ("sz3", "zfp", "sperr", "szx", "mgard"):
+            blob = compress(data, 1e-3, "abs", codec=name)
+            assert is_selected(blob)
+            codec_id, payload = unwrap_selected(blob)
+            assert CODEC_NAMES[codec_id] == name
+            recon = CANDIDATES[name].decompress(bytes(payload))
+            assert np.array_equal(recon, decompress(blob))
+
+    def test_auto_records_winner(self):
+        data = conformance_field((16, 16, 16), "float32", "constant")
+        blob = compress(data, 1e-3, "abs", codec="auto")
+        codec_id, _ = unwrap_selected(blob)
+        assert CODEC_NAMES[codec_id] == "szx"  # constant short-circuit
+
+    def test_unknown_codec_id_rejected(self):
+        blob = bytearray(
+            compress(
+                conformance_field((8, 8), "float32"), 1e-3, "abs",
+                codec="szx",
+            )
+        )
+        blob[5] = 0x7F  # codec-id byte of the 'STZC' envelope
+        with pytest.raises(ValueError, match="unknown codec id"):
+            decompress(bytes(blob))
+
+    def test_unknown_envelope_flag_rejected(self):
+        blob = bytearray(wrap_selected(CODEC_STZ, b"payload"))
+        blob[6] |= 0x10  # flags byte
+        with pytest.raises(ValueError, match="unknown feature flags"):
+            unwrap_selected(bytes(blob))
+
+    def test_truncated_envelope_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            unwrap_selected(b"STZC")
+
+    def test_stream_reader_redirects_envelopes(self):
+        from repro.core.stream import StreamReader
+
+        blob = compress(
+            conformance_field((8, 8), "float32"), 1e-3, "abs", codec="szx"
+        )
+        with pytest.raises(ValueError, match="codec-selected container"):
+            StreamReader(blob)
+
+    def test_progressive_through_envelope(self):
+        data = conformance_field((16, 16, 16), "float32")
+        blob = compress(data, 1e-2, "abs", codec="sperr")
+        coarse = decompress_progressive(blob, level=1)
+        assert coarse.ndim == 3 and coarse.size < data.size
+        with pytest.raises(ValueError, match="progressive"):
+            decompress_progressive(
+                compress(data, 1e-2, "abs", codec="szx"), level=1
+            )
+
+    def test_pipeline_rejects_foreign_codec_config(self):
+        data = conformance_field((8, 8), "float32")
+        with pytest.raises(ValueError, match="codec dispatch"):
+            stz_compress(data, 1e-3, "abs", STZConfig(codec="auto"))
+
+
+class TestFrameCodecIds:
+    def test_auto_stream_records_per_frame_codecs(self):
+        shape = (12, 10, 8)
+        steps = [
+            np.full(shape, 1.0, np.float32),
+            np.random.default_rng(1).normal(size=shape).astype(np.float32),
+        ]
+        blob = compress_stream(steps, 1e-3, keyframe_interval=1, codec="auto")
+        reader = MultiFrameReader(blob)
+        assert reader.flags & MULTI_CODEC
+        assert reader.frames[0].codec == "szx"  # constant step
+        assert all(f.codec in CANDIDATES for f in reader.frames)
+
+    def test_writer_gates_foreign_codecs_behind_flag(self):
+        w = MultiFrameWriter()
+        with pytest.raises(ValueError, match="MULTI_CODEC"):
+            w.add_frame(b"x", codec_id=CODEC_IDS["zfp"])
+        w2 = MultiFrameWriter(flags=MULTI_CODEC)
+        w2.add_frame(b"x", codec_id=CODEC_IDS["zfp"])
+        assert w2.nframes == 1
+
+    def test_writer_rejects_unknown_codec_id(self):
+        w = MultiFrameWriter(flags=MULTI_CODEC)
+        with pytest.raises(ValueError, match="unknown codec id"):
+            w.add_frame(b"x", codec_id=99)
+
+    def test_unknown_frame_codec_id_rejected_at_open(self):
+        steps = [
+            smooth_field((8, 6, 4), seed=70 + t).astype(np.float32)
+            for t in range(2)
+        ]
+        blob = bytearray(
+            compress_stream(steps, 1e-3, keyframe_interval=1, codec="auto")
+        )
+        import struct
+
+        table_off, nframes, _ = struct.unpack(
+            "<QI4s", bytes(blob[-16:])
+        )
+        # codec byte of frame 0: row layout <QQBB6x> => offset 17
+        blob[table_off + 17] = 0x7F
+        with pytest.raises(ValueError, match="unknown codec id"):
+            MultiFrameReader(bytes(blob))
+
+    def test_codec_selected_stream_random_access(self):
+        shape = (10, 8, 6)
+        steps = [
+            smooth_field(shape, seed=80 + t).astype(np.float32)
+            for t in range(6)
+        ]
+        blob = compress_stream(steps, 1e-3, keyframe_interval=3, codec="auto")
+        sd = StreamingDecompressor(blob)
+        seq = list(iter_decompress(blob))
+        for k in (5, 0, 3):
+            assert np.array_equal(sd.read_frame(k), seq[k])
+
+
+# ---------------------------------------------------------------------------
+# size regression vs fixed codecs
+# ---------------------------------------------------------------------------
+
+class TestSizeRegression:
+    @pytest.mark.parametrize("name", REGISTRY)
+    def test_auto_never_worse_than_worst_fixed(self, name):
+        data = registry_field(name)
+        abs_eb = 1e-3 * float(data.max() - data.min())
+        cfg = STZConfig()
+        fixed_sizes = {}
+        for cname, cand in CANDIDATES.items():
+            fixed_sizes[cname] = len(
+                cand.compress(np.asarray(data), abs_eb, cfg, None)
+            )
+        auto_blob = compress(data, abs_eb, "abs", codec="auto")
+        recon = decompress(auto_blob)
+        assert_error_bounded(data, recon, abs_eb, context=f"auto {name}")
+        assert len(auto_blob) <= max(fixed_sizes.values()), fixed_sizes

@@ -85,6 +85,19 @@ class TestRoundtrip:
         blob = zfp_compress(smooth3d_f64, 1e-9)
         assert max_err(zfp_decompress(blob), smooth3d_f64) <= 6e-9
 
+    def test_certified_bound_is_hard(self, smooth3d_f32):
+        blob = zfp_compress(smooth3d_f32, 1e-3)
+        assert max_err(zfp_decompress(blob), smooth3d_f32) <= 1e-3
+
+    def test_advisory_mode_writes_v1_and_roundtrips(self, smooth3d_f32):
+        # certify=False reproduces the pre-correction container: version
+        # 1, no outlier section, tolerance advisory within TOL_FACTOR
+        blob = zfp_compress(smooth3d_f32, 1e-3, certify=False)
+        assert blob[blob.index(b"ZFPr") + 4] == 1  # version byte
+        rec = zfp_decompress(blob)
+        assert max_err(rec, smooth3d_f32) <= TOL_FACTOR * 1e-3
+        assert len(blob) < len(zfp_compress(smooth3d_f32, 1e-3))
+
     def test_cr_grows_with_tolerance(self, smooth3d_f32):
         sizes = [
             len(zfp_compress(smooth3d_f32, t)) for t in (1e-4, 1e-3, 1e-2)
