@@ -1,0 +1,82 @@
+"""Decompression-throughput benchmark (serial + threaded, 128^3 f32).
+
+Decode speed went unbenchmarked while three PRs of encode work landed;
+this file closes the gap and records the decode trajectory the same way
+``bench_encode_batched.py`` records the encode one.  The serial path
+exercises the level-fused entropy decode (``huffman_decode_many``, with
+the digest-cached window tables) plus the level-wide fused
+``dequantize_many`` reconstruction; the threaded path exercises the
+paper's OMP mode, where the per-sub-block predict+dequantize chain
+spreads across the pool.  Both paths must reproduce the input within
+the bound and agree with each other bit for bit (the fused/per-block
+primitives are bit-identical by construction).
+
+Results land in ``BENCH_speed.json`` under ``decode_batched``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+
+from repro.core.pipeline import stz_compress, stz_decompress
+
+from conftest import fmt_table, record_bench, smooth_field
+
+GRID = (128, 128, 128)
+REL_EB = 1e-3
+REPS = 7
+THREADS = 8
+
+
+def test_decode_batched_throughput(artifact):
+    data = smooth_field(GRID, seed=11).astype(np.float32)
+    blob = stz_compress(data, REL_EB, "rel")
+
+    # correctness first: both decode paths within the bound, bit-equal
+    vr = float(data.max() - data.min())
+    rec_serial = stz_decompress(blob)
+    rec_threaded = stz_decompress(blob, threads=THREADS)
+    assert rec_serial.tobytes() == rec_threaded.tobytes()
+    err = np.max(
+        np.abs(rec_serial.astype(np.float64) - data.astype(np.float64))
+    )
+    assert err <= REL_EB * vr
+
+    t_serial, t_threaded = [], []
+    for _ in range(REPS):  # interleaved to decorrelate machine noise
+        t0 = time.perf_counter()
+        stz_decompress(blob)
+        t_serial.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        stz_decompress(blob, threads=THREADS)
+        t_threaded.append(time.perf_counter() - t0)
+    m_serial = statistics.median(t_serial)
+    m_threaded = statistics.median(t_threaded)
+
+    mbs = data.nbytes / 1e6
+    rows = [
+        ["serial (fused)", m_serial * 1e3, mbs / m_serial],
+        [f"threaded ({THREADS})", m_threaded * 1e3, mbs / m_threaded],
+    ]
+    artifact(
+        "decode_batched",
+        fmt_table(["path", "decomp (ms)", "MB/s"], rows)
+        + f"CR {data.nbytes / len(blob):.2f} at rel eb {REL_EB}\n",
+    )
+    record_bench(
+        "decode_batched",
+        {
+            "grid": list(GRID),
+            "dtype": "float32",
+            "rel_eb": REL_EB,
+            "threads": THREADS,
+            "serial_ms": round(m_serial * 1e3, 2),
+            "threaded_ms": round(m_threaded * 1e3, 2),
+            "serial_mb_s": round(mbs / m_serial, 2),
+            "threaded_mb_s": round(mbs / m_threaded, 2),
+            "cr": round(data.nbytes / len(blob), 3),
+        },
+    )

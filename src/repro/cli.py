@@ -147,14 +147,28 @@ def cmd_stream(args: argparse.Namespace) -> int:
             keyframe_interval=args.keyframe_interval,
             sink=sink,
             threads=args.threads,
+            overlap=args.overlap,
         ) as sc:
+            pending = []
             for step in _iter_input_steps(args):
                 in_bytes += step.nbytes
-                st = sc.append(step)
+                # overlap mode pipelines the encode behind the next
+                # file load, so stats resolve (and print) one step late
+                pending.append(sc.append(step))
+                while pending and (
+                    not args.overlap or pending[0].done()
+                ):
+                    st = pending.pop(0)
+                    if args.overlap:
+                        st = st.result()
+                    kind = "delta" if st.is_delta else "intra"
+                    print(
+                        f"  step {st.index}: {kind} {st.codec} {st.nbytes} B"
+                    )
+            for fut in pending:
+                st = fut.result()
                 kind = "delta" if st.is_delta else "intra"
-                print(
-                    f"  step {st.index}: {kind} {st.codec} {st.nbytes} B"
-                )
+                print(f"  step {st.index}: {kind} {st.codec} {st.nbytes} B")
             nframes = sc.nframes
     if nframes == 0:
         Path(args.output).unlink()  # don't leave an empty archive behind
@@ -348,6 +362,11 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument(
         "--select-seed", type=int, default=0,
         help="seed for the auto selector's exploration schedule",
+    )
+    s.add_argument(
+        "--overlap", action="store_true",
+        help="double-buffer: load/validate the next step while the "
+        "previous one encodes (same archive bytes as without)",
     )
     s.add_argument("--shape", help="dims of one raw input, e.g. 64,64,64")
     s.add_argument("--dtype", help="dtype for raw input, e.g. float32")

@@ -159,6 +159,7 @@ def compress_stream(
     keyframe_interval: int = DEFAULT_KEYFRAME_INTERVAL,
     threads: int | None = None,
     codec: str | None = None,
+    overlap: bool = False,
 ) -> bytes:
     """Compress an iterable of equal-shape time steps into one
     multi-frame archive.
@@ -167,14 +168,19 @@ def compress_stream(
     and keeps memory at O(1 step)); each step is temporally
     delta-predicted from the previous step's reconstruction, with an
     intra frame every ``keyframe_interval`` steps.  ``codec="auto"``
-    re-selects the backend per step (keyframes re-probe); each frame's
-    choice is recorded in the v2 frame table.  To stream frames to
-    disk instead of accumulating the archive in memory, use
+    re-selects the backend per step with amortized probing (features
+    every step, compression probes only on drift or at the seeded
+    refresh cadence); each frame's choice is recorded in the v2 frame
+    table.  ``overlap=True`` double-buffers the engine so producing
+    step ``k+1`` overlaps encoding step ``k`` — the archive bytes are
+    identical to the serial engine.  To stream frames to disk instead
+    of accumulating the archive in memory, use
     :class:`~repro.core.streaming.StreamingCompressor` with a ``sink``.
     """
     config = _resolve_codec(config, codec)
     with StreamingCompressor(
-        eb, eb_mode, config, keyframe_interval, threads=threads
+        eb, eb_mode, config, keyframe_interval, threads=threads,
+        overlap=overlap,
     ) as sc:
         sc.extend(steps)
         return sc.close()

@@ -78,6 +78,19 @@ class STZConfig:
         Seed for the ``auto`` selector's exploration schedule.  The
         selector is fully deterministic given (input, seed), which is
         what makes ``auto`` containers reproducible byte for byte.
+    select_explore:
+        Epsilon of the ``auto`` selector's seeded epsilon-greedy
+        refresh cadence: the per-step probability (streams only) that
+        one non-leading candidate is cheaply re-scored so the ranking
+        can track slow drift the feature detector misses.  0 disables
+        refresh probes entirely.
+    select_drift:
+        Relative feature-drift tolerance of the streaming ``auto``
+        engine (:func:`repro.core.select.features_drifted`): a full
+        re-probe runs only when a step's sampled features move past
+        this fraction (or its label flips).  Smaller values re-probe
+        more eagerly; selection affects only size/speed, never the
+        bound.
     """
 
     levels: int = 3
@@ -93,6 +106,8 @@ class STZConfig:
     f32_quant: bool = True
     codec: str = "stz"
     select_seed: int = 0
+    select_explore: float = 0.25
+    select_drift: float = 0.5
 
     def __post_init__(self) -> None:
         if self.levels < 2:
@@ -111,6 +126,10 @@ class STZConfig:
             raise ValueError("eb_ratio must be >= 1")
         if not (0 <= self.zlib_level <= 9):
             raise ValueError("zlib_level must be in [0, 9]")
+        if not (0.0 <= self.select_explore <= 1.0):
+            raise ValueError("select_explore must be in [0, 1]")
+        if self.select_drift <= 0:
+            raise ValueError("select_drift must be > 0")
 
     def level_eb(self, eb: float, level: int) -> float:
         """Error bound applied at ``level`` (1 = coarsest)."""

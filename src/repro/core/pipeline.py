@@ -56,7 +56,7 @@ from repro.encoding.huffman import (
     huffman_encode_many,
 )
 from repro.encoding.lossless import compress_bytes, decompress_bytes
-from repro.encoding.quantizer import dequantize, quantize, quantize_many
+from repro.encoding.quantizer import dequantize_many, quantize, quantize_many
 from repro.sz3.compressor import (
     sz3_compress,
     sz3_compress_with_recon,
@@ -449,39 +449,89 @@ def stz_decompress(
         with timer.time(f"l{lvl}_decode"):
             decoded = _decode_level(reader, segs, offsets, header, config, threads)
         with timer.time(f"l{lvl}_predict"):
+            threaded = (
+                effective_threads(threads) > 1 and parallel_capacity() > 1
+            )
             shift_cache: dict = {}
-            if (
-                effective_threads(threads) > 1
-                and parallel_capacity() > 1
-                and uses_shift_cache(config.interp, config.cubic_mode)
-            ):
+            if threaded and uses_shift_cache(config.interp, config.cubic_mode):
                 # pre-fill serially so the pmap workers only read the
                 # cache (lazy fill is a check-then-insert race)
                 populate_shift_cache(C, shift_cache)
 
-            def reconstruct(
-                item, _C=C, _fs=fine_shape, _ebl=ebl, _sc=shift_cache
-            ):
-                eps, decoded_payload = item
-                ts = subblock_shape(_fs, eps)
-                if decoded_payload is None:
-                    return eps, np.empty(ts, dtype=header.dtype)
-                pred = predict_block(
-                    _C, eps, ts, config.interp, config.cubic_mode, _sc
+            if config.residual_codec == "quantize" and not threaded:
+                blocks = _reconstruct_level_q(
+                    C, decoded, fine_shape, ebl, config, header.dtype,
+                    shift_cache,
                 )
-                if config.residual_codec == "quantize":
-                    codes, pos, val = decoded_payload
-                    rec = dequantize(
-                        codes, pred, _ebl, pos, val, config.quant_radius,
-                        config.f32_quant,
+            else:
+                def reconstruct(
+                    item, _C=C, _fs=fine_shape, _ebl=ebl, _sc=shift_cache
+                ):
+                    eps, decoded_payload = item
+                    if config.residual_codec == "quantize":
+                        # single-item batch through the same helper the
+                        # fused serial path uses, so the two decode
+                        # paths cannot drift (they are bit-identical)
+                        blk = _reconstruct_level_q(
+                            _C, [item], _fs, _ebl, config, header.dtype,
+                            _sc,
+                        )
+                        return eps, blk[eps]
+                    ts = subblock_shape(_fs, eps)
+                    if decoded_payload is None:
+                        return eps, np.empty(ts, dtype=header.dtype)
+                    pred = predict_block(
+                        _C, eps, ts, config.interp, config.cubic_mode, _sc
                     )
-                    return eps, rec.reshape(ts)
-                return eps, pred + decoded_payload  # sz3 residual array
+                    return eps, pred + decoded_payload  # sz3 residual array
 
-            blocks = dict(pmap(reconstruct, decoded, threads))
+                blocks = dict(pmap(reconstruct, decoded, threads))
         with timer.time(f"l{lvl}_reassemble"):
             C = interleave(C, blocks, fine_shape)
     return C
+
+
+def _reconstruct_level_q(
+    C: np.ndarray,
+    decoded: list[tuple[Offset, object]],
+    fine_shape: tuple[int, ...],
+    ebl: float,
+    config: STZConfig,
+    dtype: np.dtype,
+    shift_cache: dict,
+) -> dict[Offset, np.ndarray]:
+    """Predict + dequantize all sub-blocks of one level, batched.
+
+    The decode-side mirror of :func:`_encode_residual_level`: prediction
+    runs per sub-block (it is geometry-bound), then a single fused
+    :func:`dequantize_many` pass reconstructs every residual stream at
+    once — bit-identical to per-block :func:`dequantize`, since the
+    core is element-wise (DESIGN.md §2).
+    """
+    blocks: dict[Offset, np.ndarray] = {}
+    live: list[tuple[Offset, tuple[int, ...]]] = []
+    codes, preds, positions, values = [], [], [], []
+    for eps, payload in decoded:
+        ts = subblock_shape(fine_shape, eps)
+        if payload is None:
+            blocks[eps] = np.empty(ts, dtype=dtype)
+            continue
+        c, pos, val = payload
+        pred = predict_block(
+            C, eps, ts, config.interp, config.cubic_mode, shift_cache
+        )
+        live.append((eps, ts))
+        codes.append(c)
+        preds.append(pred)
+        positions.append(pos)
+        values.append(val)
+    recons = dequantize_many(
+        codes, preds, ebl, positions, values, config.quant_radius,
+        config.f32_quant,
+    )
+    for (eps, ts), rec in zip(live, recons):
+        blocks[eps] = rec.reshape(ts)
+    return blocks
 
 
 def _decode_payload(

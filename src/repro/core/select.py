@@ -42,12 +42,15 @@ correctness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import struct
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from repro.core.config import STZConfig
+from repro.core.parallel import pmap
 from repro.core.pipeline import stz_compress_with_recon, stz_decompress
 from repro.core.stream import (
     CODEC_IDS,
@@ -55,16 +58,29 @@ from repro.core.stream import (
     unwrap_selected,
     wrap_selected,
 )
-from repro.mgard.codec import mgard_compress, mgard_decompress
-from repro.sperr.codec import sperr_compress, sperr_decompress
+from repro.mgard.codec import (
+    mgard_compress,
+    mgard_compress_with_recon,
+    mgard_decompress,
+)
+from repro.sperr.codec import (
+    sperr_compress,
+    sperr_compress_with_recon,
+    sperr_decompress,
+)
 from repro.sz3.compressor import (
     sz3_compress,
     sz3_compress_with_recon,
     sz3_decompress,
 )
-from repro.szx.codec import szx_compress, szx_decompress
+from repro.szx.codec import (
+    szx_compress,
+    szx_compress_with_recon,
+    szx_decompress,
+)
+from repro.util.cache import BoundedLRU
 from repro.util.validation import as_float_array, resolve_eb
-from repro.zfp.codec import zfp_compress, zfp_decompress
+from repro.zfp.codec import zfp_compress, zfp_compress_with_recon, zfp_decompress
 
 #: probe geometry: total sampled points, contiguous chunk count, and
 #: the block size used for the constant-fraction feature
@@ -93,12 +109,18 @@ class CodecCandidate:
 
     ``compress`` takes ``(data, abs_eb, config, threads)`` — candidates
     ignore the knobs they do not have.  ``decompress`` takes the blob.
+    ``with_recon`` (same signature as ``compress``) returns ``(blob,
+    recon)`` where ``recon`` is bit-identical to decompressing the
+    blob; every built-in backend supplies its encoder-tracked variant,
+    and a candidate registered without one falls back to an explicit
+    decompression pass.
     """
 
     name: str
     codec_id: int
     compress: Callable[..., bytes]
     decompress: Callable[..., np.ndarray]
+    with_recon: Callable[..., tuple] | None = field(default=None)
 
     def compress_with_recon(
         self,
@@ -109,33 +131,40 @@ class CodecCandidate:
     ) -> tuple[bytes, np.ndarray]:
         """Compress plus the decoder's exact reconstruction.
 
-        STZ and SZ3 track their reconstruction during encoding (no
-        extra pass); the other backends pay one decompression — the
-        price of the engine's commit-time bound verification.
+        Every built-in backend tracks (or cheaply replays) the
+        decoder's output during encoding, so the engine's commit-time
+        bound verification costs one array comparison instead of a
+        second full decompression — the single-pass verified commit
+        (DESIGN.md §7).  The decompression fallback exists only for
+        externally registered candidates.
         """
-        if self.name == "stz":
-            return stz_compress_with_recon(
-                data, abs_eb, "abs", config.with_(codec="stz"), threads
-            )
-        if self.name == "sz3":
-            return sz3_compress_with_recon(
-                data, abs_eb, "abs", config.sz3_interp,
-                config.quant_radius, config.zlib_level,
-            )
+        if self.with_recon is not None:
+            return self.with_recon(data, abs_eb, config, threads)
         blob = self.compress(data, abs_eb, config, threads)
         return blob, self.decompress(blob)
 
 
-def _stz_c(data, eb, config, threads):
+def _stz_wr(data, eb, config, threads):
     return stz_compress_with_recon(
         data, eb, "abs", config.with_(codec="stz"), threads
-    )[0]
+    )
+
+
+def _stz_c(data, eb, config, threads):
+    return _stz_wr(data, eb, config, threads)[0]
+
+
+def _sz3_wr(data, eb, config, threads):
+    return sz3_compress_with_recon(
+        data, eb, "abs", config.sz3_interp, config.quant_radius,
+        config.zlib_level, config.f32_quant,
+    )
 
 
 def _sz3_c(data, eb, config, threads):
     return sz3_compress(
         data, eb, "abs", config.sz3_interp, config.quant_radius,
-        config.zlib_level,
+        config.zlib_level, config.f32_quant,
     )
 
 
@@ -143,12 +172,26 @@ def _zfp_c(data, eb, config, threads):
     return zfp_compress(data, eb, "abs", config.zlib_level)
 
 
+def _zfp_wr(data, eb, config, threads):
+    return zfp_compress_with_recon(data, eb, "abs", config.zlib_level)
+
+
 def _sperr_c(data, eb, config, threads):
     return sperr_compress(data, eb, "abs", zlib_level=config.zlib_level)
 
 
+def _sperr_wr(data, eb, config, threads):
+    return sperr_compress_with_recon(
+        data, eb, "abs", zlib_level=config.zlib_level
+    )
+
+
 def _szx_c(data, eb, config, threads):
     return szx_compress(data, eb, "abs", config.zlib_level)
+
+
+def _szx_wr(data, eb, config, threads):
+    return szx_compress_with_recon(data, eb, "abs", config.zlib_level)
 
 
 def _mgard_c(data, eb, config, threads):
@@ -158,17 +201,24 @@ def _mgard_c(data, eb, config, threads):
     )
 
 
+def _mgard_wr(data, eb, config, threads):
+    return mgard_compress_with_recon(
+        data, eb, "abs", radius=config.quant_radius,
+        zlib_level=config.zlib_level,
+    )
+
+
 #: name -> candidate; ids come from the container layer so the registry
 #: cannot drift from what the format can record
 CANDIDATES: dict[str, CodecCandidate] = {
-    name: CodecCandidate(name, CODEC_IDS[name], comp, dec)
-    for name, comp, dec in [
-        ("stz", _stz_c, lambda blob: stz_decompress(blob)),
-        ("sz3", _sz3_c, sz3_decompress),
-        ("zfp", _zfp_c, zfp_decompress),
-        ("sperr", _sperr_c, sperr_decompress),
-        ("szx", _szx_c, szx_decompress),
-        ("mgard", _mgard_c, mgard_decompress),
+    name: CodecCandidate(name, CODEC_IDS[name], comp, dec, wr)
+    for name, comp, dec, wr in [
+        ("stz", _stz_c, lambda blob: stz_decompress(blob), _stz_wr),
+        ("sz3", _sz3_c, sz3_decompress, _sz3_wr),
+        ("zfp", _zfp_c, zfp_decompress, _zfp_wr),
+        ("sperr", _sperr_c, sperr_decompress, _sperr_wr),
+        ("szx", _szx_c, szx_decompress, _szx_wr),
+        ("mgard", _mgard_c, mgard_decompress, _mgard_wr),
     ]
 }
 assert set(CANDIDATES) == set(CODEC_NAMES.values())
@@ -264,6 +314,36 @@ def probe_features(data: np.ndarray, abs_eb: float) -> BlockProbe:
     return BlockProbe(vrange, smoothness, const_frac, nonfinite_frac, label)
 
 
+def features_drifted(
+    prev: BlockProbe, cur: BlockProbe, tol: float = 0.5
+) -> bool:
+    """Has the data's character moved enough to invalidate a ranking?
+
+    The cheap gate of the streaming engine's amortized probing: each
+    step computes :func:`probe_features` (~0.1 ms) and a full
+    compression probe re-runs only when the label flips, non-finite
+    values appear/disappear, or any scale feature (value range,
+    smoothness, constant-block fraction) moves by more than ``tol``
+    relative.  Below the gate the previous ranking keeps serving —
+    selection can only affect size/speed, never the bound, so a missed
+    drift costs ratio until the next epsilon refresh, not correctness.
+    """
+    if prev.label != cur.label:
+        return True
+    if (prev.nonfinite_frac == 0.0) != (cur.nonfinite_frac == 0.0):
+        return True
+
+    def rel(a: float, b: float) -> float:
+        m = max(abs(a), abs(b))
+        return 0.0 if m == 0.0 else abs(a - b) / m
+
+    return (
+        rel(prev.vrange, cur.vrange) > tol
+        or rel(prev.smoothness, cur.smoothness) > tol
+        or abs(prev.const_frac - cur.const_frac) > tol
+    )
+
+
 def sample_tile(data: np.ndarray, edge: int = _TILE_EDGE) -> np.ndarray:
     """Centered contiguous sub-box of at most ``edge`` per axis."""
     sl = tuple(
@@ -301,6 +381,116 @@ def sample_tiles(data: np.ndarray, edge: int = _TILE_EDGE) -> list[np.ndarray]:
 # the selector
 # ---------------------------------------------------------------------------
 
+#: process-level probe-result cache: digest of (feature label, probe
+#: payload bytes, bound, config, shortlist) -> the raw scores a live
+#: probe would produce.  The key is *content-derived*, so a hit returns
+#: exactly what recomputation would — determinism ("same input + seed
+#: => same bytes") is preserved no matter what was compressed before —
+#: while repeated compressions of the same data (benchmark repeats,
+#: conformance sweeps, golden regeneration) skip the ~30 tile
+#: compressions entirely.
+_PROBE_CACHE: BoundedLRU[dict] = BoundedLRU(128)
+
+
+def clear_probe_cache() -> None:
+    """Drop all cached probe results (tests, memory pressure)."""
+    _PROBE_CACHE.clear()
+
+
+def _tile_scores(
+    tiles: list[np.ndarray],
+    small: list[np.ndarray] | None,
+    abs_eb: float,
+    config: STZConfig,
+    names: tuple[str, ...],
+    threads: int | None,
+) -> dict[str, float]:
+    """Marginal bits-per-value of each candidate on the sample tiles.
+
+    One candidate's tile compressions are independent of another's, so
+    the candidates run through :func:`pmap`; scores are folded back in
+    ``names`` order, which keeps the result identical to the serial
+    loop.  Candidates that reject the data return no score.
+    """
+    npoints = sum(t.size for t in tiles)
+    nsmall = sum(t.size for t in small) if small is not None else 0
+
+    def score(name: str) -> tuple[str, float | None]:
+        cand = CANDIDATES[name]
+        try:
+            nbytes = sum(
+                len(cand.compress(t, abs_eb, config, None)) for t in tiles
+            )
+            if small is not None:
+                nbytes_small = sum(
+                    len(cand.compress(t, abs_eb, config, None))
+                    for t in small
+                )
+                return name, (
+                    8.0 * max(nbytes - nbytes_small, 1) / (npoints - nsmall)
+                )
+            return name, 8.0 * nbytes / npoints
+        except (ValueError, TypeError):
+            return name, None
+
+    n = threads if threads is not None else len(names)
+    results = pmap(score, list(names), n)
+    return {name: bpv for name, bpv in results if bpv is not None}
+
+
+def _probe_tiles(
+    data: np.ndarray,
+) -> tuple[list[np.ndarray], list[np.ndarray] | None]:
+    """The (large, small) diagonal tile sets one probe compresses.
+
+    ``small`` is None when the large tiles already cover the whole
+    array (absolute size is then the truth) or would overlap the small
+    set — the single definition of the probe geometry, shared by full
+    probes and challenger refreshes so their scores stay comparable.
+    """
+    tiles = sample_tiles(data)
+    if len(tiles) == 1 and tiles[0].size == data.size:
+        return tiles, None
+    small = sample_tiles(data, _TILE_EDGE // 2)
+    if sum(t.size for t in small) >= sum(t.size for t in tiles):
+        return tiles, None  # overlapping tiles on a small array
+    return tiles, small
+
+
+def _probe_cache_key(
+    tiles: list[np.ndarray],
+    small: list[np.ndarray] | None,
+    abs_eb: float,
+    config: STZConfig,
+    names: tuple[str, ...],
+    label: str,
+) -> bytes:
+    h = hashlib.blake2b(digest_size=16)
+    h.update(label.encode())
+    h.update(struct.pack("<d", abs_eb))
+    h.update(repr(names).encode())
+    # only the fields the candidate compressors read can change a
+    # score; selection-layer knobs (codec, seed, explore, drift) are
+    # excluded so e.g. varying the seed still shares the cache entry
+    h.update(
+        repr(
+            (
+                config.levels, config.interp, config.cubic_mode,
+                config.residual_codec, config.adaptive_eb, config.eb_ratio,
+                config.quant_radius, config.zlib_level,
+                config.partition_only, config.sz3_interp, config.f32_quant,
+            )
+        ).encode()
+    )
+    for t in tiles:
+        h.update(str(t.dtype).encode() + repr(t.shape).encode())
+        h.update(t.tobytes())
+    if small is not None:
+        for t in small:
+            h.update(t.tobytes())
+    return h.digest()
+
+
 class CodecSelector:
     """Online bits-per-value scorer over the candidate registry.
 
@@ -333,6 +523,9 @@ class CodecSelector:
         abs_eb: float,
         config: STZConfig,
         names: tuple[str, ...],
+        threads: int | None = None,
+        use_cache: bool = True,
+        label: str = "",
     ) -> dict[str, float]:
         """Full probe: score ``names`` on diagonal sample tiles of
         ``data``; returns the raw (pre-EMA) scores.
@@ -349,45 +542,76 @@ class CodecSelector:
         array the absolute size *is* the truth and is used directly.
         Candidates that cannot handle the data (e.g. ZFP beyond 4
         dimensions) are skipped.
+
+        Two amortizations (DESIGN.md §7), neither of which changes the
+        scores a live probe would compute: candidates are probed
+        concurrently through :func:`repro.core.parallel.pmap` (the
+        per-candidate tile compressions are independent), and the raw
+        results are cached process-wide under a content digest of the
+        probe inputs plus the caller's :class:`BlockProbe` label, so
+        re-probing identical data is a hash lookup.
         """
-        tiles = sample_tiles(data)
-        npoints = sum(t.size for t in tiles)
-        small: list[np.ndarray] | None = None
-        nsmall = 0
-        if not (len(tiles) == 1 and tiles[0].size == data.size):
-            small = sample_tiles(data, _TILE_EDGE // 2)
-            nsmall = sum(t.size for t in small)
-            if nsmall >= npoints:  # overlapping tiles on a small array
-                small = None
-        raw: dict[str, float] = {}
-        for name in names:
-            cand = CANDIDATES[name]
-            try:
-                nbytes = sum(
-                    len(cand.compress(t, abs_eb, config, None))
-                    for t in tiles
-                )
-                if small is not None:
-                    nbytes_small = sum(
-                        len(cand.compress(t, abs_eb, config, None))
-                        for t in small
-                    )
-                    bpv = (
-                        8.0 * max(nbytes - nbytes_small, 1)
-                        / (npoints - nsmall)
-                    )
-                else:
-                    bpv = 8.0 * nbytes / npoints
-            except (ValueError, TypeError):
-                continue
-            raw[name] = bpv
+        tiles, small = _probe_tiles(data)
+        key = None
+        if use_cache:
+            key = _probe_cache_key(tiles, small, abs_eb, config, names, label)
+            cached = _PROBE_CACHE.get(key)
+            if cached is not None:
+                self.fold(cached)
+                self.nprobes += 1
+                return dict(cached)
+        raw = _tile_scores(tiles, small, abs_eb, config, names, threads)
+        if key is not None:
+            _PROBE_CACHE.put(key, dict(raw))
+        self.fold(raw)
+        self.nprobes += 1
+        return raw
+
+    def refresh_probe(
+        self,
+        data: np.ndarray,
+        abs_eb: float,
+        config: STZConfig,
+        names: tuple[str, ...],
+        threads: int | None = None,
+    ) -> dict[str, float]:
+        """Cheap bandit refresh: re-score one seeded challenger.
+
+        The epsilon-greedy cadence used to re-run the *full* probe —
+        most of ``auto``'s streaming overhead.  A refresh instead draws
+        one non-leader candidate (seeded, deterministic) and scores
+        only it with the same marginal-bits formula, folding the result
+        into its EMA; the leader needs no re-measurement because every
+        committed frame feeds its achieved bits-per-value back through
+        :meth:`observe` for free.  A challenger that now beats the
+        leader's EMA wins the next :meth:`rank` call.
+        """
+        order = self.rank(names)
+        challengers = [n for n in names if n != order[0]]
+        if not challengers:
+            return {}
+        pick = challengers[int(self._rng.integers(len(challengers)))]
+        tiles, small = _probe_tiles(data)
+        raw = _tile_scores(tiles, small, abs_eb, config, (pick,), threads)
+        self.fold(raw)
+        return raw
+
+    def observe(self, name: str, bpv: float) -> None:
+        """Fold a committed frame's achieved bits-per-value into the
+        chosen codec's EMA — free, full-array evidence that keeps the
+        incumbent's score honest between probes."""
+        self.fold({name: float(bpv)})
+
+    def fold(self, raw: dict[str, float]) -> None:
+        """Fold raw bits-per-value scores into the per-codec EMAs (the
+        path every probe/refresh/observation goes through; also how the
+        streaming engine applies label-cached scores as a prior)."""
+        for name, bpv in raw.items():
             old = self.scores.get(name)
             self.scores[name] = (
                 bpv if old is None
                 else self.decay * old + (1.0 - self.decay) * bpv
             )
-        self.nprobes += 1
-        return raw
 
     def explore_draw(self) -> bool:
         """Seeded epsilon-greedy coin (one deterministic draw)."""
@@ -417,16 +641,20 @@ def bound_holds(orig: np.ndarray, recon: np.ndarray, abs_eb: float) -> bool:
     test suite's ``assert_error_bounded``)."""
     if recon.shape != orig.shape or recon.dtype != orig.dtype:
         return False
+    if orig.size == 0:
+        return True
     o = orig.reshape(-1)
     r = recon.reshape(-1)
-    o64 = o.astype(np.float64)
-    finite = np.isfinite(o64)
+    finite = np.isfinite(o)
     if not finite.all():
         if o[~finite].tobytes() != r[~finite].tobytes():
             return False
-    if not finite.any():
-        return True
-    err = np.abs(o64[finite] - r[finite].astype(np.float64))
+        if not finite.any():
+            return True
+        o = o[finite]
+        r = r[finite]
+    # one fused upcast-subtract: exact float64 of (f64(r) - f64(o))
+    err = np.abs(np.subtract(r, o, dtype=np.float64))
     return bool(err.max() <= abs_eb)
 
 
@@ -449,8 +677,12 @@ def select_and_compress(
     """
     selector = selector or CodecSelector(seed=config.select_seed)
     if shortlist is None:
-        shortlist = SHORTLISTS[probe_features(data, abs_eb).label]
-        selector.probe(data, abs_eb, config, shortlist)
+        probe = probe_features(data, abs_eb)
+        shortlist = SHORTLISTS[probe.label]
+        selector.probe(
+            data, abs_eb, config, shortlist,
+            threads=threads, label=probe.label,
+        )
     last_err: Exception | None = None
     for name in selector.rank(shortlist):
         cand = CANDIDATES[name]

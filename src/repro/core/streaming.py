@@ -26,6 +26,26 @@ touching the per-frame format:
   complete, independently seekable STZ1 blob, with the temporal-delta
   fact recorded as a per-frame flag bit.
 
+``codec="auto"`` re-selects the backend per step with *amortized*
+probing (DESIGN.md §7): every step pays only a ~0.1 ms feature sample;
+full compression probes run once per distinct data regime — at stream
+start, when :func:`repro.core.select.features_drifted` fires, or when
+the seeded epsilon-greedy cadence schedules a one-candidate refresh.
+Scores transfer between the intra and delta selectors through a
+stream-scoped cache keyed on the :class:`~repro.core.select.BlockProbe`
+feature label, and every committed frame feeds its achieved
+bits-per-value back into the winner's score for free.  All of it is
+deterministic given (steps, seed).
+
+``overlap=True`` opts into the double-buffered engine: ``append``
+hands the encode/verify/write chain to a single worker thread and
+returns a future, so the caller's next-step work (simulation output,
+file loads, validation, feature sampling) overlaps the previous step's
+encode.  The worker runs the *same* serial state machine in the same
+order, so the archive is byte-identical to ``overlap=False`` — the
+serial path is the determinism reference, and the equality is pinned
+by tests.
+
 The hard bound on delta frames deserves a note.  The decoder computes
 ``recon_t = recon_{t-1} + decode(frame_t)`` in the payload dtype; the
 encoder performs the bit-identical addition with bit-identical operands
@@ -44,6 +64,7 @@ keyframe at or before the request).
 from __future__ import annotations
 
 import io
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -53,9 +74,11 @@ from repro.core.pipeline import stz_compress_with_recon
 from repro.core.select import (
     CANDIDATES,
     SHORTLISTS,
+    BlockProbe,
     CodecSelector,
     bound_holds,
     decode_by_id,
+    features_drifted,
     probe_features,
     select_and_compress,
 )
@@ -111,6 +134,14 @@ class StreamingCompressor:
         accumulates in memory and :meth:`close` returns the bytes.
     threads:
         Passed through to the spatial pipeline (the paper's OMP mode).
+    overlap:
+        Double-buffer the engine: :meth:`append` validates and
+        feature-samples on the calling thread, queues the
+        encode/verify/write chain on a single worker, and returns a
+        ``concurrent.futures.Future[FrameStats]`` instead of a
+        :class:`FrameStats` — at most one frame is in flight, so
+        memory stays O(1 step).  The archive bytes are identical to
+        the serial engine (module docstring).
     """
 
     def __init__(
@@ -121,6 +152,7 @@ class StreamingCompressor:
         keyframe_interval: int = DEFAULT_KEYFRAME_INTERVAL,
         sink: io.IOBase | None = None,
         threads: int | None = None,
+        overlap: bool = False,
     ):
         if keyframe_interval < 1:
             raise ValueError("keyframe_interval must be >= 1")
@@ -139,21 +171,41 @@ class StreamingCompressor:
         if self.config.codec == "auto":
             # independent scorers for intra and delta payloads: a field
             # and its temporal residual have very different statistics,
-            # and one EMA would let either pollute the other's ranking
-            self._sel_intra = CodecSelector(seed=self.config.select_seed)
-            self._sel_delta = CodecSelector(seed=self.config.select_seed + 1)
-            self._intra_shortlist: tuple[str, ...] | None = None
-            self._delta_shortlist: tuple[str, ...] | None = None
+            # and one EMA would let either pollute the other's ranking.
+            # Scores still *transfer* between them when the feature
+            # label matches, via the stream-scoped label cache below —
+            # a cheap prior that a probe/refresh later corrects.
+            explore = self.config.select_explore
+            self._sel_intra = CodecSelector(
+                seed=self.config.select_seed, explore=explore
+            )
+            self._sel_delta = CodecSelector(
+                seed=self.config.select_seed + 1, explore=explore
+            )
+            self._last_probe: dict[str, BlockProbe | None] = {
+                "intra": None, "delta": None,
+            }
+            #: feature label -> raw scores of the last full probe in
+            #: this stream (either selector) — the label-keyed probe
+            #: cache that lets the first delta frame inherit the intra
+            #: probe's ranking instead of paying its own
+            self._label_scores: dict[str, dict[str, float]] = {}
         self.abs_eb: float | None = None  # resolved at the first step
         self._shape: tuple[int, ...] | None = None
         self._dtype: np.dtype | None = None
         self._prev_recon: np.ndarray | None = None
         self._result: bytes | None = None
         self._closed = False
+        self._nappended = 0
+        self._overlap = bool(overlap)
+        self._pool = ThreadPoolExecutor(max_workers=1) if overlap else None
+        self._pending: Future | None = None
 
     @property
     def nframes(self) -> int:
-        return self._writer.nframes
+        """Steps appended so far (including one possibly still being
+        encoded by the overlap worker)."""
+        return self._nappended
 
     def _delta_eb(self, step: np.ndarray) -> float:
         """Residual bound for a delta frame: the user bound minus the
@@ -168,33 +220,71 @@ class StreamingCompressor:
         """
         if self._prev_recon is None or not step.size:
             return self.abs_eb
-        scale = float(np.max(np.abs(self._prev_recon))) + self.abs_eb
+        # max|x| == max(|min|, |max|), without materializing |x|
+        scale = (
+            max(
+                abs(float(self._prev_recon.min())),
+                abs(float(self._prev_recon.max())),
+            )
+            + self.abs_eb
+        )
         ulp = 2.0**-23 if step.dtype == np.float32 else 2.0**-52
         return self.abs_eb - scale * ulp
 
-    def _encode_intra(
-        self, step: np.ndarray, reprobe: bool
-    ) -> tuple[bytes, np.ndarray, str]:
+    def _maybe_probe(
+        self, kind: str, payload: np.ndarray, eb: float
+    ) -> tuple[str, ...]:
+        """Amortized probe gate for one ``auto`` frame (module
+        docstring): feature-sample always; full-probe only into a cold
+        selector, on feature drift, or — via the label cache — not at
+        all; epsilon-refresh one challenger otherwise."""
+        sel = self._sel_intra if kind == "intra" else self._sel_delta
+        probe = probe_features(payload, eb)
+        shortlist = SHORTLISTS[probe.label]
+        # the drift anchor is the features at the last (real or
+        # inherited) scoring event, NOT the previous step: comparing
+        # consecutive steps would let slow cumulative drift walk
+        # arbitrarily far under the tolerance without ever re-probing
+        prev = self._last_probe[kind]
+        if prev is None:  # cold selector: first frame of this kind
+            cached = self._label_scores.get(probe.label)
+            if cached is not None:
+                sel.fold(cached)  # cross-selector prior, no compressions
+            else:
+                raw = sel.probe(
+                    payload, eb, self.config, shortlist,
+                    threads=self.threads, label=probe.label,
+                )
+                self._label_scores[probe.label] = raw
+            self._last_probe[kind] = probe
+        elif features_drifted(prev, probe, self.config.select_drift):
+            raw = sel.probe(
+                payload, eb, self.config, shortlist,
+                threads=self.threads, label=probe.label,
+            )
+            self._label_scores[probe.label] = raw
+            self._last_probe[kind] = probe
+        elif sel.explore_draw():
+            sel.refresh_probe(
+                payload, eb, self.config, shortlist, threads=self.threads
+            )
+        return shortlist
+
+    def _encode_intra(self, step: np.ndarray) -> tuple[bytes, np.ndarray, str]:
         """Encode ``step`` with no temporal prediction; returns
         ``(blob, recon, codec name)``.
 
-        ``codec="auto"`` re-selects per step: keyframes trigger a full
-        probe (features + per-candidate tile scoring), non-keyframe
-        intra fallbacks reuse the current ranking.  Fixed codecs are
-        verified at commit time and drop to STZ on a bound violation,
-        so the stream guarantee never depends on a foreign backend's
-        certification being correct.
+        ``codec="auto"`` re-selects per step through the amortized
+        probe gate.  Fixed codecs are verified at commit time against
+        their encoder-tracked reconstruction and drop to STZ on a bound
+        violation, so the stream guarantee never depends on a foreign
+        backend's certification being correct.
         """
         if self.config.codec == "auto":
-            sel = self._sel_intra
-            if reprobe or self._intra_shortlist is None:
-                self._intra_shortlist = SHORTLISTS[
-                    probe_features(step, self.abs_eb).label
-                ]
-                sel.probe(step, self.abs_eb, self.config, self._intra_shortlist)
+            shortlist = self._maybe_probe("intra", step, self.abs_eb)
             name, blob, recon = select_and_compress(
                 step, self.abs_eb, self.config, self.threads,
-                selector=sel, shortlist=self._intra_shortlist,
+                selector=self._sel_intra, shortlist=shortlist,
             )
             return blob, recon, name
         if self.config.codec != "stz":
@@ -217,20 +307,14 @@ class StreamingCompressor:
         codec name)``.
 
         ``codec="auto"`` keeps a separate selector over residual
-        statistics: the first delta after a keyframe re-probes, and a
-        seeded epsilon-greedy draw schedules refresh probes in between
-        (the bandit loop that tracks drifting dynamics).
+        statistics, behind the same amortized probe gate (drift
+        detector + label cache + epsilon challenger refresh).
         """
         if self.config.codec == "auto":
-            sel = self._sel_delta
-            if self._delta_shortlist is None or sel.explore_draw():
-                self._delta_shortlist = SHORTLISTS[
-                    probe_features(resid, delta_eb).label
-                ]
-                sel.probe(resid, delta_eb, self.config, self._delta_shortlist)
+            shortlist = self._maybe_probe("delta", resid, delta_eb)
             name, blob, rr = select_and_compress(
                 resid, delta_eb, self.config, self.threads,
-                selector=sel, shortlist=self._delta_shortlist,
+                selector=self._sel_delta, shortlist=shortlist,
             )
             return blob, rr, name
         if self.config.codec != "stz":
@@ -244,8 +328,11 @@ class StreamingCompressor:
         )
         return blob, rr, "stz"
 
-    def append(self, step: np.ndarray) -> FrameStats:
-        """Compress and write one time step; returns its accounting."""
+    def _prepare(self, step: np.ndarray) -> np.ndarray:
+        """Caller-thread half of :meth:`append`: validation, dtype
+        conversion, and first-step bound resolution.  In overlap mode
+        this is the work that runs concurrently with the previous
+        frame's encode."""
         if self._closed:
             raise ValueError("compressor already closed")
         step = as_float_array(np.asarray(step))
@@ -255,16 +342,17 @@ class StreamingCompressor:
             self.abs_eb = resolve_eb(step, self.eb, self.eb_mode)
         elif step.shape != self._shape or step.dtype != self._dtype:
             raise ValueError(
-                f"step {self.nframes} is {step.shape} {step.dtype}; "
+                f"step {self._nappended} is {step.shape} {step.dtype}; "
                 f"stream is {self._shape} {self._dtype}"
             )
-        index = self.nframes
+        self._nappended += 1
+        return step
+
+    def _append_sync(self, step: np.ndarray) -> FrameStats:
+        """Encode/verify/write one prepared step (the serial state
+        machine; the overlap worker runs exactly this)."""
+        index = self._writer.nframes
         is_keyframe = index % self.keyframe_interval == 0
-        if is_keyframe and self.config.codec == "auto":
-            # keyframe re-probe applies to the residual selector too:
-            # the first delta of the new interval re-probes instead of
-            # waiting for an epsilon draw to notice drifted dynamics
-            self._delta_shortlist = None
         fallback = False
         delta_eb = self._delta_eb(step)
         if self._prev_recon is not None and not is_keyframe and delta_eb > 0:
@@ -278,10 +366,7 @@ class StreamingCompressor:
             err = (
                 float(
                     np.max(
-                        np.abs(
-                            recon.astype(np.float64)
-                            - step.astype(np.float64)
-                        )
+                        np.abs(np.subtract(recon, step, dtype=np.float64))
                     )
                 )
                 if step.size
@@ -292,22 +377,56 @@ class StreamingCompressor:
                     blob, FRAME_DELTA, codec_id=CODEC_IDS[name]
                 )
                 self._prev_recon = recon
+                if self.config.codec == "auto" and step.size:
+                    self._sel_delta.observe(name, 8.0 * len(blob) / step.size)
                 return FrameStats(index, len(blob), True, False, name)
             fallback = True
-        blob, recon, name = self._encode_intra(step, reprobe=is_keyframe)
+        blob, recon, name = self._encode_intra(step)
         self._writer.add_frame(blob, codec_id=CODEC_IDS[name])
         self._prev_recon = recon
+        if self.config.codec == "auto" and step.size:
+            self._sel_intra.observe(name, 8.0 * len(blob) / step.size)
         return FrameStats(index, len(blob), False, fallback, name)
 
+    def append(self, step: np.ndarray) -> "FrameStats | Future[FrameStats]":
+        """Compress and write one time step; returns its accounting
+        (a future resolving to it in overlap mode)."""
+        step = self._prepare(step)
+        if not self._overlap:
+            return self._append_sync(step)
+        prev, self._pending = self._pending, None
+        if prev is not None:
+            prev.result()  # depth-1 pipeline; propagates worker errors
+        fut = self._pool.submit(self._append_sync, step)
+        self._pending = fut
+        return fut
+
     def extend(self, steps) -> list[FrameStats]:
-        """Append every step of an iterable (consumed lazily)."""
-        return [self.append(step) for step in steps]
+        """Append every step of an iterable (consumed lazily).  In
+        overlap mode the iterable's own work — a simulation producing
+        the next step, a loader reading it — runs while the previous
+        step encodes; the returned stats are resolved."""
+        out = [self.append(step) for step in steps]
+        if self._overlap:
+            return [f.result() for f in out]
+        return out
+
+    def _drain(self) -> None:
+        """Wait for the in-flight overlap frame (propagates errors)."""
+        pending, self._pending = self._pending, None
+        if pending is not None:
+            pending.result()
 
     def close(self) -> bytes | None:
         """Finalize the archive.  Returns its bytes for in-memory
         sinks, ``None`` when streaming to an external sink (idempotent
         either way)."""
         if not self._closed:
+            try:
+                self._drain()
+            finally:
+                if self._pool is not None:
+                    self._pool.shutdown(wait=True)
             self._writer.finalize()
             self._result = (
                 self._writer.getvalue() if self._writer.in_memory else None

@@ -32,10 +32,13 @@ The segment produced by :func:`huffman_encode` is self-describing bytes;
 
 from __future__ import annotations
 
+import hashlib
 import struct
 import zlib
 
 import numpy as np
+
+from repro.util.cache import BoundedLRU
 
 from repro.encoding.bitstream import pack_codes, pack_codes_at
 
@@ -159,11 +162,32 @@ def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
     return codes
 
 
+#: digest-of-lengths -> ready decode table.  Building a table is ~1 ms
+#: of repeats/concatenates and segment shapes repeat heavily (every
+#: frame of a stream, every case of a conformance sweep re-uses a
+#: handful of code tables), so the cache turns the rebuild into a hash
+#: of the lengths bytes.  Tables are 256 KiB each; the LRU bound keeps
+#: the cache under ~8 MiB.  Entries are handed out read-only — decoders
+#: only gather from them.
+_TABLE_CACHE: BoundedLRU[np.ndarray] = BoundedLRU(32)
+
+
 def _decode_table(lengths: np.ndarray) -> np.ndarray:
     """Fused window-lookup table: for every 16-bit window, ``(symbol <<
     5) | code_length`` of the codeword that starts there (canonical
     codes tile the window space contiguously).  One gather resolves both
-    the emitted symbol and the bit advance."""
+    the emitted symbol and the bit advance.  Cached by a digest of the
+    lengths bytes (the table is a pure function of them)."""
+    key = hashlib.blake2b(lengths.tobytes(), digest_size=16).digest()
+    table = _TABLE_CACHE.get(key)
+    if table is None:
+        table = _build_decode_table(lengths)
+        table.setflags(write=False)
+        _TABLE_CACHE.put(key, table)
+    return table
+
+
+def _build_decode_table(lengths: np.ndarray) -> np.ndarray:
     present = np.flatnonzero(lengths)
     lens = lengths[present].astype(np.int64)
     order = np.lexsort((present, lens))

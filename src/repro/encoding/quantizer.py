@@ -289,6 +289,61 @@ def quantize_many(
     return out
 
 
+def dequantize_many(
+    codes: list[np.ndarray],
+    preds: list[np.ndarray],
+    eb: float,
+    outlier_pos: list[np.ndarray],
+    outlier_val: list[np.ndarray],
+    radius: int = DEFAULT_RADIUS,
+    f32: bool = False,
+) -> list[np.ndarray]:
+    """Dequantize several batches in one fused vectorized pass.
+
+    The decode-side mirror of :func:`quantize_many`: all batches share
+    one error bound and dtype (the sub-blocks of one STZ level), so the
+    code arithmetic and the reconstruction formula run once over the
+    concatenation and the outlier scatter lands at offset-shifted
+    positions — bit-identical to per-batch :func:`dequantize`, since
+    every operation is element-wise.  The same fusion guard as
+    :func:`quantize_many` applies: large batches skip the concatenate
+    copies (their dispatch cost is already negligible).
+    """
+    if (
+        len(codes) != len(preds)
+        or len(codes) != len(outlier_pos)
+        or len(codes) != len(outlier_val)
+    ):
+        raise ValueError("dequantize_many list lengths differ")
+    if not codes:
+        return []
+    pflats = [np.asarray(p).reshape(-1) for p in preds]
+    sizes = np.array([p.size for p in pflats], dtype=np.int64)
+    if len(codes) == 1 or int(sizes.max()) >= (1 << 16):
+        return [
+            dequantize(c, p, eb, pos, val, radius, f32)
+            for c, p, pos, val in zip(codes, pflats, outlier_pos, outlier_val)
+        ]
+    bounds = np.concatenate([[0], np.cumsum(sizes)])
+    big_codes = np.concatenate([np.asarray(c) for c in codes])
+    big_pred = np.concatenate(pflats)
+    big_pos = np.concatenate(
+        [
+            np.asarray(pos, dtype=np.int64) + s
+            for pos, s in zip(outlier_pos, bounds)
+        ]
+    )
+    big_val = (
+        np.concatenate(outlier_val)
+        if any(v.size for v in outlier_val)
+        else np.zeros(0, dtype=big_pred.dtype)
+    )
+    recon = dequantize(big_codes, big_pred, eb, big_pos, big_val, radius, f32)
+    return [
+        recon[int(bounds[k]) : int(bounds[k + 1])] for k in range(len(codes))
+    ]
+
+
 def dequantize(
     codes: np.ndarray,
     pred: np.ndarray,

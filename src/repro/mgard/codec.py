@@ -153,6 +153,44 @@ def mgard_compress(
     zlib_level: int = 1,
 ) -> bytes:
     """Compress with strict absolute/relative L-infinity bound ``eb``."""
+    return _mgard_compress_impl(
+        data, eb, eb_mode, levels, correction, radius, zlib_level, False
+    )[0]
+
+
+def mgard_compress_with_recon(
+    data: np.ndarray,
+    eb: float,
+    eb_mode: str = "abs",
+    levels: int | None = None,
+    correction: bool = True,
+    radius: int = DEFAULT_RADIUS,
+    zlib_level: int = 1,
+) -> tuple[bytes, np.ndarray]:
+    """:func:`mgard_compress` plus the decoder's exact reconstruction.
+
+    The encoder already holds every dequantized detail block (it needs
+    them for the projection correction) and the root lattice it stores
+    raw, so the decoder's output is obtained by replaying the
+    recomposition loop on those tracked values — the same arithmetic
+    :func:`mgard_decompress` runs, minus all entropy decoding.
+    """
+    blob, recon = _mgard_compress_impl(
+        data, eb, eb_mode, levels, correction, radius, zlib_level, True
+    )
+    return blob, recon
+
+
+def _mgard_compress_impl(
+    data: np.ndarray,
+    eb: float,
+    eb_mode: str,
+    levels: int | None,
+    correction: bool,
+    radius: int,
+    zlib_level: int,
+    want_recon: bool,
+) -> tuple[bytes, np.ndarray | None]:
     data = as_float_array(data)
     abs_eb = resolve_eb(data, eb, eb_mode)
     L = levels if levels is not None else default_levels(data.shape)
@@ -165,6 +203,9 @@ def mgard_compress(
     out_counts: list[int] = []
     out_pos: list[np.ndarray] = []
     out_val: list[np.ndarray] = []
+    #: level -> its dequantized detail blocks, kept for the encoder-side
+    #: recomposition when the caller wants the reconstruction
+    details_by_level: dict[int, dict[tuple[int, ...], np.ndarray]] = {}
     # fine -> coarse; details of level l quantized at the level budget
     for level in range(L, 0, -1):
         coarse = take_subblock(current, (0,) * data.ndim)
@@ -189,6 +230,8 @@ def mgard_compress(
             details_hat[eps] = qb.recon.reshape(ts)
         if correction:
             coarse = coarse + _correction(details_hat, coarse.shape)
+        if want_recon:
+            details_by_level[level] = details_hat
         current = coarse
 
     codes = np.concatenate(codes_parts) if codes_parts else np.zeros(0, np.uint32)
@@ -213,7 +256,32 @@ def mgard_compress(
         ),
         compress_bytes(current.tobytes(), max(zlib_level, 1)),  # root, f64
     ]
-    return pack_sections(sections)
+    blob = pack_sections(sections)
+    if not want_recon:
+        return blob, None
+    # replay the decoder's coarse -> fine recomposition on the tracked
+    # dequantized details and the stored root: bit-identical inputs
+    # through identical operations, so the result *is* the decoder's
+    # output (stz_decompress equivalence tests pin this per backend)
+    lat_shapes = [tuple(data.shape)]
+    for _ in range(L):
+        lat_shapes.append(lattice_shape(lat_shapes[-1], 2))
+    rec = current  # the raw-stored root round-trips exactly (f64 bytes)
+    for lvl in range(1, L + 1):
+        fine_shape = lat_shapes[L - lvl]
+        details_hat = details_by_level[lvl]
+        if correction:
+            rec = rec - _correction(details_hat, rec.shape)
+        blocks = {}
+        for eps in offsets:
+            ts = subblock_shape(fine_shape, eps)
+            if not all(ts):
+                blocks[eps] = np.zeros(ts)
+                continue
+            pred = predict_block(rec, eps, ts, "linear")
+            blocks[eps] = pred + details_hat[eps]
+        rec = interleave(rec, blocks, fine_shape)
+    return blob, np.ascontiguousarray(rec.astype(data.dtype))
 
 
 def mgard_decompress(

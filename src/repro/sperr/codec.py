@@ -130,6 +130,45 @@ def sperr_compress(
     zlib_level: int = 1,
 ) -> bytes:
     """Compress with hard absolute/relative L-infinity bound ``eb``."""
+    return _sperr_compress_impl(
+        data, eb, eb_mode, levels, quality, radius, zlib_level, False
+    )[0]
+
+
+def sperr_compress_with_recon(
+    data: np.ndarray,
+    eb: float,
+    eb_mode: str = "abs",
+    levels: int | None = None,
+    quality: float = DEFAULT_QUALITY,
+    radius: int = DEFAULT_RADIUS,
+    zlib_level: int = 1,
+) -> tuple[bytes, np.ndarray]:
+    """:func:`sperr_compress` plus the decoder's exact reconstruction.
+
+    The outlier-correction pass already reconstructs from the
+    *dequantized* coefficients (written back band by band during
+    encoding), which is bit-identical to what the decoder rebuilds from
+    the payloads; applying the quantized corrections to that
+    reconstruction reproduces :func:`sperr_decompress`'s output exactly
+    — no second inverse transform, no decompression pass.
+    """
+    blob, recon = _sperr_compress_impl(
+        data, eb, eb_mode, levels, quality, radius, zlib_level, True
+    )
+    return blob, recon
+
+
+def _sperr_compress_impl(
+    data: np.ndarray,
+    eb: float,
+    eb_mode: str,
+    levels: int | None,
+    quality: float,
+    radius: int,
+    zlib_level: int,
+    want_recon: bool,
+) -> tuple[bytes, np.ndarray | None]:
     data = as_float_array(data)
     abs_eb = resolve_eb(data, eb, eb_mode)
     L = levels if levels is not None else max_levels(data.shape)
@@ -160,9 +199,15 @@ def sperr_compress(
         quality,
         radius,
     ) + struct.pack(f"<{data.ndim}Q", *data.shape)
-    return pack_sections(
+    blob = pack_sections(
         [header, compress_bytes(outliers, max(zlib_level, 1)), *payloads]
     )
+    if not want_recon:
+        return blob, None
+    # mirror the decoder's final correction + cast on the encoder-side
+    # reconstruction (int32 corrections round-trip exactly)
+    rec.reshape(-1)[bad] += corr.astype(np.float64) * abs_eb
+    return blob, np.ascontiguousarray(rec.astype(data.dtype))
 
 
 def sperr_decompress(

@@ -38,9 +38,18 @@ from repro.util.validation import (
 )
 
 _MAGIC = b"SZ3r"
+#: v1: float64 quantizer arithmetic, plain interp byte.  v2 is emitted
+#: only when the f32 fast-path flag is set: the high bit of the interp
+#: byte records that quantization ran in float32 where the bound
+#: analysis allows (the same record-it-in-the-container contract as the
+#: STZ header's f32-quant bit, repro.encoding.quantizer docstring).
+#: Readers accept both; pre-flag readers reject v2 with a clean version
+#: error instead of silently decoding with the wrong formula.
 _VERSION = 1
+_VERSION_F32 = 2
 _INTERP_CODE = {"linear": 0, "cubic": 1}
 _INTERP_NAME = {v: k for k, v in _INTERP_CODE.items()}
+_F32_BIT = 0x80  # in the interp byte, v2 only
 _HEADER = struct.Struct("<4sBBBBdII")
 # magic, version, dtype, ndim, interp, eb, radius, astride
 
@@ -67,7 +76,8 @@ class _SZ3Stages:
 
 
 def _sz3_encode(
-    data: np.ndarray, abs_eb: float, interp: str, radius: int
+    data: np.ndarray, abs_eb: float, interp: str, radius: int,
+    f32: bool = False,
 ) -> _SZ3Stages:
     """Run the cascaded predict+quantize passes (no entropy coding)."""
     astride = anchor_stride(data.shape)
@@ -82,10 +92,10 @@ def _sz3_encode(
     for batch in schedule(data.shape, astride):
         pred = predict_batch(recon, batch, interp)
         values = np.ascontiguousarray(recon[batch.target_sel])
-        # f32 fast-path quantization stays off: the SZ3 header has no
-        # flag byte to record the arithmetic mode, and the decoder must
-        # provably use the encoder's formula (quantizer docstring)
-        qb = quantize(values, pred, abs_eb, radius)
+        # the f32 fast path needs the container to record the arithmetic
+        # mode so the decoder provably mirrors it: opting in bumps the
+        # version and sets the interp byte's high bit (header below)
+        qb = quantize(values, pred, abs_eb, radius, f32)
         codes_parts.append(qb.codes)
         out_counts.append(qb.outlier_pos.size)
         out_pos.append(qb.outlier_pos.astype(np.uint32))
@@ -99,10 +109,10 @@ def _sz3_encode(
     )
     header = _HEADER.pack(
         _MAGIC,
-        _VERSION,
+        _VERSION_F32 if f32 else _VERSION,
         dtype_code(data.dtype),
         data.ndim,
-        _INTERP_CODE[interp],
+        _INTERP_CODE[interp] | (_F32_BIT if f32 else 0),
         abs_eb,
         radius,
         astride,
@@ -135,10 +145,19 @@ def sz3_compress(
     interp: str = "cubic",
     radius: int = DEFAULT_RADIUS,
     zlib_level: int = 1,
+    f32: bool = False,
 ) -> bytes:
-    """Compress a float32/float64 array with absolute/relative bound."""
+    """Compress a float32/float64 array with absolute/relative bound.
+
+    ``f32=True`` opts float32 payloads into float32 quantizer
+    arithmetic where the bound analysis allows (borderline points are
+    re-verified in exact float64, so the hard bound is unchanged); the
+    container records the mode as version 2 so the decoder provably
+    reconstructs with the encoder's formula.  Default off: containers
+    stay byte-identical to pre-flag encoders.
+    """
     return sz3_compress_with_recon(
-        data, eb, eb_mode, interp, radius, zlib_level
+        data, eb, eb_mode, interp, radius, zlib_level, f32
     )[0]
 
 
@@ -149,6 +168,7 @@ def sz3_compress_with_recon(
     interp: str = "cubic",
     radius: int = DEFAULT_RADIUS,
     zlib_level: int = 1,
+    f32: bool = False,
 ) -> tuple[bytes, np.ndarray]:
     """:func:`sz3_compress` plus the decompressor's exact reconstruction.
 
@@ -163,7 +183,7 @@ def sz3_compress_with_recon(
         raise ValueError("error bound must be > 0")
     if interp not in _INTERP_CODE:
         raise ValueError(f"unknown interp {interp!r}")
-    stages = _sz3_encode(data, abs_eb, interp, radius)
+    stages = _sz3_encode(data, abs_eb, interp, radius, f32)
     blob = _sz3_assemble(stages, huffman_encode(stages.codes), zlib_level)
     return blob, stages.recon
 
@@ -177,11 +197,14 @@ def sz3_decompress(blob: bytes | memoryview) -> np.ndarray:
     )
     if magic != _MAGIC:
         raise ValueError("not an SZ3 container")
-    if version != _VERSION:
+    if version not in (_VERSION, _VERSION_F32):
         raise ValueError(f"unsupported SZ3 container version {version}")
+    # v2 carries the f32-quant flag in the interp byte's high bit; v1
+    # predates the flag and always decodes with the float64 formula
+    f32 = version == _VERSION_F32 and bool(interp_c & _F32_BIT)
     shape = struct.unpack(f"<{ndim}Q", header[_HEADER.size :])
     dtype = dtype_from_code(dt)
-    interp = _INTERP_NAME[interp_c]
+    interp = _INTERP_NAME[interp_c & ~_F32_BIT]
 
     codes = huffman_decode(decompress_bytes(sections[1]))
     batches = schedule(shape, astride)
@@ -211,7 +234,7 @@ def sz3_decompress(blob: bytes | memoryview) -> np.ndarray:
         pos = pos_all[o_off : o_off + n_out].astype(np.int64)
         val = val_all[o_off : o_off + n_out]
         o_off += n_out
-        rec = dequantize(bcodes, pred, abs_eb, pos, val, radius)
+        rec = dequantize(bcodes, pred, abs_eb, pos, val, radius, f32)
         recon[batch.target_sel] = rec.reshape(pred.shape)
     return recon
 
@@ -242,6 +265,7 @@ def sz3_compress_omp(
     threads: int = 8,
     radius: int = DEFAULT_RADIUS,
     zlib_level: int = 1,
+    f32: bool = False,
 ) -> bytes:
     """Domain-decomposed parallel compression (reduced CR vs serial).
 
@@ -259,7 +283,7 @@ def sz3_compress_omp(
     slices = _chunk_slices(data.shape[0], threads)
     chunks = [np.ascontiguousarray(data[sl]) for sl in slices]
     stages = pmap(
-        lambda c: _sz3_encode(c, abs_eb, interp, radius), chunks, threads
+        lambda c: _sz3_encode(c, abs_eb, interp, radius, f32), chunks, threads
     )
     huffs = huffman_encode_many([st.codes for st in stages])
     blobs = pmap(

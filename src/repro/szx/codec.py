@@ -84,6 +84,35 @@ def szx_compress(
     zlib_level: int = 1,
 ) -> bytes:
     """Compress with hard absolute/relative L-infinity bound ``eb``."""
+    return _szx_compress_impl(data, eb, eb_mode, zlib_level, False)[0]
+
+
+def szx_compress_with_recon(
+    data: np.ndarray,
+    eb: float,
+    eb_mode: str = "abs",
+    zlib_level: int = 1,
+) -> tuple[bytes, np.ndarray]:
+    """:func:`szx_compress` plus the decoder's exact reconstruction.
+
+    Every tier's decode arithmetic is known at encode time (constant
+    blocks broadcast the stored midpoint, raw blocks are exact, and
+    quantized blocks were already bound-checked with the decoder's own
+    f64-then-cast expression), so the reconstruction is assembled from
+    the encoder's state in a few vectorized scatters — no second pass
+    over the container.
+    """
+    blob, recon = _szx_compress_impl(data, eb, eb_mode, zlib_level, True)
+    return blob, recon
+
+
+def _szx_compress_impl(
+    data: np.ndarray,
+    eb: float,
+    eb_mode: str,
+    zlib_level: int,
+    want_recon: bool,
+) -> tuple[bytes, np.ndarray | None]:
     data = as_float_array(data)
     if data.ndim > 8:
         raise ValueError("SZx-like codec supports at most 8 dimensions")
@@ -172,7 +201,20 @@ def szx_compress(
         compress_bytes(b"".join(packed_parts), zlib_level, probe=True),
         compress_bytes(blocks[raw].tobytes(), zlib_level, probe=True),
     ]
-    return pack_sections(sections)
+    blob = pack_sections(sections)
+    if not want_recon:
+        return blob, None
+
+    # assemble the decoder's exact output tier by tier: the same
+    # expressions szx_decompress evaluates, on bit-identical operands
+    # (every stored quantity round-trips exactly through the container)
+    out = np.empty((nblocks, BLOCK), dtype=dtype)
+    out[const] = mid[const][:, None]
+    out[raw] = blocks[raw]
+    out[quant] = (
+        bmin[quant][:, None] + qcodes.astype(np.float64) * (2.0 * abs_eb)
+    ).astype(dtype)
+    return blob, np.ascontiguousarray(out.reshape(-1)[:n].reshape(data.shape))
 
 
 def szx_decompress(blob: bytes | memoryview) -> np.ndarray:

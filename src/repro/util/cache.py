@@ -1,0 +1,53 @@
+"""Small thread-safe bounded LRU keyed by bytes digests.
+
+Two hot paths cache pure-function results under content digests: the
+Huffman decode-table cache (:mod:`repro.encoding.huffman`) and the
+codec-selection probe cache (:mod:`repro.core.select`).  Both need the
+same structure — blake2b key, lock-guarded ``OrderedDict``, LRU
+eviction — so it lives here once instead of drifting apart in two
+copies.  Values must be treated as immutable by callers (the caches
+hand out the stored object, not a copy).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Generic, TypeVar
+
+V = TypeVar("V")
+
+
+class BoundedLRU(Generic[V]):
+    """Lock-guarded LRU mapping ``bytes`` keys to cached values."""
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[bytes, V]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: bytes) -> V | None:
+        """Return the cached value (refreshing its recency) or None."""
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+            return value
+
+    def put(self, key: bytes, value: V) -> None:
+        """Insert/refresh an entry, evicting the least recently used."""
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)

@@ -166,6 +166,35 @@ def zfp_compress(
     (an exact-outlier stage would flatter ZFP's quality beyond what
     the paper's ZFP can deliver).
     """
+    return _zfp_compress_impl(data, tol, eb_mode, zlib_level, certify)[0]
+
+
+def zfp_compress_with_recon(
+    data: np.ndarray,
+    tol: float,
+    eb_mode: str = "abs",
+    zlib_level: int = 1,
+) -> tuple[bytes, np.ndarray]:
+    """:func:`zfp_compress` plus the decoder's exact reconstruction.
+
+    The certified (v2) encoder already runs the decoder's shared
+    bit-plane arithmetic to find its exact outliers; patching those
+    outliers into that reconstruction yields :func:`zfp_decompress`'s
+    output bit for bit, so callers that verify the bound at commit time
+    (the codec-selection engine) skip a full decompression pass.  Only
+    certified containers track a reconstruction.
+    """
+    blob, recon = _zfp_compress_impl(data, tol, eb_mode, zlib_level, True)
+    return blob, recon
+
+
+def _zfp_compress_impl(
+    data: np.ndarray,
+    tol: float,
+    eb_mode: str,
+    zlib_level: int,
+    certify: bool,
+) -> tuple[bytes, np.ndarray | None]:
     data = as_float_array(data)
     if data.ndim > 4:
         raise ValueError("ZFP-like codec supports 1-4 dimensions")
@@ -239,7 +268,7 @@ def zfp_compress(
         compress_bytes(payload, 0),
     ]
     if not certify:
-        return pack_sections(sections)
+        return pack_sections(sections), None
 
     # exact-outlier pass (v2): reconstruct with the decoder's shared
     # arithmetic and store every point outside the tolerance exactly —
@@ -262,7 +291,10 @@ def zfp_compress(
         + flat[bad].tobytes()
     )
     sections.append(compress_bytes(outliers, max(zlib_level, 1)))
-    return pack_sections(sections)
+    # the decoder ends with the same outlier patch, so ``rec`` with the
+    # exact values scattered back *is* its output
+    rec.reshape(-1)[bad] = flat[bad]
+    return pack_sections(sections), rec
 
 
 def zfp_decompress(blob: bytes | memoryview) -> np.ndarray:

@@ -1,0 +1,358 @@
+"""Amortized selection + single-pass verified commit (DESIGN.md §7).
+
+Four contracts pinned here:
+
+* **Recon equivalence** — every candidate's ``compress_with_recon``
+  returns exactly what decompressing its blob returns, bit for bit;
+  the commit-time bound verification is therefore equivalent to the
+  old decompress-and-check, and the reconstruction itself satisfies
+  the hard bound (the conformance sweep for the fast-verify path).
+* **Fast-verify byte identity** — routing every backend through the
+  decompression fallback instead of its encoder-tracked recon changes
+  nothing about the bytes ``auto`` emits (golden-input envelopes).
+* **Amortized probing** — the content-digest probe cache returns
+  exactly what recomputation would (and skips the tile compressions);
+  the feature-drift gate keeps stable streams at one full probe per
+  selector while catching regime changes; scores transfer between
+  selectors through the label cache.
+* **Overlap determinism** — the double-buffered engine emits archives
+  byte-identical to the serial engine, for plain STZ and ``auto``
+  streams, in memory and through a file sink, and propagates worker
+  errors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.api import compress, compress_stream, decompress
+from repro.core.config import STZConfig
+from repro.core.select import (
+    CANDIDATES,
+    BlockProbe,
+    CodecSelector,
+    clear_probe_cache,
+    features_drifted,
+    probe_features,
+)
+from repro.core.streaming import StreamingCompressor
+from repro.datasets.synthetic import smooth_field
+from repro.testing import conformance_field, evolving_field
+
+from helpers import assert_error_bounded
+
+
+@pytest.fixture(autouse=True)
+def _fresh_probe_cache():
+    clear_probe_cache()
+    yield
+    clear_probe_cache()
+
+
+# ---------------------------------------------------------------------------
+# single-pass verified commit
+# ---------------------------------------------------------------------------
+
+def _field_for(name: str, variant: str) -> tuple[np.ndarray, float]:
+    data = conformance_field((16, 14, 12), "float32", variant)
+    vrange = float(data.max() - data.min())
+    return data, (1e-3 * vrange if vrange else 1e-3)
+
+
+class TestReconCommit:
+    @pytest.mark.parametrize("name", sorted(CANDIDATES))
+    @pytest.mark.parametrize("variant", ["unit", "large", "shifted"])
+    def test_with_recon_matches_decompress(self, name, variant):
+        data, abs_eb = _field_for(name, variant)
+        cand = CANDIDATES[name]
+        blob, recon = cand.compress_with_recon(data, abs_eb, STZConfig(), None)
+        dec = cand.decompress(blob)
+        assert recon.dtype == dec.dtype and recon.shape == dec.shape
+        assert recon.tobytes() == dec.tobytes()
+
+    @pytest.mark.parametrize("name", sorted(CANDIDATES))
+    def test_with_recon_matches_decompress_f64(self, name):
+        data = smooth_field((11, 9, 7), seed=8)
+        abs_eb = 1e-4 * float(data.max() - data.min())
+        cand = CANDIDATES[name]
+        blob, recon = cand.compress_with_recon(data, abs_eb, STZConfig(), None)
+        assert recon.tobytes() == cand.decompress(blob).tobytes()
+
+    @pytest.mark.parametrize(
+        "name", [n for n in sorted(CANDIDATES) if n not in ("sperr", "mgard")]
+    )
+    def test_with_recon_nonfinite_bitexact(self, name):
+        # NaN/inf must survive the encoder-tracked reconstruction the
+        # same way they survive a decode (sperr/mgard reject non-finite
+        # input outright, which the engine handles by fallback)
+        data = smooth_field((12, 10, 8), seed=9).astype(np.float32)
+        data[3, 4, 5] = np.nan
+        data[0, 0, 0] = np.inf
+        cand = CANDIDATES[name]
+        blob, recon = cand.compress_with_recon(data, 1e-3, STZConfig(), None)
+        assert recon.tobytes() == cand.decompress(blob).tobytes()
+
+    @pytest.mark.parametrize("name", sorted(CANDIDATES))
+    @pytest.mark.parametrize(
+        "variant", ["unit", "large", "tiny", "shifted", "constant"]
+    )
+    def test_recon_holds_bound(self, name, variant):
+        # the conformance angle of the recon-verified commit: what the
+        # engine verifies against IS a bounded reconstruction
+        data, abs_eb = _field_for(name, variant)
+        blob, recon = CANDIDATES[name].compress_with_recon(
+            data, abs_eb, STZConfig(), None
+        )
+        assert_error_bounded(
+            data, recon, abs_eb, context=f"{name} recon {variant}"
+        )
+
+
+class TestFastVerifyByteIdentity:
+    def _auto_bytes(self, data, abs_eb, seed=0):
+        clear_probe_cache()
+        return compress(
+            data, abs_eb, "abs", STZConfig(codec="auto", select_seed=seed)
+        )
+
+    @pytest.mark.parametrize(
+        "shape,seed,eb",
+        [((24, 20, 16), 24, 4e-3), ((16, 16, 16), 11, 1e-3)],
+    )
+    def test_envelope_bytes_unchanged_by_recon_path(
+        self, shape, seed, eb, monkeypatch
+    ):
+        data = smooth_field(shape, seed=seed).astype(np.float32)
+        fast = self._auto_bytes(data, eb)
+        # force every candidate through the decompression fallback
+        for name, cand in list(CANDIDATES.items()):
+            monkeypatch.setitem(
+                CANDIDATES, name, dataclasses.replace(cand, with_recon=None)
+            )
+        slow = self._auto_bytes(data, eb)
+        assert fast == slow
+        assert_error_bounded(data, decompress(fast), eb)
+
+
+# ---------------------------------------------------------------------------
+# amortized probing
+# ---------------------------------------------------------------------------
+
+def _counting_registry(monkeypatch):
+    """Swap every candidate's compress for a counting wrapper."""
+    counts: dict[str, int] = {}
+
+    def wrap(name, fn):
+        def counted(*a, **kw):
+            counts[name] = counts.get(name, 0) + 1
+            return fn(*a, **kw)
+
+        return counted
+
+    for name, cand in list(CANDIDATES.items()):
+        monkeypatch.setitem(
+            CANDIDATES,
+            name,
+            dataclasses.replace(cand, compress=wrap(name, cand.compress)),
+        )
+    return counts
+
+
+class TestProbeCache:
+    def test_identical_probe_hits_cache(self, monkeypatch):
+        counts = _counting_registry(monkeypatch)
+        data = smooth_field((48, 40, 32), seed=5).astype(np.float32)
+        sel = CodecSelector(seed=0)
+        first = sel.probe(data, 1e-3, STZConfig(), ("sz3", "szx"))
+        n_after_first = dict(counts)
+        second = sel.probe(data, 1e-3, STZConfig(), ("sz3", "szx"))
+        assert second == first  # cached raw == recomputed raw
+        assert counts == n_after_first  # no tile was recompressed
+        assert sel.nprobes == 2  # both count as probes for the EMA
+
+    def test_different_data_misses_cache(self, monkeypatch):
+        counts = _counting_registry(monkeypatch)
+        sel = CodecSelector(seed=0)
+        a = smooth_field((48, 40, 32), seed=5).astype(np.float32)
+        b = smooth_field((48, 40, 32), seed=6).astype(np.float32)
+        sel.probe(a, 1e-3, STZConfig(), ("szx",))
+        n = counts.get("szx", 0)
+        sel.probe(b, 1e-3, STZConfig(), ("szx",))
+        assert counts["szx"] == 2 * n  # recompressed for the new data
+
+    def test_cache_is_deterministic_across_selectors(self):
+        data = smooth_field((48, 40, 32), seed=7).astype(np.float32)
+        raw_cold = CodecSelector(seed=3).probe(
+            data, 1e-3, STZConfig(), ("sz3", "szx", "zfp")
+        )
+        raw_warm = CodecSelector(seed=9).probe(
+            data, 1e-3, STZConfig(), ("sz3", "szx", "zfp")
+        )
+        assert raw_cold == raw_warm
+
+
+class TestDriftDetector:
+    def _probe(self, **kw) -> BlockProbe:
+        base = dict(
+            vrange=1.0, smoothness=0.02, const_frac=0.0,
+            nonfinite_frac=0.0, label="smooth",
+        )
+        base.update(kw)
+        return BlockProbe(**base)
+
+    def test_stable_features_do_not_drift(self):
+        a = self._probe()
+        b = self._probe(vrange=1.1, smoothness=0.024)
+        assert not features_drifted(a, b)
+
+    def test_label_flip_drifts(self):
+        assert features_drifted(
+            self._probe(), self._probe(label="rough", smoothness=0.3)
+        )
+
+    def test_scale_shift_drifts(self):
+        assert features_drifted(self._probe(), self._probe(vrange=5.0))
+        assert features_drifted(self._probe(), self._probe(smoothness=0.045))
+
+    def test_nonfinite_appearance_drifts(self):
+        assert features_drifted(
+            self._probe(), self._probe(nonfinite_frac=0.01)
+        )
+
+    def test_probe_features_stable_on_evolving_field(self):
+        steps = list(evolving_field(4, (16, 16, 16), scale=0.02))
+        probes = [probe_features(s, 1e-3) for s in steps]
+        for prev, cur in zip(probes, probes[1:]):
+            assert not features_drifted(prev, cur)
+
+
+class TestStreamingProbeAmortization:
+    def test_stable_stream_probes_once_per_regime(self):
+        steps = list(evolving_field(10, (12, 12, 12), scale=0.02))
+        sc = StreamingCompressor(
+            1e-3, "rel",
+            STZConfig(codec="auto", select_explore=0.0),
+            keyframe_interval=4,
+        )
+        sc.extend(steps)
+        # one full probe per data regime: the smooth fields at the
+        # intra keyframes, the (noisier) closed-loop residuals on the
+        # delta path — and no re-probes at later keyframes/steps, the
+        # drift gate holds both rankings (explore off)
+        assert sc._sel_intra.nprobes == 1
+        assert sc._sel_delta.nprobes <= 1
+        assert "smooth" in sc._label_scores
+        sc.close()
+
+    def test_label_cache_transfers_scores_across_selectors(self):
+        # a cold selector whose payload's label was already fully
+        # probed by the *other* selector inherits those scores through
+        # the stream-scoped label cache instead of compressing tiles
+        sc = StreamingCompressor(
+            1e-3, "abs", STZConfig(codec="auto", select_explore=0.0)
+        )
+        sc.abs_eb = 1e-3
+        field = smooth_field((24, 20, 16), seed=12).astype(np.float32)
+        resid = 0.05 * smooth_field((24, 20, 16), seed=13).astype(np.float32)
+        assert probe_features(field, 1e-3).label == "smooth"
+        assert probe_features(resid, 1e-3).label == "smooth"
+        sc._maybe_probe("intra", field, 1e-3)
+        assert sc._sel_intra.nprobes == 1
+        sc._maybe_probe("delta", resid, 1e-3)
+        assert sc._sel_delta.nprobes == 0  # inherited, not probed
+        assert sc._sel_delta.scores == sc._sel_intra.scores
+
+    def test_regime_change_reprobes(self):
+        shape = (12, 12, 12)
+        rng = np.random.default_rng(3)
+        steps = [
+            smooth_field(shape, seed=40 + t).astype(np.float32)
+            for t in range(3)
+        ] + [rng.normal(size=shape).astype(np.float32) for _ in range(3)]
+        sc = StreamingCompressor(
+            1e-2, "abs",
+            STZConfig(codec="auto", select_explore=0.0),
+            keyframe_interval=100,  # keep everything on the delta path
+        )
+        sc.extend(steps)
+        # the smooth->noise transition flips the residual label, which
+        # the drift gate must catch with a fresh full probe
+        assert sc._sel_delta.nprobes >= 1
+        assert "rough" in sc._label_scores
+        sc.close()
+
+    def test_cumulative_drift_reprobes(self):
+        # per-step feature drift stays under the tolerance, but the
+        # drift gate anchors at the last scoring event, so cumulative
+        # drift (here the value range ramping 1.3x per step, ~145x
+        # over the stream) must eventually trigger a full re-probe
+        base = smooth_field((12, 12, 12), seed=20).astype(np.float32)
+        steps = [base * np.float32(1.3**t) for t in range(20)]
+        sc = StreamingCompressor(
+            1e-3, "abs",
+            STZConfig(codec="auto", select_explore=0.0),
+            keyframe_interval=1,  # intra-only: one selector to reason about
+        )
+        sc.extend(steps)
+        assert sc._sel_intra.nprobes >= 2
+        sc.close()
+
+    def test_epsilon_refresh_is_seeded(self):
+        steps = list(evolving_field(8, (12, 12, 12), scale=0.02))
+        cfg = STZConfig(codec="auto", select_seed=5, select_explore=0.5)
+        a = compress_stream(steps, 1e-3, config=cfg)
+        b = compress_stream(steps, 1e-3, config=cfg)
+        assert a == b
+
+
+# ---------------------------------------------------------------------------
+# overlap engine
+# ---------------------------------------------------------------------------
+
+class TestOverlap:
+    @pytest.mark.parametrize("codec", ["stz", "auto"])
+    def test_overlap_matches_serial_bytes(self, codec):
+        steps = list(evolving_field(6, (10, 9, 8), scale=0.03))
+        cfg = STZConfig(codec=codec)
+        serial = compress_stream(steps, 1e-3, config=cfg, keyframe_interval=3)
+        clear_probe_cache()
+        overlapped = compress_stream(
+            steps, 1e-3, config=cfg, keyframe_interval=3, overlap=True
+        )
+        assert serial == overlapped
+
+    def test_overlap_matches_serial_through_sink(self, tmp_path):
+        steps = list(evolving_field(5, (10, 9, 8), scale=0.03))
+        paths = []
+        for overlap in (False, True):
+            path = tmp_path / f"s{int(overlap)}.stz"
+            with open(path, "wb") as sink:
+                with StreamingCompressor(
+                    1e-3, "rel", sink=sink, overlap=overlap
+                ) as sc:
+                    sc.extend(steps)
+            paths.append(path.read_bytes())
+        assert paths[0] == paths[1]
+
+    def test_overlap_returns_futures_in_order(self):
+        steps = list(evolving_field(4, (8, 8, 8), scale=0.03))
+        with StreamingCompressor(1e-3, "rel", overlap=True) as sc:
+            futs = [sc.append(s) for s in steps]
+            stats = [f.result() for f in futs]
+        assert [s.index for s in stats] == [0, 1, 2, 3]
+        assert stats[0].is_delta is False
+
+    def test_overlap_validation_errors_raise_on_caller(self):
+        with StreamingCompressor(1e-3, "abs", overlap=True) as sc:
+            sc.append(np.zeros((4, 4), np.float32))
+            with pytest.raises(ValueError, match="stream is"):
+                sc.append(np.zeros((5, 4), np.float32))
+
+    def test_overlap_close_is_idempotent(self):
+        sc = StreamingCompressor(1e-3, "abs", overlap=True)
+        sc.append(np.zeros((4, 4), np.float32))
+        blob = sc.close()
+        assert blob is not None and sc.close() == blob

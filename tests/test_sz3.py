@@ -157,3 +157,43 @@ class TestObjectAPI:
         rec = c.decompress(c.compress(smooth2d_f32))
         rng_v = float(smooth2d_f32.max() - smooth2d_f32.min())
         assert max_err(rec, smooth2d_f32) <= 1e-3 * rng_v
+
+
+class TestF32QuantFlag:
+    """Container v2: flag-gated float32 quantizer arithmetic.
+
+    The same contract as the STZ header's f32-quant bit: the encoder
+    records the arithmetic mode, the decoder provably mirrors it, and
+    containers written without the flag keep decoding with the float64
+    formula they were encoded with.
+    """
+
+    def test_default_container_bytes_unchanged(self, smooth2d_f32):
+        # f32=False (the default) must still emit the v1 container —
+        # byte-compatible with every pre-flag reader
+        blob = sz3_compress(smooth2d_f32, 1e-3)
+        assert blob == sz3_compress(smooth2d_f32, 1e-3, f32=False)
+        # sections: u64 count + u64 length, then the header section
+        assert blob[16:20] == b"SZ3r" and blob[20] == 1  # version
+
+    def test_f32_roundtrip_and_version(self, smooth2d_f32):
+        vr = float(smooth2d_f32.max() - smooth2d_f32.min())
+        blob = sz3_compress(smooth2d_f32, 1e-3, "rel", f32=True)
+        assert blob[16:20] == b"SZ3r" and blob[20] == 2  # v2
+        rec = sz3_decompress(blob)
+        assert max_err(rec, smooth2d_f32) <= 1e-3 * vr
+
+    def test_f32_recon_matches_decoder(self, smooth3d_f32):
+        from repro.sz3.compressor import sz3_compress_with_recon
+
+        blob, recon = sz3_compress_with_recon(
+            smooth3d_f32, 1e-3, "rel", f32=True
+        )
+        assert recon.tobytes() == sz3_decompress(blob).tobytes()
+
+    def test_f64_payload_with_flag_still_bounded(self, smooth3d_f64):
+        # f32 opt-in on a float64 payload: the bound analysis keeps the
+        # arithmetic in float64 on both sides (recorded flag and all)
+        vr = float(smooth3d_f64.max() - smooth3d_f64.min())
+        blob = sz3_compress(smooth3d_f64, 1e-4, "rel", f32=True)
+        assert max_err(sz3_decompress(blob), smooth3d_f64) <= 1e-4 * vr
