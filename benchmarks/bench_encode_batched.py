@@ -329,39 +329,10 @@ def test_encode_batched_speedup(artifact):
 STREAM_GRID = (64, 64, 64)
 STREAM_STEPS = 16
 
-
-def _vm_rss_kb() -> int:
-    with open("/proc/self/status") as fh:
-        for line in fh:
-            if line.startswith("VmRSS:"):
-                return int(line.split()[1])
-    return 0
-
-
-class _RSSSampler:
-    """Background peak-RSS sampler (1 ms cadence) — catches the
-    transient working set a before/after pair would miss."""
-
-    def __init__(self):
-        import threading
-
-        self.peak = 0
-        self._stop = threading.Event()
-        self._thread = threading.Thread(target=self._run, daemon=True)
-
-    def _run(self):
-        while not self._stop.is_set():
-            self.peak = max(self.peak, _vm_rss_kb())
-            self._stop.wait(0.001)
-
-    def __enter__(self):
-        self._thread.start()
-        return self
-
-    def __exit__(self, *exc):
-        self._stop.set()
-        self._thread.join()
-        self.peak = max(self.peak, _vm_rss_kb())
+# the sampler moved to conftest so the chunked out-of-core benchmark
+# shares one definition; keep the historic local names working
+from conftest import RSSSampler as _RSSSampler  # noqa: E402
+from conftest import vm_rss_kb as _vm_rss_kb  # noqa: E402
 
 
 def test_streaming_throughput(artifact, tmp_path):

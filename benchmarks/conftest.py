@@ -110,6 +110,42 @@ def _fmt(v) -> str:
     return str(v)
 
 
+def vm_rss_kb() -> int:
+    """Current resident set size (KiB) from /proc (Linux)."""
+    with open("/proc/self/status") as fh:
+        for line in fh:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    return 0
+
+
+class RSSSampler:
+    """Background peak-RSS sampler (1 ms cadence) — catches the
+    transient working set a before/after pair would miss.  Shared by
+    the streaming and chunked out-of-core benchmarks."""
+
+    def __init__(self):
+        import threading
+
+        self.peak = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        while not self._stop.is_set():
+            self.peak = max(self.peak, vm_rss_kb())
+            self._stop.wait(0.001)
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self._thread.join()
+        self.peak = max(self.peak, vm_rss_kb())
+
+
 def eb_for_target_cr(
     compress: Callable[[np.ndarray, float], bytes],
     data: np.ndarray,

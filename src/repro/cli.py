@@ -7,11 +7,14 @@ Examples::
 
     stz compress field.npy field.stz --eb 1e-3 --mode rel
     stz compress field.npy field.stz --eb 1e-3 --codec auto
+    stz compress big.npy big.stz --eb 1e-3 --chunks 64 --workers 4
     stz info field.stz
     stz decompress field.stz out.npy --level 1        # coarse preview
+    stz decompress big.stz slab.npy --roi 10:20,:,64  # chunk index
     stz roi field.stz slab.npy --box 10:20,:,64       # random access
     stz stream steps.stz t0.npy t1.npy t2.npy --eb 1e-3
     stz stream steps.stz run.npy --eb 1e-3 --time-axis 0
+    stz stream steps.stz t*.npy --eb 1e-3 --chunks 64 # sharded frames
     stz decompress steps.stz t5.npy --frame 5         # one time step
 """
 
@@ -25,18 +28,23 @@ import numpy as np
 
 from repro.core.api import (
     compress,
+    compress_chunked,
     decompress,
     decompress_progressive,
     decompress_roi,
 )
+from repro.core.chunked import decompress_chunked, decompress_chunked_roi
 from repro.core.config import KNOWN_CODECS, STZConfig
+from repro.core.parallel import EXECUTORS
 from repro.core.stream import (
     CODEC_NAMES,
     CODEC_STZ,
     KIND_NAMES,
+    ShardedReader,
     StreamReader,
     is_multiframe,
     is_selected,
+    is_sharded,
     unwrap_selected,
 )
 from repro.core.streaming import (
@@ -86,6 +94,14 @@ def _parse_box(spec: str, ndim: int) -> tuple:
     return tuple(roi)
 
 
+def _parse_chunks(spec: str | None) -> int | tuple[int, ...] | None:
+    """Parse a --chunks spec: one edge ('64') or per-axis ('64,64,32')."""
+    if spec is None:
+        return None
+    parts = [int(s) for s in spec.split(",")]
+    return parts[0] if len(parts) == 1 else tuple(parts)
+
+
 def cmd_compress(args: argparse.Namespace) -> int:
     data = _load_array(args.input, args.shape, args.dtype)
     config = STZConfig(
@@ -94,6 +110,23 @@ def cmd_compress(args: argparse.Namespace) -> int:
         codec=args.codec,
         select_seed=args.select_seed,
     )
+    chunks = _parse_chunks(args.chunks)
+    if chunks is not None:
+        # chunked engine: stream the sharded archive straight to disk
+        with open(args.output, "wb") as sink:
+            compress_chunked(
+                data, args.eb, args.mode, config=config, chunks=chunks,
+                executor=args.executor, workers=args.workers,
+                threads=args.threads, sink=sink,
+            )
+        nout = Path(args.output).stat().st_size
+        with open(args.output, "rb") as fh:
+            nchunks = ShardedReader(fh).nchunks
+        print(
+            f"{args.input}: {data.nbytes} B -> {nout} B "
+            f"(CR {data.nbytes / nout:.2f}) [sharded, {nchunks} chunks]"
+        )
+        return 0
     blob = compress(
         data, args.eb, args.mode, config=config, threads=args.threads
     )
@@ -148,6 +181,9 @@ def cmd_stream(args: argparse.Namespace) -> int:
             sink=sink,
             threads=args.threads,
             overlap=args.overlap,
+            chunks=_parse_chunks(args.chunks),
+            chunk_executor=args.executor,
+            chunk_workers=args.workers,
         ) as sc:
             pending = []
             for step in _iter_input_steps(args):
@@ -188,6 +224,11 @@ def cmd_decompress(args: argparse.Namespace) -> int:
                 raise SystemExit(
                     "--level only applies to single-frame archives"
                 )
+            if args.roi is not None:
+                raise SystemExit(
+                    "--roi does not apply to multi-frame archives "
+                    "(extract a step with --frame first)"
+                )
             # file source: only the table and the needed frames are read
             sd = StreamingDecompressor(fh, threads=args.threads)
             if sd.nframes == 0:
@@ -199,9 +240,38 @@ def cmd_decompress(args: argparse.Namespace) -> int:
                 arr = np.stack(list(sd), axis=0)
         elif args.frame is not None:
             raise SystemExit("--frame only applies to multi-frame archives")
+        elif is_sharded(fh):
+            if args.level is not None:
+                raise SystemExit(
+                    "sharded (chunked) archives do not support --level"
+                )
+            reader = ShardedReader(fh)
+            if args.roi is not None:
+                # chunk-index random access: only intersecting chunks
+                # are read and decoded
+                roi = _parse_box(args.roi, len(reader.shape))
+                arr = decompress_chunked_roi(
+                    reader, roi, threads=args.threads,
+                    workers=args.workers,
+                )
+            else:
+                # --workers picks the chunk pool explicitly; a bare
+                # --threads means "parallel decode" too (api.decompress
+                # semantics: chunk-level is where v3 parallelism lives)
+                workers = args.workers or args.threads
+                if workers and workers > 1:
+                    arr = decompress_chunked(
+                        reader, executor="thread", workers=workers
+                    )
+                else:
+                    arr = decompress_chunked(reader, threads=args.threads)
         else:
             blob = fh.read()
-            if args.level is not None:
+            if args.roi is not None and args.level is not None:
+                raise SystemExit("--roi and --level are mutually exclusive")
+            if args.roi is not None:
+                arr = _roi_decode(blob, args.roi, args.threads)
+            elif args.level is not None:
                 try:
                     arr = decompress_progressive(
                         blob, args.level, threads=args.threads
@@ -219,8 +289,18 @@ def cmd_decompress(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_roi(args: argparse.Namespace) -> int:
-    blob = Path(args.input).read_bytes()
+def _roi_decode(
+    blob: bytes, spec: str, threads: int | None, workers: int | None = None
+) -> np.ndarray:
+    """Random-access decode shared by ``stz roi`` and ``stz decompress
+    --roi``: sharded archives go through the chunk index, STZ1 (plain
+    or enveloped) through the sub-block index."""
+    if is_sharded(blob):
+        reader = ShardedReader(blob)
+        roi = _parse_box(spec, len(reader.shape))
+        return decompress_chunked_roi(
+            reader, roi, threads=threads, workers=workers
+        )
     if is_selected(blob):
         codec_id, payload = unwrap_selected(blob)
         if codec_id != CODEC_STZ:
@@ -230,8 +310,13 @@ def cmd_roi(args: argparse.Namespace) -> int:
             )
         blob = bytes(payload)
     reader = StreamReader(blob)
-    roi = _parse_box(args.box, reader.header.ndim)
-    arr = decompress_roi(reader, roi, threads=args.threads)
+    roi = _parse_box(spec, reader.header.ndim)
+    return decompress_roi(reader, roi, threads=threads)
+
+
+def cmd_roi(args: argparse.Namespace) -> int:
+    blob = Path(args.input).read_bytes()
+    arr = _roi_decode(blob, args.box, args.threads)
     _save_array(args.output, arr)
     print(f"{args.output}: {arr.shape} {arr.dtype}")
     return 0
@@ -239,6 +324,27 @@ def cmd_roi(args: argparse.Namespace) -> int:
 
 def cmd_info(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as fh:
+        if is_sharded(fh):
+            reader = ShardedReader(fh)
+            plan = reader.plan
+            print(
+                f"shape      : {'x'.join(map(str, plan.shape))} "
+                f"({reader.dtype})"
+            )
+            print(
+                f"chunks     : {reader.nchunks} "
+                f"(grid {'x'.join(map(str, plan.grid))}, chunk "
+                f"{'x'.join(map(str, plan.chunk_shape))}; sharded "
+                "container v3)"
+            )
+            for entry in reader.chunks:
+                info = plan.chunk(entry.index)
+                origin = ",".join(map(str, info.origin))
+                print(
+                    f"  chunk {entry.index:>4d}  @[{origin}]  "
+                    f"{entry.codec:6s} {entry.length:>10d} B"
+                )
+            return 0
         if is_multiframe(fh):
             sd = StreamingDecompressor(fh)
             # shape/eb live in the per-frame containers; peek at the
@@ -249,7 +355,9 @@ def cmd_info(args: argparse.Namespace) -> int:
             stz_frames = [
                 f
                 for f in sd.reader.frames
-                if f.codec_id == CODEC_STZ and not f.is_delta
+                if f.codec_id == CODEC_STZ
+                and not f.is_delta
+                and not f.is_sharded
             ]
             h = (
                 sd.reader.open_frame(stz_frames[0].index).header
@@ -262,6 +370,14 @@ def cmd_info(args: argparse.Namespace) -> int:
                     f"shape      : {'x'.join(map(str, h.shape))} ({h.dtype})"
                 )
                 print(f"error bound: {h.abs_eb:g}")
+            elif sd.reader.frames and sd.reader.frames[0].is_sharded:
+                # all-sharded stream: shape/dtype live in the v3 head
+                sh = ShardedReader(sd.reader.read_frame(0))
+                print(
+                    f"shape      : {'x'.join(map(str, sh.shape))} "
+                    f"({sh.dtype}) [sharded frames, chunk "
+                    f"{'x'.join(map(str, sh.plan.chunk_shape))}]"
+                )
             for f in sd.reader.frames:
                 kind = "delta" if f.is_delta else "intra"
                 print(
@@ -295,6 +411,24 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_chunk_args(p: argparse.ArgumentParser) -> None:
+    """The chunked-engine knobs shared by compress and stream."""
+    p.add_argument(
+        "--chunks", default=None, metavar="SPEC",
+        help="chunked engine: per-axis chunk shape ('64' or '64,64,32'); "
+        "emits a sharded (container v3) archive",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="chunk-level worker count (with --chunks)",
+    )
+    p.add_argument(
+        "--executor", choices=EXECUTORS, default="thread",
+        help="chunk-level executor (with --chunks); 'process' uses a "
+        "fork pool that slices chunks in the workers",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="stz",
@@ -325,6 +459,7 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--shape", help="dims for raw input, e.g. 64,64,64")
     c.add_argument("--dtype", help="dtype for raw input, e.g. float32")
     c.add_argument("--threads", type=int, default=None)
+    _add_chunk_args(c)
     c.set_defaults(fn=cmd_compress)
 
     s = sub.add_parser(
@@ -371,6 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--shape", help="dims of one raw input, e.g. 64,64,64")
     s.add_argument("--dtype", help="dtype for raw input, e.g. float32")
     s.add_argument("--threads", type=int, default=None)
+    _add_chunk_args(s)
     s.set_defaults(fn=cmd_stream)
 
     d = sub.add_parser("decompress", help="reconstruct (optionally coarse)")
@@ -384,6 +520,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--frame", type=int, default=None,
         help="multi-frame archives: extract one time step "
         "(default: all steps stacked along a new axis 0)",
+    )
+    d.add_argument(
+        "--roi", default=None, metavar="BOX",
+        help="random-access a region, e.g. '10:20,:,64'; sharded "
+        "archives touch only the intersecting chunks",
+    )
+    d.add_argument(
+        "--workers", type=int, default=None,
+        help="sharded archives: parallel chunk-level decode workers",
     )
     d.add_argument("--threads", type=int, default=None)
     d.set_defaults(fn=cmd_decompress)

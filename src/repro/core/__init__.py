@@ -11,6 +11,10 @@ Public entry points:
   and :class:`repro.core.streaming.StreamingCompressor` /
   :class:`repro.core.streaming.StreamingDecompressor` — time-step
   sequences in the multi-frame container,
+* :func:`repro.core.api.compress_chunked` and
+  :mod:`repro.core.chunked` — the chunked execution engine (sharded
+  container v3): out-of-core compression, parallel chunk-level decode,
+  chunk-granular random access,
 * :mod:`repro.core.roi` — region-of-interest selection (Fig. 10).
 """
 
@@ -23,6 +27,7 @@ def __getattr__(name):  # lazy: api pulls in every submodule
     if name in (
         "STZCompressor",
         "compress",
+        "compress_chunked",
         "compress_stream",
         "decompress",
         "decompress_frame",

@@ -20,6 +20,11 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro.core.chunked import (
+    compress_chunked as _compress_chunked_impl,
+    decompress_chunked,
+    decompress_chunked_roi,
+)
 from repro.core.config import STZConfig
 from repro.core.pipeline import stz_compress, stz_decompress
 from repro.core.progressive import progressive_ladder
@@ -33,6 +38,7 @@ from repro.core.stream import (
     CODEC_STZ,
     StreamReader,
     is_selected,
+    is_sharded,
     unwrap_selected,
 )
 from repro.core.streaming import (
@@ -78,11 +84,65 @@ def compress(
     return compress_selected(data, eb, eb_mode, config, threads)
 
 
+def compress_chunked(
+    data,
+    eb: float,
+    eb_mode: str = "abs",
+    config: STZConfig | None = None,
+    chunks: int | tuple[int, ...] | None = None,
+    executor: str = "thread",
+    workers: int | None = None,
+    threads: int | None = None,
+    codec: str | None = None,
+    sink: io.IOBase | None = None,
+    shape: tuple[int, ...] | None = None,
+) -> bytes | None:
+    """Compress through the chunked execution engine into a sharded
+    (container v3) archive.
+
+    ``data`` may be an in-memory array, a ``np.memmap`` (out-of-core:
+    peak memory is O(chunk) with the serial executor and a ``sink``),
+    or an iterator of chunk arrays in plan order (``shape=`` required).
+    ``chunks`` sets the per-axis chunk shape (int = every axis);
+    ``executor``/``workers`` pick the chunk-level pool.  ``codec``
+    applies per chunk — ``"auto"`` re-selects the backend chunk by
+    chunk through the unchanged selection engine.  See
+    :mod:`repro.core.chunked` for the full contract.
+    """
+    return _compress_chunked_impl(
+        data, eb, eb_mode, _resolve_codec(config, codec), chunks,
+        executor, workers, threads, sink, shape,
+    )
+
+
 def decompress(
-    source: bytes | memoryview | StreamReader, threads: int | None = None
+    source: bytes | memoryview | StreamReader,
+    threads: int | None = None,
+    out: np.ndarray | None = None,
+    executor: str | None = None,
+    workers: int | None = None,
 ) -> np.ndarray:
-    """Full-resolution reconstruction (plain STZ1 containers and
-    codec-selected envelopes alike)."""
+    """Full-resolution reconstruction (plain STZ1 containers,
+    codec-selected envelopes and sharded v3 archives alike).
+
+    Sharded archives accept ``out=`` (in-place reconstruction; a
+    ``np.memmap`` keeps decode memory at O(chunk)) and
+    ``executor``/``workers`` for parallel chunk-level decode; the
+    default decodes chunks with the thread pool when ``threads`` asks
+    for parallelism.
+    """
+    if not isinstance(source, StreamReader) and is_sharded(source):
+        if executor is None:
+            executor, workers = (
+                ("thread", threads) if threads and threads > 1
+                else ("serial", None)
+            )
+        return decompress_chunked(
+            source, out=out, executor=executor, workers=workers,
+            threads=None if executor != "serial" else threads,
+        )
+    if out is not None:
+        raise ValueError("out= is only supported for sharded v3 archives")
     if not isinstance(source, StreamReader) and is_selected(source):
         return decompress_selected(source, threads=threads)
     return stz_decompress(source, threads=threads)
@@ -98,6 +158,11 @@ def decompress_progressive(
     Codec-selected envelopes are unwrapped first; progressive decode is
     served when the inner backend supports it (STZ, SPERR, MGARD).
     """
+    if not isinstance(source, StreamReader) and is_sharded(source):
+        raise ValueError(
+            "sharded (chunked) archives do not support progressive "
+            "decode; use decompress / decompress_roi"
+        )
     if not isinstance(source, StreamReader) and is_selected(source):
         codec_id, payload = unwrap_selected(source)
         name = CODEC_NAMES[codec_id]
@@ -135,7 +200,14 @@ def decompress_roi(
     roi: tuple[slice | int, ...],
     threads: int | None = None,
 ) -> np.ndarray:
-    """Random-access reconstruction of a full-resolution ROI box/slice."""
+    """Random-access reconstruction of a full-resolution ROI box/slice.
+
+    Sharded v3 archives serve the ROI from the chunk index — only the
+    chunks intersecting the box are read and decoded, and STZ-coded
+    chunks run the sub-chunk random-access path on top.
+    """
+    if not isinstance(source, StreamReader) and is_sharded(source):
+        return decompress_chunked_roi(source, roi, threads=threads)
     source = _unwrap_stz(source, "random access")
     return stz_decompress_roi(source, roi, threads=threads).data
 
@@ -160,6 +232,9 @@ def compress_stream(
     threads: int | None = None,
     codec: str | None = None,
     overlap: bool = False,
+    chunks: int | tuple[int, ...] | None = None,
+    chunk_executor: str = "thread",
+    chunk_workers: int | None = None,
 ) -> bytes:
     """Compress an iterable of equal-shape time steps into one
     multi-frame archive.
@@ -173,14 +248,18 @@ def compress_stream(
     refresh cadence); each frame's choice is recorded in the v2 frame
     table.  ``overlap=True`` double-buffers the engine so producing
     step ``k+1`` overlaps encoding step ``k`` — the archive bytes are
-    identical to the serial engine.  To stream frames to disk instead
-    of accumulating the archive in memory, use
+    identical to the serial engine.  ``chunks`` (optional) emits every
+    frame as a sharded v3 payload through the chunked engine under
+    ``chunk_executor``/``chunk_workers`` — chunk-level parallelism and
+    per-chunk codec selection per step.  To stream frames to disk
+    instead of accumulating the archive in memory, use
     :class:`~repro.core.streaming.StreamingCompressor` with a ``sink``.
     """
     config = _resolve_codec(config, codec)
     with StreamingCompressor(
         eb, eb_mode, config, keyframe_interval, threads=threads,
-        overlap=overlap,
+        overlap=overlap, chunks=chunks, chunk_executor=chunk_executor,
+        chunk_workers=chunk_workers,
     ) as sc:
         sc.extend(steps)
         return sc.close()

@@ -1,0 +1,651 @@
+"""Chunked execution engine: out-of-core compression, parallel
+chunk-level decode, and chunk-granular random access (container v3).
+
+Every other path in the repo materializes the full array and runs one
+monolithic pipeline over it.  This module decomposes the domain with a
+:class:`~repro.core.partition.ChunkPlan` and runs the *unchanged*
+per-array pipeline over each chunk independently:
+
+* **compression** (:func:`compress_chunked`) accepts an in-memory
+  array, a memory-mapped array, or an iterator of chunk arrays in plan
+  order.  Each chunk is compressed exactly as a standalone array would
+  be — ``codec="stz"`` produces an STZ1 blob, fixed foreign codecs and
+  ``codec="auto"`` produce 'STZC' envelopes through the selection
+  engine (:mod:`repro.core.select`) unchanged, including its
+  process-wide content-digest probe cache, which similar chunks hit —
+  and appended to a :class:`~repro.core.stream.ShardedWriter`.  With a
+  ``sink`` and the serial executor, peak memory is O(chunk) end to end
+  (memory-mapped inputs additionally have their paged-in chunks
+  dropped as the plan advances).
+* **decompression** (:func:`decompress_chunked`) decodes chunks
+  independently — in parallel under the thread or process executor —
+  into a caller-supplied output array (a ``np.memmap`` keeps the
+  reverse direction O(chunk) too) or a freshly allocated one.
+* **random access** (:func:`decompress_chunked_roi`) uses the chunk
+  table to touch only the chunks intersecting the query box, and
+  within STZ-coded chunks reuses the sub-chunk random-access path.
+
+Executor semantics (:mod:`repro.core.parallel`): results are assembled
+in plan order and every chunk's bytes depend only on its content and
+the config, so the archive is byte-identical across ``serial``,
+``thread`` and ``process`` executors — the determinism contract the v3
+golden/determinism tests pin.  The process paths avoid pickling chunk
+arrays: workers inherit the source array (or archive buffer) through
+fork and slice/decode locally; decoded chunks are written into a
+shared mapping (``multiprocessing.shared_memory`` or the file-backed
+output memmap) instead of being shipped back.
+
+The hard L-infinity bound is preserved trivially: the absolute bound is
+resolved once for the whole array (``"rel"`` scans the value range
+chunk by chunk, matching the monolithic resolution exactly) and every
+chunk is independently encoded at that bound, so no chunk seam can
+exceed it — the chunked conformance sweep asserts this across seams
+for every backend.  What chunking *does* cost is compression ratio
+(per-chunk container overhead and lost cross-chunk prediction);
+``benchmarks/bench_chunked.py`` measures that penalty honestly.
+"""
+
+from __future__ import annotations
+
+import io
+import mmap
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.config import STZConfig
+from repro.core.parallel import execute_map, resolve_executor
+from repro.core.partition import ChunkPlan
+from repro.core.pipeline import stz_compress_with_recon, stz_decompress
+from repro.core.random_access import normalize_roi, stz_decompress_roi
+from repro.core.select import CANDIDATES, decode_by_id, select_and_compress
+from repro.core.stream import (
+    CODEC_STZ,
+    ShardedReader,
+    ShardedWriter,
+    is_selected,
+    unwrap_selected,
+    wrap_selected,
+)
+from repro.util.validation import check_positive
+
+#: default per-axis chunk extent when the caller gives no spec — large
+#: enough that per-chunk container overhead is small against payload,
+#: small enough that O(chunk) working sets are a real memory bound
+DEFAULT_CHUNK_EDGE = 64
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+def _validate_array(data: np.ndarray) -> None:
+    """Dtype/size checks without materializing (memmap-safe: the
+    :func:`repro.util.validation.as_float_array` contiguity copy would
+    page the whole file in)."""
+    if data.dtype not in (np.float32, np.float64):
+        raise TypeError(
+            f"expected float32/float64 data, got {data.dtype}"
+        )
+    if data.size == 0:
+        raise ValueError("cannot compress an empty array")
+
+
+def _release_mapped(arr: np.ndarray) -> None:
+    """Drop a memory-mapped array's resident pages (best effort).
+
+    Called between chunks on the serial paths so walking an
+    arbitrarily large ``np.memmap`` keeps RSS at O(chunk): without it
+    every paged-in chunk stays resident until the kernel feels memory
+    pressure, and the out-of-core benchmark's peak-RSS assertion would
+    measure page-cache behavior instead of the engine's working set.
+    Dirty pages of writable maps are flushed first so DONTNEED cannot
+    discard unwritten output.
+    """
+    mm = getattr(arr, "_mmap", None)
+    if mm is None and isinstance(getattr(arr, "base", None), mmap.mmap):
+        mm = arr.base
+    if mm is None:
+        return
+    try:  # flush fails on read-only maps; DONTNEED is still safe there
+        mm.flush()
+    except (AttributeError, ValueError, OSError):
+        pass
+    try:
+        mm.madvise(mmap.MADV_DONTNEED)
+    except (AttributeError, ValueError, OSError):
+        pass  # madvise is advisory; platforms without it just keep pages
+
+
+def _chunkwise_range(data: np.ndarray, plan: ChunkPlan) -> tuple[float, float]:
+    """Global (min, max) computed one chunk at a time (O(chunk) memory,
+    same result as ``np.min``/``np.max`` over the whole array).
+
+    Accumulation uses ``np.minimum``/``np.maximum`` so a NaN anywhere
+    poisons the result exactly like the monolithic reduction would —
+    Python's ``min``/``max`` would silently *drop* NaN chunks and
+    resolve a relative bound from whatever finite chunks remain, a
+    bound that would depend on chunk geometry.
+    """
+    lo = np.float64(np.inf)
+    hi = np.float64(-np.inf)
+    for info in plan:
+        block = data[info.slices]
+        lo = np.minimum(lo, np.min(block))
+        hi = np.maximum(hi, np.max(block))
+        _release_mapped(data)
+    return float(lo), float(hi)
+
+
+def _resolve_eb_chunked(
+    data: np.ndarray, eb: float, eb_mode: str, plan: ChunkPlan
+) -> float:
+    """Chunk-wise twin of :func:`repro.util.validation.resolve_eb` —
+    one absolute bound for the whole array, every chunk encodes at it."""
+    check_positive(eb, "error bound")
+    if eb_mode == "abs":
+        return float(eb)
+    if eb_mode == "rel":
+        lo, hi = _chunkwise_range(data, plan)
+        rng = hi - lo
+        return float(eb) * (rng if rng > 0 else 1.0)
+    raise ValueError(f"unknown eb_mode {eb_mode!r} (use 'abs' or 'rel')")
+
+
+def _encode_chunk(
+    chunk: np.ndarray,
+    abs_eb: float,
+    config: STZConfig,
+    threads: int | None,
+    with_recon: bool,
+) -> tuple[bytes, int, np.ndarray | None]:
+    """Compress one chunk exactly like a standalone array.
+
+    Returns ``(payload, codec_id, recon-or-None)``: an STZ1 blob for
+    ``codec="stz"``, an 'STZC' envelope otherwise — byte-identical to
+    what :func:`repro.core.api.compress` would emit for this chunk with
+    an absolute bound, which is what lets per-chunk ``auto`` reuse the
+    selection engine (probes, verification, probe cache) unchanged.
+    """
+    chunk = np.ascontiguousarray(chunk)
+    if config.codec == "stz":
+        blob, recon = stz_compress_with_recon(
+            chunk, abs_eb, "abs", config, threads
+        )
+        return blob, CODEC_STZ, recon if with_recon else None
+    if config.codec == "auto":
+        name, blob, recon = select_and_compress(
+            chunk, abs_eb, config, threads
+        )
+        cand = CANDIDATES[name]
+        return (
+            wrap_selected(cand.codec_id, blob),
+            cand.codec_id,
+            recon if with_recon else None,
+        )
+    cand = CANDIDATES[config.codec]
+    if with_recon:
+        blob, recon = cand.compress_with_recon(chunk, abs_eb, config, threads)
+    else:
+        blob = cand.compress(chunk, abs_eb, config, threads)
+        recon = None
+    return wrap_selected(cand.codec_id, blob), cand.codec_id, recon
+
+
+def _decode_chunk_payload(
+    payload: bytes | memoryview, threads: int | None = None
+) -> np.ndarray:
+    """Decode one chunk payload (plain STZ1 blob or 'STZC' envelope)."""
+    if is_selected(payload):
+        codec_id, inner = unwrap_selected(payload)
+        return decode_by_id(codec_id, inner, threads)
+    return stz_decompress(payload, threads=threads)
+
+
+# ---------------------------------------------------------------------------
+# compression
+# ---------------------------------------------------------------------------
+
+def _compress_worker(state, index: int) -> tuple[bytes, int]:
+    """Executor task: slice chunk ``index`` out of the (inherited or
+    shared) source array and compress it.  Only the index crosses a
+    process boundary inbound; the returned payload is already
+    compressed."""
+    data, plan, abs_eb, config, threads, recon_out = state
+    info = plan.chunk(index)
+    blob, codec_id, recon = _encode_chunk(
+        data[info.slices], abs_eb, config, threads, recon_out is not None
+    )
+    if recon_out is not None:
+        recon_out[info.slices] = recon
+    return blob, codec_id
+
+
+def _run_compress(
+    data: np.ndarray,
+    plan: ChunkPlan,
+    abs_eb: float,
+    config: STZConfig,
+    writer: ShardedWriter,
+    executor: str,
+    workers: int | None,
+    threads: int | None,
+    recon_out: np.ndarray | None,
+) -> None:
+    kind, n = resolve_executor(executor, workers)
+    if kind == "serial":
+        # the O(chunk)-memory reference walk: one chunk in flight,
+        # memmap pages dropped as the plan advances
+        state = (data, plan, abs_eb, config, threads, recon_out)
+        for index in range(plan.nchunks):
+            blob, codec_id = _compress_worker(state, index)
+            writer.add_chunk(blob, codec_id)
+            _release_mapped(data)
+        return
+    # parallel chunk-level compression: intra-chunk threading is
+    # disabled (chunk-level parallelism replaces it; nesting pools
+    # oversubscribes), and results are folded back in plan order
+    state = (data, plan, abs_eb, config, None, recon_out)
+    if kind == "process" and recon_out is not None and not _is_shared(recon_out):
+        # fork gives workers copy-on-write memory: their recon writes
+        # would be invisible to the parent.  Private recon buffers only
+        # work in-process.
+        raise ValueError(
+            "process executor needs a shared (memmap/shared-memory) "
+            "reconstruction buffer"
+        )
+    for blob, codec_id in execute_map(
+        _compress_worker, list(range(plan.nchunks)), state, kind, n
+    ):
+        writer.add_chunk(blob, codec_id)
+    _release_mapped(data)
+
+
+def _is_shared(arr: np.ndarray) -> bool:
+    """Whether child-process writes into ``arr`` reach this process
+    (file-backed memmap or shared-memory-backed ndarray)."""
+    if getattr(arr, "_mmap", None) is not None:
+        return True
+    base = arr
+    while getattr(base, "base", None) is not None:
+        base = base.base
+        if isinstance(base, (mmap.mmap, shared_memory.SharedMemory)):
+            return True
+    return isinstance(base, mmap.mmap)
+
+
+def compress_chunked(
+    data: "np.ndarray | Iterable[np.ndarray]",
+    eb: float,
+    eb_mode: str = "abs",
+    config: STZConfig | None = None,
+    chunks: int | tuple[int, ...] | None = None,
+    executor: str = "thread",
+    workers: int | None = None,
+    threads: int | None = None,
+    sink: io.IOBase | None = None,
+    shape: tuple[int, ...] | None = None,
+) -> bytes | None:
+    """Compress ``data`` into a sharded (container v3) archive.
+
+    ``data`` is an ndarray (memory-mapped arrays welcome — chunks are
+    sliced out one at a time and released) or an iterator yielding the
+    plan's chunk arrays in C order (``shape`` is then required and
+    ``eb_mode`` must be ``"abs"``; the engine never holds more than the
+    in-flight chunks).  ``chunks`` is a per-axis chunk shape or one
+    edge for all axes (default ``64``); ``executor``/``workers`` pick
+    the chunk-level pool (:data:`repro.core.parallel.EXECUTORS`) and
+    ``threads`` feeds the intra-chunk pipeline on the serial executor.
+    With a ``sink`` the archive streams to it and ``None`` is returned;
+    otherwise the archive bytes are returned.
+
+    The archive bytes are identical for every executor (module
+    docstring); the hard bound is the single resolved absolute bound,
+    enforced independently inside every chunk.
+    """
+    config = config or STZConfig()
+    if isinstance(data, np.ndarray):
+        return _compress_chunked_array(
+            data, eb, eb_mode, config, chunks, executor, workers,
+            threads, sink, None,
+        )
+    if shape is None:
+        raise ValueError("chunk-iterator input requires shape=")
+    if eb_mode != "abs":
+        raise ValueError(
+            "chunk-iterator input supports only eb_mode='abs' (the "
+            "relative range cannot be known without buffering the "
+            "whole stream)"
+        )
+    check_positive(eb, "error bound")
+    return _compress_chunk_iter(
+        iter(data), float(eb), config, chunks, executor, workers,
+        threads, shape, sink,
+    )
+
+
+def compress_chunked_with_recon(
+    data: np.ndarray,
+    eb: float,
+    eb_mode: str = "abs",
+    config: STZConfig | None = None,
+    chunks: int | tuple[int, ...] | None = None,
+    executor: str = "thread",
+    workers: int | None = None,
+    threads: int | None = None,
+) -> tuple[bytes, np.ndarray]:
+    """:func:`compress_chunked` plus the decoder's exact reconstruction
+    (assembled chunk by chunk from the encoder-tracked per-chunk
+    recons) — the closed-loop input the streaming subsystem's sharded
+    delta frames need.  In-memory by necessity: the reconstruction is
+    a full array."""
+    config = config or STZConfig()
+    _validate_array(data)
+    recon = np.empty(data.shape, dtype=data.dtype)
+    kind, _ = resolve_executor(executor, workers)
+    if kind == "process":
+        executor = "thread"  # private recon buffer: stay in-process
+    blob = _compress_chunked_array(
+        data, eb, eb_mode, config, chunks, executor, workers, threads,
+        None, recon,
+    )
+    return blob, recon
+
+
+def _compress_chunked_array(
+    data: np.ndarray,
+    eb: float,
+    eb_mode: str,
+    config: STZConfig,
+    chunks: int | tuple[int, ...] | None,
+    executor: str,
+    workers: int | None,
+    threads: int | None,
+    sink: io.IOBase | None,
+    recon_out: np.ndarray | None,
+) -> bytes | None:
+    _validate_array(data)
+    plan = ChunkPlan.regular(
+        data.shape, chunks if chunks is not None else DEFAULT_CHUNK_EDGE
+    )
+    abs_eb = _resolve_eb_chunked(data, eb, eb_mode, plan)
+    writer = ShardedWriter(data.shape, data.dtype, plan.chunk_shape, sink)
+    _run_compress(
+        data, plan, abs_eb, config, writer, executor, workers, threads,
+        recon_out,
+    )
+    writer.finalize()
+    return writer.getvalue() if writer.in_memory else None
+
+
+def _compress_chunk_iter(
+    it: Iterator[np.ndarray],
+    abs_eb: float,
+    config: STZConfig,
+    chunks: int | tuple[int, ...] | None,
+    executor: str,
+    workers: int | None,
+    threads: int | None,
+    shape: tuple[int, ...],
+    sink: io.IOBase | None,
+) -> bytes | None:
+    """Compress a chunk iterator with a bounded in-flight window.
+
+    The thread executor keeps at most ``workers`` chunks in flight (a
+    depth-``workers`` pipeline: the producer fills the window while
+    finished chunks drain to the writer in plan order); the serial
+    executor holds exactly one.  The process executor degrades to
+    threads — future chunks cannot be fork-inherited.
+    """
+    shape = tuple(int(n) for n in shape)
+    plan = ChunkPlan.regular(
+        shape, chunks if chunks is not None else DEFAULT_CHUNK_EDGE
+    )
+    kind, n = resolve_executor(
+        "thread" if executor == "process" else executor, workers
+    )
+    writer: ShardedWriter | None = None
+    dtype: np.dtype | None = None
+
+    def pull(index: int) -> np.ndarray:
+        nonlocal writer, dtype
+        info = plan.chunk(index)
+        try:
+            chunk = np.asarray(next(it))
+        except StopIteration:
+            raise ValueError(
+                f"chunk iterator exhausted at chunk {index}; the plan "
+                f"needs {plan.nchunks} chunks"
+            ) from None
+        if dtype is None:
+            if chunk.dtype not in (np.float32, np.float64):
+                raise TypeError(
+                    f"expected float32/float64 chunks, got {chunk.dtype}"
+                )
+            dtype = chunk.dtype
+            writer = ShardedWriter(shape, dtype, plan.chunk_shape, sink)
+        if chunk.shape != info.shape or chunk.dtype != dtype:
+            raise ValueError(
+                f"chunk {index} is {chunk.shape} {chunk.dtype}; the plan "
+                f"expects {info.shape} {dtype}"
+            )
+        return np.ascontiguousarray(chunk)
+
+    if kind == "serial":
+        for index in range(plan.nchunks):
+            blob, codec_id, _ = _encode_chunk(
+                pull(index), abs_eb, config, threads, False
+            )
+            writer.add_chunk(blob, codec_id)
+    else:
+        from concurrent.futures import ThreadPoolExecutor
+
+        window = max(2, n)
+        with ThreadPoolExecutor(max_workers=n) as pool:
+            pending: list = []
+            for index in range(plan.nchunks):
+                pending.append(
+                    pool.submit(
+                        _encode_chunk, pull(index), abs_eb, config, None,
+                        False,
+                    )
+                )
+                while len(pending) >= window:
+                    blob, codec_id, _ = pending.pop(0).result()
+                    writer.add_chunk(blob, codec_id)
+            for fut in pending:
+                blob, codec_id, _ = fut.result()
+                writer.add_chunk(blob, codec_id)
+    remaining = next(it, None)
+    if remaining is not None:
+        raise ValueError(
+            f"chunk iterator yielded more than the plan's "
+            f"{plan.nchunks} chunks"
+        )
+    writer.finalize()
+    return writer.getvalue() if writer.in_memory else None
+
+
+# ---------------------------------------------------------------------------
+# decompression
+# ---------------------------------------------------------------------------
+
+def _open_sharded(
+    source: "bytes | memoryview | io.IOBase | ShardedReader",
+) -> ShardedReader:
+    if isinstance(source, ShardedReader):
+        return source
+    return ShardedReader(source)
+
+
+def _decode_worker(state, index: int) -> None:
+    """Executor task: fetch chunk ``index``'s payload from the
+    (inherited) archive, decode it, and write it into the shared
+    output mapping.  Nothing heavier than the index crosses a process
+    boundary in either direction."""
+    src, entries, plan, out, threads = state
+    entry = entries[index]
+    if isinstance(src, (bytes, memoryview)):
+        payload = memoryview(src)[entry.offset : entry.offset + entry.length]
+    else:  # file path: workers read independently (no shared fd offset)
+        with open(src, "rb") as fh:
+            fh.seek(entry.offset)
+            payload = fh.read(entry.length)
+            if len(payload) != entry.length:
+                raise ValueError("truncated sharded STZ container")
+    out[plan.chunk(index).slices] = _decode_chunk_payload(payload, threads)
+
+
+def _worker_source(
+    reader: ShardedReader, source
+) -> "bytes | memoryview | str":
+    """What a pool worker reads payloads from: the in-memory buffer
+    (zero-copy via fork/thread sharing) or the archive's file path.
+    File objects without a real path are drained into memory once."""
+    if reader._buf is not None:
+        return reader._buf
+    name = getattr(reader._file, "name", None)
+    if isinstance(name, (str, Path)) and Path(name).is_file():
+        return str(name)
+    reader._file.seek(0)
+    return reader._file.read()
+
+
+def decompress_chunked(
+    source: "bytes | memoryview | io.IOBase | ShardedReader",
+    out: np.ndarray | None = None,
+    executor: str = "serial",
+    workers: int | None = None,
+    threads: int | None = None,
+) -> np.ndarray:
+    """Reconstruct a sharded archive, chunk-parallel.
+
+    ``out`` (optional) receives the reconstruction in place — pass a
+    ``np.memmap`` to keep decompression at O(chunk) memory; it must
+    match the archive's shape and dtype.  ``executor``/``workers``
+    parallelize across chunks; under the process executor decoded
+    chunks land directly in a shared mapping (the ``out`` memmap, or an
+    anonymous shared-memory buffer that is copied out once at the end),
+    never in a pickle.
+    """
+    reader = _open_sharded(source)
+    plan = reader.plan
+    if out is not None:
+        if tuple(out.shape) != plan.shape or out.dtype != reader.dtype:
+            raise ValueError(
+                f"out is {tuple(out.shape)} {out.dtype}; archive is "
+                f"{plan.shape} {reader.dtype}"
+            )
+    kind, n = resolve_executor(executor, workers)
+
+    if kind == "serial":
+        result = (
+            out if out is not None
+            else np.empty(plan.shape, dtype=reader.dtype)
+        )
+        for info in plan:
+            result[info.slices] = _decode_chunk_payload(
+                reader.read_chunk(info.index), threads
+            )
+            _release_mapped(result)
+        return result
+
+    shm: shared_memory.SharedMemory | None = None
+    if out is not None and (kind != "process" or _is_shared(out)):
+        target = out
+    elif kind == "process":
+        # decoded chunks must reach the parent: write them into an
+        # anonymous shared-memory buffer the workers inherit
+        shm = shared_memory.SharedMemory(
+            create=True, size=int(np.prod(plan.shape)) * reader.dtype.itemsize
+        )
+        target = np.ndarray(plan.shape, dtype=reader.dtype, buffer=shm.buf)
+    else:
+        target = np.empty(plan.shape, dtype=reader.dtype)
+    try:
+        state = (
+            _worker_source(reader, source),
+            reader.chunks,
+            plan,
+            target,
+            None,  # intra-chunk threads off under chunk-level pools
+        )
+        execute_map(
+            _decode_worker, list(range(plan.nchunks)), state, kind, n
+        )
+        reader.bytes_read += sum(c.length for c in reader.chunks)
+        if target is out:
+            return out
+        if out is not None:
+            out[...] = target
+            return out
+        if shm is not None:
+            return target.copy()
+        return target
+    finally:
+        if shm is not None:
+            shm.close()
+            shm.unlink()
+
+
+# ---------------------------------------------------------------------------
+# chunk-granular random access
+# ---------------------------------------------------------------------------
+
+def decompress_chunked_roi(
+    source: "bytes | memoryview | io.IOBase | ShardedReader",
+    roi: tuple[slice | int, ...],
+    threads: int | None = None,
+    workers: int | None = None,
+) -> np.ndarray:
+    """Reconstruct only the chunks intersecting ``roi``.
+
+    The chunk table bounds the work to the intersecting chunks (all
+    others are never read — the I/O half), and STZ-coded chunks
+    additionally run the sub-chunk random-access path
+    (:func:`repro.core.random_access.stz_decompress_roi`) over their
+    local window, so a small box inside a large chunk still skips the
+    sub-blocks it cannot touch.  Bit-identical to cropping a full
+    decompression.
+    """
+    reader = _open_sharded(source)
+    plan = reader.plan
+    box = normalize_roi(plan.shape, roi)
+    out = np.empty(tuple(hi - lo for lo, hi in box), dtype=reader.dtype)
+
+    def one(index: int) -> None:
+        info = plan.chunk(index)
+        local = tuple(
+            slice(max(lo, o) - o, min(hi, o + n) - o)
+            for (lo, hi), o, n in zip(box, info.origin, info.shape)
+        )
+        payload = reader.read_chunk(index)
+        entry = reader.chunk(index)
+        sub: np.ndarray | None = None
+        if entry.codec_id == CODEC_STZ and not is_selected(payload):
+            try:
+                sub = stz_decompress_roi(payload, local, threads=threads).data
+            except NotImplementedError:
+                sub = None  # ablation configs: fall back to full decode
+        if sub is None:
+            sub = _decode_chunk_payload(payload, threads)[local]
+        dest = tuple(
+            slice(o + sl.start - lo, o + sl.stop - lo)
+            for (lo, _), o, sl in zip(box, info.origin, local)
+        )
+        out[dest] = sub
+
+    # same worker semantics as the other chunked entry points: an
+    # explicit multi-worker request is honored (resolve_executor), not
+    # capacity-gated away like pmap would on a 1-core host.  Threads
+    # only — the workers write into the caller-local `out` closure.
+    execute_map(
+        lambda _state, index: one(index),
+        plan.intersecting(box),
+        None,
+        "thread" if workers and workers > 1 else "serial",
+        workers,
+    )
+    return out

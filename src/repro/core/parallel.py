@@ -1,22 +1,38 @@
-"""Thread-parallel execution of independent sub-block tasks.
+"""Execution of independent sub-block and chunk tasks.
 
-The paper's "OMP mode" (Table 3).  STZ's hierarchy makes every
-(level, parity-offset) sub-block task independent once the coarser
-lattice is reconstructed, so parallelism is a plain map.  We use threads
-rather than processes: the heavy kernels (interpolation arithmetic,
-quantization, Huffman bit manipulation) are numpy C loops that release
-the GIL, and threads avoid pickling multi-MB arrays.
+Two layers share this module:
 
-DESIGN.md §3 documents the substitution: absolute speedups are below a
-C++ OpenMP build, but the *structural* contrast the paper reports — STZ
-parallelizes without a compression-ratio penalty while SZ3's OMP mode
-must domain-split and lose CR — is reproduced.  In the batched encode
-pipeline (DESIGN.md §2) threads cover the prediction and zlib/assembly
-stages; the fused quantize/Huffman stages are single vectorized passes.
+* **Thread facade** (:func:`pmap` / :func:`pstarmap`) — the paper's
+  "OMP mode" (Table 3).  STZ's hierarchy makes every (level,
+  parity-offset) sub-block task independent once the coarser lattice is
+  reconstructed, so parallelism is a plain map.  The heavy kernels
+  (interpolation arithmetic, quantization, Huffman bit manipulation)
+  are numpy C loops that release the GIL, and threads avoid pickling
+  multi-MB arrays.
+* **Executor layer** (:func:`resolve_executor` / :func:`execute_map` /
+  :func:`fork_map`) — the chunked engine's worker pool.  ``"serial"``
+  and ``"thread"`` are what they say; ``"process"`` runs a fork-based
+  pool whose workers *inherit* the parent's task payload (the source
+  array or archive buffer) through the fork instead of receiving it by
+  pickle: only chunk indices cross the pipe inbound, and outputs either
+  come back as (small, already compressed) bytes or are written into a
+  shared mapping (``multiprocessing.shared_memory`` / a file-backed
+  ``np.memmap``) the workers inherited.  Hosts without the ``fork``
+  start method fall back to the thread pool — same results, the chunked
+  byte stream is deterministic by construction (each chunk's bytes
+  depend only on its content and the config, and assembly order is the
+  plan order).
+
+DESIGN.md §3 documents the thread-mode substitution: absolute speedups
+are below a C++ OpenMP build, but the *structural* contrast the paper
+reports — STZ parallelizes without a compression-ratio penalty while
+SZ3's OMP mode must domain-split and lose CR — is reproduced.  DESIGN.md
+§8 documents the chunked executor contract.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -26,12 +42,25 @@ R = TypeVar("R")
 
 DEFAULT_THREADS = 8
 
+#: executor kinds accepted by the chunked engine / CLI
+EXECUTORS = ("serial", "thread", "process")
+
+
+def effective_workers(workers: int | None) -> int:
+    """Resolve a worker/thread-count request (None/0/1 mean serial).
+
+    The single resolution rule shared by the thread facade and the
+    process executor: requests are honored up to ``4 * cpu_count`` (an
+    oversubscription allowance for I/O-ish stages), never below 1.
+    """
+    if workers is None or workers <= 1:
+        return 1
+    return min(workers, 4 * (os.cpu_count() or 1))
+
 
 def effective_threads(threads: int | None) -> int:
-    """Resolve a thread-count request (None/0/1 mean serial)."""
-    if threads is None or threads <= 1:
-        return 1
-    return min(threads, 4 * (os.cpu_count() or 1))
+    """Thread facade for :func:`effective_workers` (historic name)."""
+    return effective_workers(threads)
 
 
 def parallel_capacity() -> int:
@@ -63,5 +92,116 @@ def pstarmap(
     threads: int | None = None,
 ) -> list[R]:
     """`pmap` for argument tuples."""
-    items = list(items)
+    if not isinstance(items, Sequence):
+        # materialize once, only for single-shot iterables; a list/tuple
+        # argument is used in place (pmap only indexes and iterates)
+        items = list(items)
     return pmap(lambda args: fn(*args), items, threads)
+
+
+# ---------------------------------------------------------------------------
+# chunked executor layer
+# ---------------------------------------------------------------------------
+
+def fork_available() -> bool:
+    """Whether the no-pickle process executor can run on this host."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def resolve_executor(
+    executor: str, workers: int | None
+) -> tuple[str, int]:
+    """Normalize an (executor, workers) request.
+
+    Returns the effective ``(kind, nworkers)``: unknown kinds are
+    rejected, a resolved worker count of 1 degrades any kind to
+    ``"serial"``, and ``"process"`` degrades to ``"thread"`` where the
+    ``fork`` start method is unavailable (the process path relies on
+    fork inheritance to avoid pickling chunk arrays).  Unlike
+    :func:`pmap`'s capacity gate, an explicit multi-worker request is
+    honored even on a single-core host — the chunked tests exercise
+    real pools there, and determinism cannot depend on the fallback.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; known: {EXECUTORS}"
+        )
+    n = effective_workers(workers)
+    if executor == "serial" or n == 1:
+        return "serial", 1
+    if executor == "process" and not fork_available():
+        return "thread", n
+    return executor, n
+
+
+#: payload inherited by fork-pool workers: ``(fn, state)`` set by
+#: :func:`fork_map` immediately before the pool forks.  Module-level on
+#: purpose — fork inheritance is the whole point (no pickling of the
+#: state, which holds the source array / archive buffer / output
+#: mapping).  One pool at a time; fork_map is not reentrant.
+_FORK_STATE: tuple | None = None
+
+
+def _fork_invoke(item):
+    fn, state = _FORK_STATE
+    return fn(state, item)
+
+
+def fork_map(
+    fn: Callable[[object, T], R],
+    items: Sequence[T],
+    state: object,
+    workers: int,
+) -> list[R]:
+    """Order-preserving ``fn(state, item)`` map over a fork pool.
+
+    ``state`` (and ``fn``) reach the workers through fork inheritance:
+    they are published in :data:`_FORK_STATE` before the pool is
+    created, so the only bytes pickled per task are ``item`` (a chunk
+    index) and the return value.  Callers that need zero-copy *output*
+    put a shared mapping (``SharedMemory`` buffer or file-backed
+    memmap) into ``state`` and have ``fn`` write into it — shared
+    mappings, unlike copy-on-write anonymous memory, propagate child
+    writes back to the parent.
+
+    Falls back to a serial loop when ``workers`` resolves to 1 or fork
+    is unavailable (:func:`resolve_executor` normally routes those
+    cases away first).
+    """
+    global _FORK_STATE
+    if workers <= 1 or len(items) <= 1 or not fork_available():
+        return [fn(state, x) for x in items]
+    if _FORK_STATE is not None:
+        # nested fork pools would deadlock-or-confuse; run inline
+        return [fn(state, x) for x in items]
+    _FORK_STATE = (fn, state)
+    try:
+        ctx = mp.get_context("fork")
+        with ctx.Pool(processes=min(workers, len(items))) as pool:
+            return pool.map(_fork_invoke, items)
+    finally:
+        _FORK_STATE = None
+
+
+def execute_map(
+    fn: Callable[[object, T], R],
+    items: Sequence[T],
+    state: object,
+    executor: str = "serial",
+    workers: int | None = None,
+) -> list[R]:
+    """Run ``fn(state, item)`` for every item under the chosen executor.
+
+    The one entry point the chunked engine uses for both directions:
+    ``serial`` is the reference loop, ``thread`` shares ``state`` by
+    virtue of threads, ``process`` goes through :func:`fork_map`.
+    Results are returned in item order for every executor — the
+    byte-determinism contract of the v3 container.
+    """
+    kind, n = resolve_executor(executor, workers)
+    if kind == "serial" or len(items) <= 1:
+        return [fn(state, x) for x in items]
+    if kind == "thread":
+        with ThreadPoolExecutor(max_workers=min(n, len(items))) as pool:
+            return list(pool.map(lambda x: fn(state, x), items))
+    return fork_map(fn, items, state, n)

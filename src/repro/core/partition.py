@@ -11,15 +11,28 @@ possibly empty sub-blocks, which every function here tolerates).
 
 All helpers operate on *lattice index space*: the level-``l`` lattice of
 a grid of shape ``s`` has shape ``ceil(s / 2**(L-l))``.
+
+The second half of the module is the *chunk* plan — the regular domain
+decomposition above the stride hierarchy.  A :class:`ChunkPlan` splits
+the full grid into axis-aligned boxes of a fixed chunk shape (the last
+chunk per axis may be ragged), each of which the chunked execution
+engine (:mod:`repro.core.chunked`) compresses as an independent array
+through the unchanged per-array pipeline.  Chunks are ordered
+C-style over the chunk grid, so a plan is fully determined by
+``(shape, chunk_shape)`` — the sharded container (v3) stores exactly
+those two tuples and both sides rebuild the identical plan.
 """
 
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
 Offset = tuple[int, ...]
+Box = tuple[tuple[int, int], ...]  # per-axis (lo, hi), hi exclusive
 
 
 def nonzero_offsets(ndim: int) -> list[Offset]:
@@ -119,3 +132,161 @@ def level_fraction(ndim: int, nlevels: int) -> float:
     """Fraction of the dataset owned by the coarsest level (the paper's
     12.5% for 2-level 3D, 1.6% for 3-level 3D)."""
     return float(2 ** (-(ndim * (nlevels - 1))))
+
+
+# ---------------------------------------------------------------------------
+# chunk plan: regular domain decomposition for the chunked engine
+# ---------------------------------------------------------------------------
+
+def normalize_chunk_shape(
+    shape: tuple[int, ...], chunks: int | tuple[int, ...]
+) -> tuple[int, ...]:
+    """Resolve a user chunk spec to a per-axis chunk shape.
+
+    A single int applies to every axis; entries are clamped to the
+    array extent (a chunk larger than the axis is just "one chunk").
+    Zero-size axes are rejected — a chunk plan over an empty array has
+    no chunks to order.
+    """
+    if isinstance(chunks, (int, np.integer)):
+        chunks = (int(chunks),) * len(shape)
+    chunks = tuple(int(c) for c in chunks)
+    if len(chunks) != len(shape):
+        raise ValueError(
+            f"chunk spec rank {len(chunks)} != data rank {len(shape)}"
+        )
+    if any(c < 1 for c in chunks):
+        raise ValueError(f"chunk extents must be >= 1, got {chunks}")
+    if any(n < 1 for n in shape):
+        raise ValueError(f"cannot chunk zero-size shape {shape}")
+    return tuple(min(c, n) for c, n in zip(chunks, shape))
+
+
+@dataclass(frozen=True)
+class ChunkInfo:
+    """One chunk of a :class:`ChunkPlan` (an axis-aligned box)."""
+
+    index: int
+    origin: tuple[int, ...]
+    shape: tuple[int, ...]
+
+    @property
+    def slices(self) -> tuple[slice, ...]:
+        """Index expression selecting this chunk from the full array."""
+        return tuple(
+            slice(o, o + n) for o, n in zip(self.origin, self.shape)
+        )
+
+    @property
+    def box(self) -> Box:
+        return tuple((o, o + n) for o, n in zip(self.origin, self.shape))
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """Regular decomposition of ``shape`` into ``chunk_shape`` boxes.
+
+    Chunk ``i`` covers ``[origin, origin + chunk_extent)`` where the
+    chunk-grid coordinates of ``i`` follow C order (last axis fastest)
+    — the deterministic ordering every executor and the v3 container
+    rely on.  Edge chunks are ragged: the last chunk along an axis
+    holds the remainder, never spills past the array.
+    """
+
+    shape: tuple[int, ...]
+    chunk_shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.chunk_shape) != len(self.shape):
+            raise ValueError(
+                f"chunk rank {len(self.chunk_shape)} != data rank "
+                f"{len(self.shape)}"
+            )
+        if any(n < 1 for n in self.shape):
+            raise ValueError(f"cannot chunk zero-size shape {self.shape}")
+        if any(not (1 <= c <= n) for c, n in zip(self.chunk_shape, self.shape)):
+            raise ValueError(
+                f"chunk shape {self.chunk_shape} out of range for "
+                f"array shape {self.shape}"
+            )
+
+    @classmethod
+    def regular(
+        cls, shape: tuple[int, ...], chunks: int | tuple[int, ...]
+    ) -> "ChunkPlan":
+        """Build a plan from a user chunk spec (int or per-axis tuple)."""
+        shape = tuple(int(n) for n in shape)
+        return cls(shape, normalize_chunk_shape(shape, chunks))
+
+    @cached_property
+    def grid(self) -> tuple[int, ...]:
+        """Number of chunks along each axis."""
+        return tuple(
+            ceil_div(n, c) for n, c in zip(self.shape, self.chunk_shape)
+        )
+
+    @property
+    def nchunks(self) -> int:
+        n = 1
+        for g in self.grid:
+            n *= g
+        return n
+
+    def coords(self, index: int) -> tuple[int, ...]:
+        """Chunk-grid coordinates of chunk ``index`` (C order)."""
+        if not (0 <= index < self.nchunks):
+            raise IndexError(
+                f"chunk index {index} out of range [0, {self.nchunks})"
+            )
+        out = []
+        for g in reversed(self.grid):
+            out.append(index % g)
+            index //= g
+        return tuple(reversed(out))
+
+    def chunk(self, index: int) -> ChunkInfo:
+        cc = self.coords(index)
+        origin = tuple(k * c for k, c in zip(cc, self.chunk_shape))
+        shape = tuple(
+            min(c, n - o)
+            for c, n, o in zip(self.chunk_shape, self.shape, origin)
+        )
+        return ChunkInfo(index, origin, shape)
+
+    def __len__(self) -> int:
+        return self.nchunks
+
+    def __iter__(self):
+        for i in range(self.nchunks):
+            yield self.chunk(i)
+
+    def intersecting(self, box: Box) -> list[int]:
+        """Indices of every chunk whose box intersects ``box`` (the
+        chunk-granular random-access query), in plan order."""
+        if len(box) != len(self.shape):
+            raise ValueError(
+                f"box rank {len(box)} != plan rank {len(self.shape)}"
+            )
+        ranges = []
+        for (lo, hi), c, n, g in zip(
+            box, self.chunk_shape, self.shape, self.grid
+        ):
+            if not (0 <= lo < hi <= n):
+                raise ValueError(
+                    f"box ({lo},{hi}) out of bounds for axis of {n}"
+                )
+            ranges.append(range(lo // c, min((hi - 1) // c + 1, g)))
+        out = []
+        for cc in itertools.product(*ranges):
+            flat = 0
+            for k, g in zip(cc, self.grid):
+                flat = flat * g + k
+            out.append(flat)
+        return out

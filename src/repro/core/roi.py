@@ -12,6 +12,13 @@ Two detectors, matching the paper:
 
 Statistics are computed per slice (along an axis) or per tile of a
 block tiling, and selections can be by absolute threshold or top-x%.
+
+For sharded (container v3) archives the selection closes the loop with
+the chunked engine: :func:`selection_chunk_indices` maps a selection
+to the set of chunks it touches (the fetch plan), and
+:func:`extract_selection` decodes each selected box through the
+chunk-granular random-access path — only intersecting chunks are ever
+read.
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.core.partition import ChunkPlan
 
 STATS = ("max", "min", "range")
 
@@ -150,6 +159,41 @@ def select_slices(
     )
     frac = float(mask.sum()) / data.shape[axis]
     return ROISelection(boxes, mask, frac)
+
+
+def selection_chunk_indices(
+    selection: ROISelection, plan: ChunkPlan
+) -> list[int]:
+    """Chunks of ``plan`` that any selected box intersects, in plan
+    order — the fetch set a sharded (v3) archive needs to serve this
+    selection, sized before any payload is read."""
+    seen: set[int] = set()
+    for box in selection.boxes:
+        seen.update(
+            plan.intersecting(tuple((s.start, s.stop) for s in box))
+        )
+    return sorted(seen)
+
+
+def extract_selection(
+    source, selection: ROISelection, threads: int | None = None
+) -> list[np.ndarray]:
+    """Decode every selected box from a sharded archive.
+
+    The coarse-preview-then-extract workflow of Figure 10, served by
+    the chunk index: each box goes through
+    :func:`repro.core.chunked.decompress_chunked_roi`, so only the
+    chunks that box intersects are read and decoded (and STZ-coded
+    chunks decode only their intersecting sub-blocks).  ``source`` may
+    be archive bytes or an open :class:`~repro.core.stream.ShardedReader`
+    (reuse one reader across boxes to share its parsed table).
+    """
+    from repro.core.chunked import decompress_chunked_roi
+
+    return [
+        decompress_chunked_roi(source, box, threads=threads)
+        for box in selection.boxes
+    ]
 
 
 def capture_recall(

@@ -65,6 +65,33 @@ both with the same unknown-value-rejection policy:
   compress --codec auto``/fixed non-STZ backends): magic, version,
   codec id, flags, then the chosen codec's own container verbatim.
   Unknown codec ids and unknown flag bits are rejected.
+
+Container v3 (magic ``'STZS'``) is the *sharded* archive of the chunked
+execution engine (:mod:`repro.core.chunked`): one array decomposed by a
+:class:`~repro.core.partition.ChunkPlan` into independently decodable
+chunk blobs — each a complete STZ1 container or 'STZC' envelope, i.e.
+exactly what the single-array writers produce for that chunk.  Layout::
+
+    magic 'STZS' | u8 version | u8 flags | u8 dtype | u8 ndim
+    u64 shape[ndim] | u64 chunk_shape[ndim]
+    chunk payloads back to back, in plan (C) order
+    chunk table: nchunks x { u64 offset, u64 length, u8 flags, u8 codec }
+    trailer: u64 table_offset | u32 nchunks | magic 'STZE'
+
+The chunk grid is *derived* from ``(shape, chunk_shape)`` — both sides
+rebuild the identical :class:`~repro.core.partition.ChunkPlan`, so the
+table stores only per-chunk byte extents plus the codec id that encoded
+the chunk's payload (0 = a plain STZ1 blob; anything else means the
+payload is an 'STZC' envelope whose inner codec matches the byte — the
+table is how ``stz info`` and the parallel decoder route without
+parsing payloads).  The table-at-the-end/trailer geometry mirrors v2:
+the writer only ever appends, so out-of-core compression streams chunk
+blobs straight to any append-only sink with O(1 chunk) writer memory,
+and the reader's chunk-granular random access reads exactly the chunks
+a query touches.  Unknown container flags, unknown per-chunk flags and
+unknown codec ids are all rejected at open — same policy, same reason,
+as every flag field above; v1/v2 readers reject v3 archives cleanly by
+magic (and pre-v3 builds never parse past it).
 """
 
 from __future__ import annotations
@@ -77,7 +104,7 @@ from functools import cached_property
 import numpy as np
 
 from repro.core.config import STZConfig
-from repro.core.partition import Offset
+from repro.core.partition import ChunkPlan, Offset
 from repro.util.validation import dtype_code, dtype_from_code
 
 MAGIC = b"STZ1"
@@ -86,6 +113,16 @@ VERSION = 1
 MULTI_MAGIC = b"STZM"
 MULTI_END_MAGIC = b"STZE"
 MULTI_VERSION = 1
+
+SHARD_MAGIC = b"STZS"
+SHARD_VERSION = 1
+_SHARD_FIXED = struct.Struct("<4sBBBB")
+# magic, version, flags, dtype, ndim
+#: sharded-container flag bits this reader understands (none defined;
+#: unknown bits are rejected like every other flag field here)
+_KNOWN_SHARD_FLAGS = 0
+#: per-chunk flag bits this reader understands (none defined yet)
+_KNOWN_CHUNK_FLAGS = 0
 
 SELECT_MAGIC = b"STZC"
 SELECT_VERSION = 1
@@ -98,9 +135,15 @@ _KNOWN_SELECT_FLAGS = 0
 #: frame payload is the STZ1 compression of ``step - prev_recon``; the
 #: decoder must add the previous frame's reconstruction back
 FRAME_DELTA = 1
+#: frame payload is a sharded (container v3, 'STZS') archive instead of
+#: a single-codec blob — the chunked streaming mode.  Riding on the
+#: unknown-bit rejection below, the bit doubles as the version gate:
+#: pre-sharding readers reject such archives at open instead of handing
+#: a v3 container to a codec parser.
+FRAME_SHARDED = 2
 #: frame flags this reader understands (unknown bits are rejected at
 #: open, mirroring the STZ1 header-flag policy)
-_KNOWN_FRAME_FLAGS = FRAME_DELTA
+_KNOWN_FRAME_FLAGS = FRAME_DELTA | FRAME_SHARDED
 #: container-level v2 flag: some frame's payload may be encoded by a
 #: non-STZ backend (see the per-frame codec id).  Writers set it for
 #: codec-selected streams so pre-codec-id readers reject the archive at
@@ -360,6 +403,11 @@ class StreamReader:
                     "codec-selected container; open it with "
                     "repro.core.api.decompress"
                 )
+            if magic == SHARD_MAGIC:
+                raise ValueError(
+                    "sharded (chunked, container v3) archive; open it "
+                    "with ShardedReader / repro.core.api.decompress"
+                )
             raise ValueError("not an STZ container")
         if version != VERSION:
             raise ValueError(f"unsupported STZ container version {version}")
@@ -442,8 +490,17 @@ class FrameInfo:
         return bool(self.flags & FRAME_DELTA)
 
     @property
+    def is_sharded(self) -> bool:
+        """Whether the payload is a sharded (container v3) archive."""
+        return bool(self.flags & FRAME_SHARDED)
+
+    @property
     def codec(self) -> str:
-        """Name of the backend that encoded this frame's payload."""
+        """Name of the backend that encoded this frame's payload
+        (``"sharded"`` for chunked frames, whose codec choice lives in
+        the v3 chunk table)."""
+        if self.is_sharded:
+            return "sharded"
         return CODEC_NAMES[self.codec_id]
 
 
@@ -579,6 +636,11 @@ class MultiFrameReader:
             if magic == MAGIC:
                 raise ValueError(
                     "single-frame STZ container; open it with StreamReader"
+                )
+            if magic == SHARD_MAGIC:
+                raise ValueError(
+                    "sharded (chunked, container v3) archive; open it "
+                    "with ShardedReader / repro.core.api.decompress"
                 )
             raise ValueError("not a multi-frame STZ container")
         if version != MULTI_VERSION:
@@ -725,3 +787,270 @@ def unwrap_selected(
             "upgrade the reader"
         )
     return codec_id, buf[_SELECT_HEADER.size :]
+
+
+# ---------------------------------------------------------------------------
+# container v3: sharded (chunked) archives
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ChunkEntry:
+    """One entry of the v3 chunk table."""
+
+    index: int
+    offset: int  # absolute, from container start
+    length: int
+    flags: int
+    codec_id: int = CODEC_STZ
+
+    @property
+    def codec(self) -> str:
+        """Name of the backend that encoded this chunk's payload."""
+        return CODEC_NAMES[self.codec_id]
+
+
+def is_sharded(source: bytes | memoryview | io.IOBase) -> bool:
+    """Whether ``source`` starts with the v3 sharded magic.
+
+    File sources are restored to their prior position, like
+    :func:`is_multiframe`.
+    """
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        return bytes(memoryview(source)[:4]) == SHARD_MAGIC
+    pos = source.tell()
+    head = source.read(4)
+    source.seek(pos)
+    return head == SHARD_MAGIC
+
+
+class ShardedWriter:
+    """Append-only writer for sharded (container v3) archives.
+
+    Chunk payloads — complete STZ1 blobs or 'STZC' envelopes, in plan
+    (C) order — are written to ``sink`` as they arrive; only the
+    24-byte table rows are retained, so writer memory is O(1 chunk)
+    however large the array.  The table and trailer land at the end on
+    :meth:`finalize` (which also checks the plan was fully covered), so
+    the sink is never seeked: any append-only byte sink works.  With no
+    ``sink`` an in-memory buffer is used and :meth:`getvalue` returns
+    the archive bytes.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        chunk_shape: tuple[int, ...],
+        sink: io.IOBase | None = None,
+        flags: int = 0,
+    ):
+        if flags & ~_KNOWN_SHARD_FLAGS:
+            raise ValueError(f"unknown container flags 0x{flags:02x}")
+        self.plan = ChunkPlan(
+            tuple(int(n) for n in shape), tuple(int(c) for c in chunk_shape)
+        )
+        self.dtype = np.dtype(dtype)
+        self.flags = flags
+        self._own = sink is None
+        self._sink: io.IOBase = io.BytesIO() if sink is None else sink
+        ndim = len(self.plan.shape)
+        head = _SHARD_FIXED.pack(
+            SHARD_MAGIC, SHARD_VERSION, flags, dtype_code(self.dtype), ndim
+        ) + struct.pack(
+            f"<{2 * ndim}Q", *self.plan.shape, *self.plan.chunk_shape
+        )
+        self._sink.write(head)
+        self._pos = len(head)
+        self._lengths: list[int] = []
+        self._codecs: list[int] = []
+        self._finalized = False
+
+    @property
+    def nchunks(self) -> int:
+        return len(self._lengths)
+
+    @property
+    def in_memory(self) -> bool:
+        return self._own
+
+    def add_chunk(
+        self, payload: bytes | memoryview, codec_id: int = CODEC_STZ
+    ) -> ChunkEntry:
+        """Append the next chunk's payload (plan order); returns its
+        table entry."""
+        if self._finalized:
+            raise ValueError("archive already finalized")
+        if codec_id not in CODEC_NAMES:
+            raise ValueError(f"unknown codec id {codec_id}")
+        if self.nchunks >= self.plan.nchunks:
+            raise ValueError(
+                f"plan has only {self.plan.nchunks} chunks; chunk "
+                f"{self.nchunks} does not exist"
+            )
+        entry = ChunkEntry(
+            self.nchunks, self._pos, len(payload), 0, codec_id
+        )
+        self._lengths.append(entry.length)
+        self._codecs.append(codec_id)
+        self._sink.write(payload)
+        self._pos += entry.length
+        return entry
+
+    def finalize(self) -> None:
+        """Write the chunk table and trailer (idempotent)."""
+        if self._finalized:
+            return
+        if self.nchunks != self.plan.nchunks:
+            raise ValueError(
+                f"plan needs {self.plan.nchunks} chunks, got {self.nchunks}"
+            )
+        table = np.zeros(self.nchunks, dtype=_FRAME_DTYPE)
+        lengths = np.asarray(self._lengths, dtype=np.uint64)
+        ends = np.cumsum(lengths, dtype=np.uint64)
+        first = self._pos - int(ends[-1]) if self.nchunks else self._pos
+        table["offset"] = first + ends - lengths
+        table["length"] = lengths
+        table["codec"] = self._codecs
+        self._sink.write(table.tobytes())
+        self._sink.write(
+            _MULTI_TRAILER.pack(self._pos, self.nchunks, MULTI_END_MAGIC)
+        )
+        self._finalized = True
+
+    def getvalue(self) -> bytes:
+        """The finished archive (in-memory sinks only)."""
+        if not self._own:
+            raise ValueError("writer streams to an external sink")
+        self.finalize()
+        return self._sink.getvalue()
+
+
+class ShardedReader:
+    """Random-access reader for sharded (container v3) archives.
+
+    Opening parses the fixed head, the 16-byte trailer and the chunk
+    table, and rebuilds the :class:`~repro.core.partition.ChunkPlan`
+    from the stored ``(shape, chunk_shape)``; chunk payloads are
+    fetched on demand, so chunk-granular random access to a file
+    archive reads exactly the chunks it touches.  Unknown container
+    flags, per-chunk flags and codec ids are rejected at open (they may
+    change decode semantics — see the module docstring).
+    """
+
+    def __init__(self, source: bytes | memoryview | io.IOBase):
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            self._buf: memoryview | None = memoryview(source)
+            self._file: io.IOBase | None = None
+            total = len(self._buf)
+        else:
+            self._buf = None
+            self._file = source
+            total = source.seek(0, io.SEEK_END)
+        if total < _SHARD_FIXED.size + _MULTI_TRAILER.size:
+            raise ValueError("truncated sharded STZ container")
+        magic, version, flags, dt, ndim = _SHARD_FIXED.unpack(
+            self._read_at(0, _SHARD_FIXED.size)
+        )
+        if magic != SHARD_MAGIC:
+            if magic == MAGIC:
+                raise ValueError(
+                    "single-frame STZ container; open it with StreamReader"
+                )
+            if magic == MULTI_MAGIC:
+                raise ValueError(
+                    "multi-frame STZ container; open it with "
+                    "MultiFrameReader / the streaming API"
+                )
+            raise ValueError("not a sharded STZ container")
+        if version != SHARD_VERSION:
+            raise ValueError(
+                f"unsupported sharded container version {version}"
+            )
+        if flags & ~_KNOWN_SHARD_FLAGS:
+            raise ValueError(
+                "container uses unknown feature flags "
+                f"0x{flags & ~_KNOWN_SHARD_FLAGS:02x}; upgrade the reader"
+            )
+        self.flags = flags
+        self.dtype = dtype_from_code(dt)
+        dims = struct.unpack(
+            f"<{2 * ndim}Q",
+            self._read_at(_SHARD_FIXED.size, 16 * ndim),
+        )
+        shape = tuple(int(n) for n in dims[:ndim])
+        chunk_shape = tuple(int(n) for n in dims[ndim:])
+        self.plan = ChunkPlan(shape, chunk_shape)
+        table_off, nchunks, end_magic = _MULTI_TRAILER.unpack(
+            self._read_at(total - _MULTI_TRAILER.size, _MULTI_TRAILER.size)
+        )
+        if end_magic != MULTI_END_MAGIC:
+            raise ValueError("truncated sharded STZ container")
+        if table_off + _FRAME.size * nchunks + _MULTI_TRAILER.size != total:
+            raise ValueError("corrupt sharded chunk-table geometry")
+        if nchunks != self.plan.nchunks:
+            raise ValueError(
+                f"chunk table has {nchunks} entries; the stored plan "
+                f"{shape} / {chunk_shape} needs {self.plan.nchunks}"
+            )
+        table = np.frombuffer(
+            self._read_at(table_off, _FRAME.size * nchunks),
+            dtype=_FRAME_DTYPE,
+        )
+        self.chunks: tuple[ChunkEntry, ...] = tuple(
+            ChunkEntry(i, int(off), int(length), int(fl), int(cid))
+            for i, (off, length, fl, cid) in enumerate(
+                zip(
+                    table["offset"].tolist(),
+                    table["length"].tolist(),
+                    table["flags"].tolist(),
+                    table["codec"].tolist(),
+                )
+            )
+        )
+        for c in self.chunks:
+            if c.flags & ~_KNOWN_CHUNK_FLAGS:
+                raise ValueError(
+                    f"chunk {c.index} uses unknown chunk flags "
+                    f"0x{c.flags & ~_KNOWN_CHUNK_FLAGS:02x}; "
+                    "upgrade the reader"
+                )
+            if c.codec_id not in CODEC_NAMES:
+                raise ValueError(
+                    f"chunk {c.index} uses unknown codec id "
+                    f"{c.codec_id}; upgrade the reader"
+                )
+            if c.offset + c.length > table_off:
+                raise ValueError("corrupt sharded chunk-table geometry")
+        self.bytes_read = 0  # chunk payload bytes actually fetched
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.plan.shape
+
+    @property
+    def nchunks(self) -> int:
+        return len(self.chunks)
+
+    def _read_at(self, offset: int, length: int) -> bytes | memoryview:
+        if self._buf is not None:
+            if offset + length > len(self._buf):
+                raise ValueError("truncated sharded STZ container")
+            return self._buf[offset : offset + length]
+        self._file.seek(offset)
+        data = self._file.read(length)
+        if len(data) != length:
+            raise ValueError("truncated sharded STZ container")
+        return data
+
+    def chunk(self, index: int) -> ChunkEntry:
+        if not (0 <= index < self.nchunks):
+            raise IndexError(
+                f"chunk index {index} out of range [0, {self.nchunks})"
+            )
+        return self.chunks[index]
+
+    def read_chunk(self, index: int) -> bytes | memoryview:
+        """The payload of chunk ``index`` (zero-copy in memory)."""
+        entry = self.chunk(index)
+        self.bytes_read += entry.length
+        return self._read_at(entry.offset, entry.length)

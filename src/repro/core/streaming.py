@@ -69,6 +69,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.chunked import (
+    compress_chunked_with_recon,
+    decompress_chunked,
+)
 from repro.core.config import STZConfig
 from repro.core.pipeline import stz_compress_with_recon
 from repro.core.select import (
@@ -84,7 +88,9 @@ from repro.core.select import (
 )
 from repro.core.stream import (
     CODEC_IDS,
+    CODEC_STZ,
     FRAME_DELTA,
+    FRAME_SHARDED,
     MULTI_CODEC,
     FrameInfo,
     MultiFrameReader,
@@ -142,6 +148,20 @@ class StreamingCompressor:
         :class:`FrameStats` — at most one frame is in flight, so
         memory stays O(1 step).  The archive bytes are identical to
         the serial engine (module docstring).
+    chunks, chunk_executor, chunk_workers:
+        When ``chunks`` is set, every frame payload — intra steps and
+        temporal-delta residuals alike — is a sharded (container v3)
+        archive produced by the chunked engine
+        (:func:`repro.core.chunked.compress_chunked_with_recon`) under
+        the given chunk-level executor, and the frame carries the
+        :data:`~repro.core.stream.FRAME_SHARDED` flag (pre-sharding
+        readers reject such archives at open).  ``codec="auto"``
+        re-selects *per chunk* through the selection engine's
+        content-digest probe cache; the stream-level amortized probe
+        gate does not apply.  The closed-loop delta contract is
+        unchanged: the sharded encoder tracks the decoder-exact
+        reconstruction chunk by chunk, and every frame is verified in
+        float64 before commit with the intra fallback behind it.
     """
 
     def __init__(
@@ -153,6 +173,9 @@ class StreamingCompressor:
         sink: io.IOBase | None = None,
         threads: int | None = None,
         overlap: bool = False,
+        chunks: int | tuple[int, ...] | None = None,
+        chunk_executor: str = "thread",
+        chunk_workers: int | None = None,
     ):
         if keyframe_interval < 1:
             raise ValueError("keyframe_interval must be >= 1")
@@ -165,8 +188,17 @@ class StreamingCompressor:
         # pre-codec-id readers reject the archive at open; plain STZ
         # streams keep flags 0 and stay byte-identical to before the
         # codec byte existed
+        self._chunks = chunks
+        self._chunk_executor = chunk_executor
+        self._chunk_workers = chunk_workers
+        # sharded frames record codec id 0 (the codec story lives in
+        # the per-chunk v3 table), so the MULTI_CODEC gate only matters
+        # for non-sharded foreign-codec frames
         self._writer = MultiFrameWriter(
-            sink, flags=MULTI_CODEC if self.config.codec != "stz" else 0
+            sink,
+            flags=MULTI_CODEC
+            if (self.config.codec != "stz" and chunks is None)
+            else 0,
         )
         if self.config.codec == "auto":
             # independent scorers for intra and delta payloads: a field
@@ -280,6 +312,12 @@ class StreamingCompressor:
         violation, so the stream guarantee never depends on a foreign
         backend's certification being correct.
         """
+        if self._chunks is not None:
+            blob, recon = compress_chunked_with_recon(
+                step, self.abs_eb, "abs", self.config, self._chunks,
+                self._chunk_executor, self._chunk_workers, self.threads,
+            )
+            return blob, recon, "sharded"
         if self.config.codec == "auto":
             shortlist = self._maybe_probe("intra", step, self.abs_eb)
             name, blob, recon = select_and_compress(
@@ -310,6 +348,12 @@ class StreamingCompressor:
         statistics, behind the same amortized probe gate (drift
         detector + label cache + epsilon challenger refresh).
         """
+        if self._chunks is not None:
+            blob, rr = compress_chunked_with_recon(
+                resid, delta_eb, "abs", self.config, self._chunks,
+                self._chunk_executor, self._chunk_workers, self.threads,
+            )
+            return blob, rr, "sharded"
         if self.config.codec == "auto":
             shortlist = self._maybe_probe("delta", resid, delta_eb)
             name, blob, rr = select_and_compress(
@@ -374,19 +418,32 @@ class StreamingCompressor:
             )
             if err <= self.abs_eb:
                 self._writer.add_frame(
-                    blob, FRAME_DELTA, codec_id=CODEC_IDS[name]
+                    blob, FRAME_DELTA | self._frame_flags,
+                    codec_id=self._frame_codec_id(name),
                 )
                 self._prev_recon = recon
-                if self.config.codec == "auto" and step.size:
+                if self.config.codec == "auto" and self._chunks is None:
                     self._sel_delta.observe(name, 8.0 * len(blob) / step.size)
                 return FrameStats(index, len(blob), True, False, name)
             fallback = True
         blob, recon, name = self._encode_intra(step)
-        self._writer.add_frame(blob, codec_id=CODEC_IDS[name])
+        self._writer.add_frame(
+            blob, self._frame_flags, codec_id=self._frame_codec_id(name)
+        )
         self._prev_recon = recon
-        if self.config.codec == "auto" and step.size:
+        if self.config.codec == "auto" and self._chunks is None:
             self._sel_intra.observe(name, 8.0 * len(blob) / step.size)
         return FrameStats(index, len(blob), False, fallback, name)
+
+    @property
+    def _frame_flags(self) -> int:
+        return FRAME_SHARDED if self._chunks is not None else 0
+
+    @staticmethod
+    def _frame_codec_id(name: str) -> int:
+        # sharded frames park the codec byte at 0: the real per-chunk
+        # codec choices live in the payload's v3 chunk table
+        return CODEC_STZ if name == "sharded" else CODEC_IDS[name]
 
     def append(self, step: np.ndarray) -> "FrameStats | Future[FrameStats]":
         """Compress and write one time step; returns its accounting
@@ -473,11 +530,21 @@ class StreamingDecompressor:
 
     def _decode_one(self, index: int) -> np.ndarray:
         """Decode frame ``index`` given its predecessor in the cache."""
-        arr = decode_by_id(
-            self.reader.frame(index).codec_id,
-            self.reader.read_frame(index),
-            threads=self.threads,
-        )
+        info = self.reader.frame(index)
+        if info.is_sharded:
+            # chunk-parallel when the caller asked for parallelism
+            arr = decompress_chunked(
+                self.reader.read_frame(index),
+                executor="thread" if self.threads and self.threads > 1
+                else "serial",
+                workers=self.threads,
+            )
+        else:
+            arr = decode_by_id(
+                info.codec_id,
+                self.reader.read_frame(index),
+                threads=self.threads,
+            )
         if self.reader.frame(index).is_delta:
             # bit-identical to the encoder's commit-time addition
             arr = self._cache + arr

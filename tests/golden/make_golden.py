@@ -19,7 +19,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.api import compress, compress_stream, decompress
+from repro.core.api import (
+    compress,
+    compress_chunked,
+    compress_stream,
+    decompress,
+)
 from repro.core.config import STZConfig
 from repro.core.pipeline import stz_compress, stz_decompress
 from repro.core.streaming import StreamingDecompressor
@@ -48,6 +53,28 @@ AUTO_SINGLE = [
 
 AUTO_STREAM_EB = 1e-3
 AUTO_STREAM_KEYFRAME = 2
+
+#: sharded (container v3) fixtures: name -> (abs_eb, codec, chunks)
+CHUNKED = {
+    "chunked_single": (4e-3, "stz", (10, 9, 14)),  # 2x2x1 ragged grid
+    "chunked_auto": (4e-3, "auto", (24, 20, 16)),
+}
+
+
+def chunked_input(name: str) -> np.ndarray:
+    """Deterministic inputs for the sharded fixtures."""
+    if name == "chunked_single":
+        return smooth_field((20, 18, 14), seed=23).astype(np.float32)
+    if name == "chunked_auto":
+        # one constant, one smooth, one rough chunk: the fixture pins
+        # *several* per-chunk codec ids, exercising the mixed table
+        rng = np.random.default_rng(11)
+        data = np.empty((72, 20, 16), dtype=np.float32)
+        data[:24] = 2.5
+        data[24:48] = smooth_field((24, 20, 16), seed=24).astype(np.float32)
+        data[48:] = rng.normal(size=(24, 20, 16)).astype(np.float32)
+        return data
+    raise KeyError(name)
 
 
 def auto_input(name: str) -> np.ndarray:
@@ -125,6 +152,15 @@ def main() -> None:
         np.stack(list(StreamingDecompressor(blob))),
     )
     print(f"auto_multi: {asteps.nbytes} B -> {len(blob)} B")
+
+    # sharded (container v3) archives — chunk plan + per-chunk codecs
+    for name, (eb, codec, chunks) in CHUNKED.items():
+        data = chunked_input(name)
+        blob = compress_chunked(data, eb, "abs", codec=codec, chunks=chunks)
+        np.save(HERE / f"{name}_input.npy", data)
+        (HERE / f"{name}.stz").write_bytes(blob)
+        np.save(HERE / f"{name}_recon.npy", decompress(blob))
+        print(f"{name}: {data.nbytes} B -> {len(blob)} B")
 
 
 if __name__ == "__main__":

@@ -24,11 +24,18 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.core.api import compress, compress_stream, decompress, decompress_frame
+from repro.core.api import (
+    compress,
+    compress_chunked,
+    compress_stream,
+    decompress,
+    decompress_frame,
+)
 from repro.core.pipeline import stz_compress, stz_decompress
 from repro.core.stream import (
     CODEC_NAMES,
     MultiFrameReader,
+    ShardedReader,
     StreamReader,
     unwrap_selected,
 )
@@ -236,3 +243,79 @@ class TestAutoMultiGolden:
         from repro.core.stream import MULTI_CODEC
 
         assert reader.flags & MULTI_CODEC
+
+
+#: sharded (container v3) fixtures: name -> (abs_eb, codec, chunks,
+#: expected per-chunk codec ids).  The codec list pins the chunk-level
+#: *selection* the same way AUTO_SINGLE_GOLDEN pins envelope choices.
+CHUNKED_GOLDEN = {
+    "chunked_single": (
+        4e-3, "stz", (10, 9, 14), ["stz", "stz", "stz", "stz"],
+    ),
+    "chunked_auto": (
+        4e-3, "auto", (24, 20, 16), ["szx", "sz3", "szx"],
+    ),
+}
+
+#: v3 fixed head: flags is byte 5 (after magic4 + version)
+_SHARD_FLAGS_OFFSET = 5
+#: v3 chunk-table row <QQBB6x>: flags byte 16, codec id byte 17
+_CHUNK_FLAGS_OFFSET = 16
+_CHUNK_CODEC_OFFSET = 17
+
+
+@pytest.mark.parametrize("name", sorted(CHUNKED_GOLDEN))
+class TestChunkedGolden:
+    def test_reader_decodes_bit_exactly(self, name):
+        blob = (GOLDEN / f"{name}.stz").read_bytes()
+        expected = np.load(GOLDEN / f"{name}_recon.npy")
+        eb, _codec, chunks, codec_ids = CHUNKED_GOLDEN[name]
+        reader = ShardedReader(blob)
+        assert reader.plan.chunk_shape == chunks
+        assert [c.codec for c in reader.chunks] == codec_ids
+        recon = decompress(blob)
+        assert recon.dtype == expected.dtype
+        assert np.array_equal(recon, expected)
+        data = np.load(GOLDEN / f"{name}_input.npy")
+        err = np.abs(
+            recon.astype(np.float64) - data.astype(np.float64)
+        ).max()
+        assert err <= eb
+
+    @needs_reference_zlib
+    def test_writer_reproduces_archive_bytes(self, name):
+        data = np.load(GOLDEN / f"{name}_input.npy")
+        eb, codec, chunks, _ = CHUNKED_GOLDEN[name]
+        blob = compress_chunked(data, eb, "abs", codec=codec, chunks=chunks)
+        assert blob == (GOLDEN / f"{name}.stz").read_bytes()
+
+    def test_unknown_container_flag_rejected(self, name):
+        blob = bytearray((GOLDEN / f"{name}.stz").read_bytes())
+        blob[_SHARD_FLAGS_OFFSET] |= 0x40
+        with pytest.raises(ValueError, match="unknown feature flags"):
+            ShardedReader(bytes(blob))
+
+    def _table_offset(self, blob: bytes) -> int:
+        table_off, _nchunks, _magic = struct.unpack("<QI4s", blob[-16:])
+        return table_off
+
+    def test_unknown_chunk_flag_rejected(self, name):
+        blob = bytearray((GOLDEN / f"{name}.stz").read_bytes())
+        blob[self._table_offset(bytes(blob)) + _CHUNK_FLAGS_OFFSET] |= 0x04
+        with pytest.raises(ValueError, match="unknown chunk flags"):
+            ShardedReader(bytes(blob))
+
+    def test_unknown_chunk_codec_id_rejected(self, name):
+        blob = bytearray((GOLDEN / f"{name}.stz").read_bytes())
+        blob[self._table_offset(bytes(blob)) + _CHUNK_CODEC_OFFSET] = 0x7F
+        with pytest.raises(ValueError, match="unknown codec id"):
+            ShardedReader(bytes(blob))
+
+    def test_pre_v3_readers_reject_cleanly(self, name):
+        """The backward-compat rule: v1/v2 readers fail by magic with a
+        pointer at the right opener, never a misparse."""
+        blob = (GOLDEN / f"{name}.stz").read_bytes()
+        with pytest.raises(ValueError, match="sharded"):
+            StreamReader(blob)
+        with pytest.raises(ValueError, match="sharded"):
+            MultiFrameReader(blob)
