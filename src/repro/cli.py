@@ -34,6 +34,7 @@ from repro.core.api import (
     decompress_roi,
 )
 from repro.core.chunked import decompress_chunked, decompress_chunked_roi
+from repro.core.partition import ChunkPlan
 from repro.core.config import KNOWN_CODECS, STZConfig
 from repro.core.parallel import EXECUTORS
 from repro.core.stream import (
@@ -56,17 +57,32 @@ from repro.util.alloc import tune_allocator
 
 
 def _load_array(
-    path: str, shape: str | None, dtype: str | None
+    path: str, shape: str | None, dtype: str | None, mmap: bool = False
 ) -> np.ndarray:
+    """Load an input array; ``mmap=True`` opens it memory-mapped so the
+    chunked engine's O(chunk) bound survives inputs larger than RAM."""
     p = Path(path)
     if p.suffix == ".npy":
-        return np.load(p)
+        return np.load(p, mmap_mode="r" if mmap else None)
     if shape is None or dtype is None:
         raise SystemExit(
             "raw binary input needs --shape and --dtype (or use .npy)"
         )
     dims = tuple(int(s) for s in shape.split(","))
-    return np.fromfile(p, dtype=np.dtype(dtype)).reshape(dims)
+    dt = np.dtype(dtype)
+    if mmap:
+        # np.memmap only requires the file to be *at least* this big;
+        # match fromfile().reshape()'s exact-size failure mode instead
+        # of silently compressing a prefix of a larger file
+        expected = int(np.prod(dims)) * dt.itemsize
+        actual = p.stat().st_size
+        if actual != expected:
+            raise SystemExit(
+                f"{path}: {actual} B does not match --shape {shape} "
+                f"--dtype {dtype} ({expected} B)"
+            )
+        return np.memmap(p, dtype=dt, mode="r", shape=dims)
+    return np.fromfile(p, dtype=dt).reshape(dims)
 
 
 def _save_array(path: str, arr: np.ndarray) -> None:
@@ -103,14 +119,18 @@ def _parse_chunks(spec: str | None) -> int | tuple[int, ...] | None:
 
 
 def cmd_compress(args: argparse.Namespace) -> int:
-    data = _load_array(args.input, args.shape, args.dtype)
+    chunks = _parse_chunks(args.chunks)
+    # chunked inputs stay memory-mapped: the engine slices one chunk at
+    # a time, so a full np.load here would be the only O(array) step
+    data = _load_array(
+        args.input, args.shape, args.dtype, mmap=chunks is not None
+    )
     config = STZConfig(
         levels=args.levels,
         interp=args.interp,
         codec=args.codec,
         select_seed=args.select_seed,
     )
-    chunks = _parse_chunks(args.chunks)
     if chunks is not None:
         # chunked engine: stream the sharded archive straight to disk
         with open(args.output, "wb") as sink:
@@ -120,8 +140,9 @@ def cmd_compress(args: argparse.Namespace) -> int:
                 threads=args.threads, sink=sink,
             )
         nout = Path(args.output).stat().st_size
-        with open(args.output, "rb") as fh:
-            nchunks = ShardedReader(fh).nchunks
+        # same normalization compress_chunked applied — no need to
+        # reopen and re-parse the archive just for the count
+        nchunks = ChunkPlan.regular(data.shape, chunks).nchunks
         print(
             f"{args.input}: {data.nbytes} B -> {nout} B "
             f"(CR {data.nbytes / nout:.2f}) [sharded, {nchunks} chunks]"
@@ -315,8 +336,15 @@ def _roi_decode(
 
 
 def cmd_roi(args: argparse.Namespace) -> int:
-    blob = Path(args.input).read_bytes()
-    arr = _roi_decode(blob, args.box, args.threads)
+    with open(args.input, "rb") as fh:
+        if is_sharded(fh):
+            # chunk-index random access straight off the file handle:
+            # only the table and intersecting payloads are read
+            reader = ShardedReader(fh)
+            roi = _parse_box(args.box, len(reader.shape))
+            arr = decompress_chunked_roi(reader, roi, threads=args.threads)
+        else:
+            arr = _roi_decode(fh.read(), args.box, args.threads)
     _save_array(args.output, arr)
     print(f"{args.output}: {arr.shape} {arr.dtype}")
     return 0

@@ -137,6 +137,12 @@ def decompress(
                 ("thread", threads) if threads and threads > 1
                 else ("serial", None)
             )
+        elif workers is None:
+            # an explicit executor without a worker count inherits the
+            # threads request — otherwise executor='thread' would
+            # resolve to (serial, 1) and decode slower than no
+            # executor at all
+            workers = threads
         return decompress_chunked(
             source, out=out, executor=executor, workers=workers,
             threads=None if executor != "serial" else threads,

@@ -19,8 +19,10 @@ per-array pipeline over each chunk independently:
   dropped as the plan advances).
 * **decompression** (:func:`decompress_chunked`) decodes chunks
   independently — in parallel under the thread or process executor —
-  into a caller-supplied output array (a ``np.memmap`` keeps the
-  reverse direction O(chunk) too) or a freshly allocated one.
+  into a caller-supplied output array or a freshly allocated one.  A
+  ``np.memmap`` output under the *serial* executor keeps the reverse
+  direction O(chunk) too; the parallel executors leave decoded pages
+  resident (speed over the memory bound — DESIGN.md §8).
 * **random access** (:func:`decompress_chunked_roi`) uses the chunk
   table to touch only the chunks intersecting the query box, and
   within STZ-coded chunks reuses the sub-chunk random-access path.
@@ -523,12 +525,15 @@ def decompress_chunked(
     """Reconstruct a sharded archive, chunk-parallel.
 
     ``out`` (optional) receives the reconstruction in place — pass a
-    ``np.memmap`` to keep decompression at O(chunk) memory; it must
-    match the archive's shape and dtype.  ``executor``/``workers``
-    parallelize across chunks; under the process executor decoded
-    chunks land directly in a shared mapping (the ``out`` memmap, or an
-    anonymous shared-memory buffer that is copied out once at the end),
-    never in a pickle.
+    ``np.memmap`` with the serial executor to keep decompression at
+    O(chunk) memory (decoded pages are dropped as the walk advances;
+    the parallel executors skip that release, so their peak RSS is
+    bounded by the output size, not the chunk size — DESIGN.md §8's
+    memory contract).  ``out`` must match the archive's shape and
+    dtype.  ``executor``/``workers`` parallelize across chunks; under
+    the process executor decoded chunks land directly in a shared
+    mapping (the ``out`` memmap, or an anonymous shared-memory buffer
+    that is copied out once at the end), never in a pickle.
     """
     reader = _open_sharded(source)
     plan = reader.plan
@@ -615,18 +620,42 @@ def decompress_chunked_roi(
     box = normalize_roi(plan.shape, roi)
     out = np.empty(tuple(hi - lo for lo, hi in box), dtype=reader.dtype)
 
-    def one(index: int) -> None:
+    indices = plan.intersecting(box)
+    # when the decode fans out, payloads are fetched serially up front:
+    # file-backed readers share one fd whose seek()+read() pairs must
+    # not interleave across threads (in-memory sources hand back
+    # zero-copy views, so the prefetch costs nothing there).  The
+    # serial walk has no such hazard and keeps reading one payload at a
+    # time.  Only the intersecting chunks are ever read either way.
+    fan_out = bool(workers and workers > 1) and len(indices) > 1
+    tasks = [
+        (index, reader.read_chunk(index) if fan_out else None)
+        for index in indices
+    ]
+    # chunk-level parallelism replaces intra-chunk threading (nesting
+    # pools oversubscribes — same rule as _run_compress)
+    threads = None if fan_out else threads
+
+    def one(task: "tuple[int, bytes | memoryview | None]") -> None:
+        index, payload = task
+        if payload is None:
+            payload = reader.read_chunk(index)
         info = plan.chunk(index)
         local = tuple(
             slice(max(lo, o) - o, min(hi, o + n) - o)
             for (lo, hi), o, n in zip(box, info.origin, info.shape)
         )
-        payload = reader.read_chunk(index)
-        entry = reader.chunk(index)
+        # STZ-coded chunks (plain STZ1 blobs *and* 'STZC'-enveloped
+        # auto selections) run the sub-chunk random-access path over
+        # their local window; foreign codecs decode fully and crop
+        if is_selected(payload):
+            inner_id, inner = unwrap_selected(payload)
+        else:
+            inner_id, inner = reader.chunk(index).codec_id, payload
         sub: np.ndarray | None = None
-        if entry.codec_id == CODEC_STZ and not is_selected(payload):
+        if inner_id == CODEC_STZ:
             try:
-                sub = stz_decompress_roi(payload, local, threads=threads).data
+                sub = stz_decompress_roi(inner, local, threads=threads).data
             except NotImplementedError:
                 sub = None  # ablation configs: fall back to full decode
         if sub is None:
@@ -642,10 +671,10 @@ def decompress_chunked_roi(
     # capacity-gated away like pmap would on a 1-core host.  Threads
     # only — the workers write into the caller-local `out` closure.
     execute_map(
-        lambda _state, index: one(index),
-        plan.intersecting(box),
+        lambda _state, task: one(task),
+        tasks,
         None,
-        "thread" if workers and workers > 1 else "serial",
+        "thread" if fan_out else "serial",
         workers,
     )
     return out

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -138,8 +139,13 @@ def resolve_executor(
 #: :func:`fork_map` immediately before the pool forks.  Module-level on
 #: purpose — fork inheritance is the whole point (no pickling of the
 #: state, which holds the source array / archive buffer / output
-#: mapping).  One pool at a time; fork_map is not reentrant.
+#: mapping).  One pool at a time: ``_FORK_LOCK`` makes the
+#: publish→fork→clear sequence atomic, so a second concurrent caller
+#: (or a nested call — a forked child inherits the lock held) degrades
+#: to the inline serial loop instead of hijacking the first pool's
+#: published ``(fn, state)``.
 _FORK_STATE: tuple | None = None
+_FORK_LOCK = threading.Lock()
 
 
 def _fork_invoke(item):
@@ -164,23 +170,29 @@ def fork_map(
     mappings, unlike copy-on-write anonymous memory, propagate child
     writes back to the parent.
 
-    Falls back to a serial loop when ``workers`` resolves to 1 or fork
+    Falls back to a serial loop when ``workers`` resolves to 1, fork
     is unavailable (:func:`resolve_executor` normally routes those
-    cases away first).
+    cases away first), or another fork pool is already in flight —
+    concurrent or nested pools would race on :data:`_FORK_STATE`.
     """
     global _FORK_STATE
     if workers <= 1 or len(items) <= 1 or not fork_available():
         return [fn(state, x) for x in items]
-    if _FORK_STATE is not None:
-        # nested fork pools would deadlock-or-confuse; run inline
+    if not _FORK_LOCK.acquire(blocking=False):
+        # another thread is mid publish→fork→clear (or this is a nested
+        # call inside a forked worker, which inherited the lock held):
+        # run inline rather than overwrite its published state
         return [fn(state, x) for x in items]
-    _FORK_STATE = (fn, state)
     try:
-        ctx = mp.get_context("fork")
-        with ctx.Pool(processes=min(workers, len(items))) as pool:
-            return pool.map(_fork_invoke, items)
+        _FORK_STATE = (fn, state)
+        try:
+            ctx = mp.get_context("fork")
+            with ctx.Pool(processes=min(workers, len(items))) as pool:
+                return pool.map(_fork_invoke, items)
+        finally:
+            _FORK_STATE = None
     finally:
-        _FORK_STATE = None
+        _FORK_LOCK.release()
 
 
 def execute_map(

@@ -57,6 +57,7 @@ from repro.core.parallel import (
 )
 from repro.core.partition import ChunkPlan, normalize_chunk_shape
 from repro.core.stream import (
+    CODEC_STZ,
     FRAME_SHARDED,
     MultiFrameReader,
     ShardedReader,
@@ -200,6 +201,25 @@ class TestExecutorLayer:
 
         assert pstarmap(add, [(1, 2), (3, 4)]) == [3, 7]
         assert pstarmap(add, ((i, i) for i in range(4))) == [0, 2, 4, 6]
+
+    @pytest.mark.skipif(not fork_available(), reason="no fork")
+    def test_fork_map_concurrent_callers_do_not_cross_contaminate(self):
+        # two threads starting fork pools at once must each run their
+        # own (fn, state): the published _FORK_STATE is lock-guarded,
+        # and the loser of the race degrades to the inline serial loop
+        from concurrent.futures import ThreadPoolExecutor
+
+        def run(tag):
+            def fn(state, i):
+                return (state, i)
+
+            return fork_map(fn, list(range(8)), tag, 2)
+
+        for _ in range(5):
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                a, b = pool.map(run, ["A", "B"])
+            assert a == [("A", i) for i in range(8)]
+            assert b == [("B", i) for i in range(8)]
 
 
 # ---------------------------------------------------------------------------
@@ -546,12 +566,77 @@ class TestChunkedROI:
         one_chunk = reader.chunk(0).length
         assert reader.bytes_read == one_chunk  # 1 of 18 chunks read
 
+    def test_roi_parallel_workers_read_fd_serially(self, tmp_path):
+        # a file-backed ShardedReader has ONE fd whose seek()+read()
+        # pairs must never interleave across threads; the multi-worker
+        # ROI path therefore prefetches payloads on the calling thread
+        # and fans out only the decode
+        import threading
+
+        data = field()
+        path = tmp_path / "a.stz"
+        path.write_bytes(compress_chunked(data, 1e-3, "abs", chunks=8))
+        full = decompress_chunked(path.read_bytes())
+
+        read_threads: set[int] = set()
+
+        class RecordingFile(io.FileIO):
+            def read(self, *args):
+                read_threads.add(threading.get_ident())
+                return super().read(*args)
+
+        roi = (slice(2, 30), slice(5, 33), slice(1, 27))
+        with RecordingFile(path, "rb") as fh:
+            got = decompress_chunked_roi(ShardedReader(fh), roi, workers=4)
+        assert np.array_equal(got, full[roi])
+        assert read_threads == {threading.get_ident()}
+
     def test_roi_on_auto_chunks(self):
         data = field(seed=21)
         blob = compress_chunked(data, 1e-3, "abs", codec="auto", chunks=16)
         full = decompress(blob)
         roi = (slice(10, 30), slice(0, 36), slice(20, 28))
         assert np.array_equal(decompress_roi(blob, roi), full[roi])
+
+    def test_roi_auto_envelopes_use_subchunk_fast_path(self, monkeypatch):
+        # auto-selected stz chunks are 'STZC'-enveloped; the ROI path
+        # must unwrap them and still run the sub-chunk random-access
+        # decode instead of silently decoding the whole chunk
+        import repro.core.chunked as chunked_mod
+        from repro.core.stream import wrap_selected
+
+        data = field(seed=21)
+        plain = compress_chunked(data, 1e-3, "abs", chunks=16)
+        reader = ShardedReader(plain)
+        # the exact bytes _encode_chunk emits when auto picks stz for
+        # every chunk: each STZ1 blob wrapped in an 'STZC' envelope
+        writer = ShardedWriter(
+            reader.shape, reader.dtype, reader.plan.chunk_shape, None
+        )
+        for entry in reader.chunks:
+            writer.add_chunk(
+                wrap_selected(
+                    CODEC_STZ, bytes(reader.read_chunk(entry.index))
+                ),
+                CODEC_STZ,
+            )
+        writer.finalize()
+        blob = writer.getvalue()
+        calls = []
+        real = chunked_mod.stz_decompress_roi
+
+        def recording(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(chunked_mod, "stz_decompress_roi", recording)
+        full = decompress_chunked(blob)
+        roi = (slice(3, 20), slice(20, 30), slice(5, 9))  # crosses a seam
+        got = decompress_chunked_roi(ShardedReader(blob), roi)
+        assert np.array_equal(got, full[roi])
+        assert len(calls) == len(reader.plan.intersecting(
+            tuple((s.start, s.stop) for s in roi)
+        ))
 
     def test_selection_workflow_over_sharded_archive(self):
         """The Figure 10 workflow on a v3 archive: detect boxes on the
