@@ -1,0 +1,150 @@
+"""Integrity-layer overhead benchmark: the cost of trust.
+
+The checksum/recoverable layer (DESIGN.md §9) guards every payload with
+CRC32 and a whole-archive digest.  Those guards run on *compressed*
+bytes — a small fraction of the raw array — so the end-to-end overhead
+must stay in the noise.  This benchmark measures it honestly on a
+registry dataset, interleaving checked and unchecked runs so machine
+drift decorrelates (the bench_chunked protocol):
+
+* single-frame ``compress``/``decompress`` with and without
+  ``checksum=True`` (digest + trailing-CRC verify at open),
+* sharded ``compress_chunked``/``decompress_chunked`` with per-chunk
+  CRCs plus the recoverable record prefixes,
+* ``verify_archive`` scrub throughput (recorded, not asserted — the
+  scrub is a new capability, not an overhead on an old path).
+
+Results land in ``BENCH_speed.json`` under ``integrity``; the gate is
+that checksum overhead stays <= ``MAX_OVERHEAD`` on both round trips.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.api import compress, compress_chunked, decompress
+from repro.core.chunked import decompress_chunked
+from repro.core.integrity import verify_archive
+from repro.datasets import load
+
+from conftest import fmt_table, record_bench
+
+GRID = (96, 96, 96)
+CHUNKS = 32
+DATASET = "nyx"
+REL_EB = 1e-3
+REPS = 5
+#: CI gate: the integrity layer may cost at most this fraction of the
+#: unchecked round-trip time (CRC32 over compressed bytes is cheap;
+#: anything above this means the guards landed on a hot path)
+MAX_OVERHEAD = 0.05
+
+
+def _interleaved(fn_plain, fn_checked, reps=REPS):
+    """Best-of-reps for both variants, alternating runs."""
+    t_plain, t_checked = np.inf, np.inf
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn_plain()
+        t_plain = min(t_plain, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_checked()
+        t_checked = min(t_checked, time.perf_counter() - t0)
+    return t_plain, t_checked
+
+
+def test_integrity_overhead(artifact):
+    data = load(DATASET, shape=GRID)
+    abs_eb = REL_EB * float(data.max() - data.min())
+    mbs = data.nbytes / 1e6
+
+    # single-frame archive: digest appended, verified at reader open
+    plain = compress(data, abs_eb, "abs")
+    checked = compress(data, abs_eb, "abs", checksum=True)
+    enc_plain, enc_checked = _interleaved(
+        lambda: compress(data, abs_eb, "abs"),
+        lambda: compress(data, abs_eb, "abs", checksum=True),
+    )
+    dec_plain, dec_checked = _interleaved(
+        lambda: decompress(plain),
+        lambda: decompress(checked),
+    )
+
+    # sharded archive: per-chunk CRCs + recoverable record prefixes
+    cplain = compress_chunked(
+        data, abs_eb, "abs", chunks=CHUNKS, executor="serial"
+    )
+    cchecked = compress_chunked(
+        data, abs_eb, "abs", chunks=CHUNKS, executor="serial",
+        checksum=True, recoverable=True,
+    )
+    cenc_plain, cenc_checked = _interleaved(
+        lambda: compress_chunked(
+            data, abs_eb, "abs", chunks=CHUNKS, executor="serial"
+        ),
+        lambda: compress_chunked(
+            data, abs_eb, "abs", chunks=CHUNKS, executor="serial",
+            checksum=True, recoverable=True,
+        ),
+    )
+    cdec_plain, cdec_checked = _interleaved(
+        lambda: decompress_chunked(cplain, executor="serial"),
+        lambda: decompress_chunked(cchecked, executor="serial"),
+    )
+
+    t0 = time.perf_counter()
+    report = verify_archive(cchecked)
+    t_verify = time.perf_counter() - t0
+    assert report.ok and not report.unchecked
+
+    def _ovh(t_plain, t_checked):
+        return t_checked / t_plain - 1.0
+
+    overheads = {
+        "single_compress": _ovh(enc_plain, enc_checked),
+        "single_decompress": _ovh(dec_plain, dec_checked),
+        "chunked_compress": _ovh(cenc_plain, cenc_checked),
+        "chunked_decompress": _ovh(cdec_plain, cdec_checked),
+    }
+    size_overhead = len(cchecked) / len(cplain) - 1.0
+
+    rows = [
+        ["single compress", round(enc_plain, 3), round(enc_checked, 3),
+         f"{overheads['single_compress'] * 100:+.1f}%"],
+        ["single decompress", round(dec_plain, 3), round(dec_checked, 3),
+         f"{overheads['single_decompress'] * 100:+.1f}%"],
+        ["chunked compress", round(cenc_plain, 3), round(cenc_checked, 3),
+         f"{overheads['chunked_compress'] * 100:+.1f}%"],
+        ["chunked decompress", round(cdec_plain, 3), round(cdec_checked, 3),
+         f"{overheads['chunked_decompress'] * 100:+.1f}%"],
+    ]
+    artifact(
+        "integrity_overhead",
+        fmt_table(["path", "plain (s)", "checked (s)", "overhead"], rows)
+        + f"(dataset {DATASET} {'x'.join(map(str, GRID))}, chunks "
+        f"{CHUNKS}^3; archive size {len(cplain)} -> {len(cchecked)} B "
+        f"[{size_overhead * 100:+.1f}%]; verify_archive scrub "
+        f"{mbs / t_verify:.0f} MB/s over {len(report.units)} units)\n",
+    )
+    record_bench(
+        "integrity",
+        {
+            "dataset": DATASET,
+            "grid": list(GRID),
+            "chunks": CHUNKS,
+            "rel_eb": REL_EB,
+            "overhead": {k: round(v, 4) for k, v in overheads.items()},
+            "size_overhead": round(size_overhead, 4),
+            "verify_mb_s": round(mbs / t_verify, 1),
+            "verify_units": len(report.units),
+            "compress_mb_s_checked": round(mbs / cenc_checked, 2),
+            "decompress_mb_s_checked": round(mbs / cdec_checked, 2),
+        },
+    )
+    for path, ovh in overheads.items():
+        assert ovh <= MAX_OVERHEAD, (
+            f"integrity overhead on {path} is {ovh * 100:.1f}% "
+            f"(gate {MAX_OVERHEAD * 100:.0f}%)"
+        )

@@ -16,6 +16,14 @@ Examples::
     stz stream steps.stz run.npy --eb 1e-3 --time-axis 0
     stz stream steps.stz t*.npy --eb 1e-3 --chunks 64 # sharded frames
     stz decompress steps.stz t5.npy --frame 5         # one time step
+    stz compress field.npy field.stz --eb 1e-3 --chunks 64 --checksum
+    stz stream steps.stz t*.npy --eb 1e-3 --recoverable
+    stz verify field.stz                              # integrity scrub
+    stz repair broken.stz fixed.stz                   # salvage a crash
+    stz decompress damaged.stz out.npy --on-error fill
+
+All file outputs are written atomically (temp + fsync + rename): a
+crash mid-write leaves the previous file intact, never a torn one.
 """
 
 from __future__ import annotations
@@ -34,6 +42,11 @@ from repro.core.api import (
     decompress_roi,
 )
 from repro.core.chunked import decompress_chunked, decompress_chunked_roi
+from repro.core.integrity import (
+    DecodeReport,
+    repair_archive,
+    verify_archive,
+)
 from repro.core.partition import ChunkPlan
 from repro.core.config import KNOWN_CODECS, STZConfig
 from repro.core.parallel import EXECUTORS
@@ -54,6 +67,7 @@ from repro.core.streaming import (
     StreamingDecompressor,
 )
 from repro.util.alloc import tune_allocator
+from repro.util.io import atomic_write, atomic_write_bytes
 
 
 def _load_array(
@@ -86,11 +100,13 @@ def _load_array(
 
 
 def _save_array(path: str, arr: np.ndarray) -> None:
+    # atomic: a crash (or Ctrl-C) mid-save never leaves a torn output
     p = Path(path)
-    if p.suffix == ".npy":
-        np.save(p, arr)
-    else:
-        arr.tofile(p)
+    with atomic_write(p) as fh:
+        if p.suffix == ".npy":
+            np.save(fh, arr)
+        else:
+            arr.tofile(fh)
 
 
 def _parse_box(spec: str, ndim: int) -> tuple:
@@ -133,11 +149,13 @@ def cmd_compress(args: argparse.Namespace) -> int:
     )
     if chunks is not None:
         # chunked engine: stream the sharded archive straight to disk
-        with open(args.output, "wb") as sink:
+        # (atomically — the output appears complete or not at all)
+        with atomic_write(args.output) as sink:
             compress_chunked(
                 data, args.eb, args.mode, config=config, chunks=chunks,
                 executor=args.executor, workers=args.workers,
                 threads=args.threads, sink=sink,
+                checksum=args.checksum, recoverable=args.recoverable,
             )
         nout = Path(args.output).stat().st_size
         # same normalization compress_chunked applied — no need to
@@ -148,10 +166,17 @@ def cmd_compress(args: argparse.Namespace) -> int:
             f"(CR {data.nbytes / nout:.2f}) [sharded, {nchunks} chunks]"
         )
         return 0
+    if args.recoverable:
+        raise SystemExit(
+            "--recoverable applies to chunked (--chunks) and stream "
+            "archives; single-array containers are written atomically "
+            "instead"
+        )
     blob = compress(
-        data, args.eb, args.mode, config=config, threads=args.threads
+        data, args.eb, args.mode, config=config, threads=args.threads,
+        checksum=args.checksum,
     )
-    Path(args.output).write_bytes(blob)
+    atomic_write_bytes(args.output, blob)
     chosen = (
         f" [codec {CODEC_NAMES[unwrap_selected(blob)[0]]}]"
         if is_selected(blob)
@@ -193,7 +218,11 @@ def cmd_stream(args: argparse.Namespace) -> int:
         select_seed=args.select_seed,
     )
     in_bytes = 0
-    with open(args.output, "wb") as sink:
+    # atomic sink: a crash (or the empty-input SystemExit below) leaves
+    # no torn archive behind — only a complete stream is renamed into
+    # place.  With --recoverable the *renamed* archive additionally
+    # survives truncation by later mishaps (stz repair).
+    with atomic_write(args.output) as sink:
         with StreamingCompressor(
             args.eb,
             args.mode,
@@ -205,6 +234,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
             chunks=_parse_chunks(args.chunks),
             chunk_executor=args.executor,
             chunk_workers=args.workers,
+            checksum=args.checksum,
+            recoverable=args.recoverable,
         ) as sc:
             pending = []
             for step in _iter_input_steps(args):
@@ -227,9 +258,10 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 kind = "delta" if st.is_delta else "intra"
                 print(f"  step {st.index}: {kind} {st.codec} {st.nbytes} B")
             nframes = sc.nframes
-    if nframes == 0:
-        Path(args.output).unlink()  # don't leave an empty archive behind
-        raise SystemExit("no time steps in input")
+        if nframes == 0:
+            # inside the atomic context: the temp file is discarded and
+            # no archive (empty or otherwise) is left behind
+            raise SystemExit("no time steps in input")
     out_bytes = Path(args.output).stat().st_size
     print(
         f"{args.output}: {nframes} steps, {in_bytes} B -> {out_bytes} B "
@@ -239,6 +271,9 @@ def cmd_stream(args: argparse.Namespace) -> int:
 
 
 def cmd_decompress(args: argparse.Namespace) -> int:
+    # a report is only kept for tolerant policies: with 'raise' the
+    # first corrupt unit aborts the decode anyway
+    report = DecodeReport() if args.on_error != "raise" else None
     with open(args.input, "rb") as fh:
         if is_multiframe(fh):
             if args.level is not None:
@@ -251,7 +286,10 @@ def cmd_decompress(args: argparse.Namespace) -> int:
                     "(extract a step with --frame first)"
                 )
             # file source: only the table and the needed frames are read
-            sd = StreamingDecompressor(fh, threads=args.threads)
+            sd = StreamingDecompressor(
+                fh, threads=args.threads, on_error=args.on_error,
+                report=report,
+            )
             if sd.nframes == 0:
                 raise SystemExit(f"{args.input}: archive has no frames")
             if args.frame is not None:
@@ -274,6 +312,7 @@ def cmd_decompress(args: argparse.Namespace) -> int:
                 arr = decompress_chunked_roi(
                     reader, roi, threads=args.threads,
                     workers=args.workers,
+                    on_error=args.on_error, report=report,
                 )
             else:
                 # --workers picks the chunk pool explicitly; a bare
@@ -282,10 +321,14 @@ def cmd_decompress(args: argparse.Namespace) -> int:
                 workers = args.workers or args.threads
                 if workers and workers > 1:
                     arr = decompress_chunked(
-                        reader, executor="thread", workers=workers
+                        reader, executor="thread", workers=workers,
+                        on_error=args.on_error, report=report,
                     )
                 else:
-                    arr = decompress_chunked(reader, threads=args.threads)
+                    arr = decompress_chunked(
+                        reader, threads=args.threads,
+                        on_error=args.on_error, report=report,
+                    )
         else:
             blob = fh.read()
             if args.roi is not None and args.level is not None:
@@ -307,6 +350,10 @@ def cmd_decompress(args: argparse.Namespace) -> int:
                 arr = decompress(blob, threads=args.threads)
     _save_array(args.output, arr)
     print(f"{args.output}: {arr.shape} {arr.dtype}")
+    if report is not None and not report.ok:
+        # degraded output: say so loudly, but exit 0 — the caller asked
+        # for best-effort extraction
+        print(f"warning: {report.summary()}", file=sys.stderr)
     return 0
 
 
@@ -439,6 +486,58 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    try:
+        report = verify_archive(blob)
+    except ValueError as exc:
+        print(f"{args.input}: unreadable: {exc}", file=sys.stderr)
+        return 1
+    for unit in report.units:
+        print(f"  {unit.describe()}")
+    print(f"{args.input}: {report.summary()}")
+    if report.corrupt:
+        return 1
+    if args.strict and report.unchecked:
+        # strict mode treats "no checksum recorded" as a failure —
+        # useful in CI to enforce that fixtures carry integrity data
+        print(
+            f"{args.input}: strict: {len(report.unchecked)} unit(s) "
+            "carry no checksum",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_repair(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    try:
+        rebuilt, report = repair_archive(blob)
+    except ValueError as exc:
+        raise SystemExit(f"{args.input}: cannot repair: {exc}") from None
+    atomic_write_bytes(args.output, rebuilt)
+    print(f"{args.output}: {report.summary()}")
+    return 0
+
+
+def _add_integrity_args(p: argparse.ArgumentParser) -> None:
+    """The write-side integrity knobs shared by compress and stream."""
+    p.add_argument(
+        "--checksum", action="store_true",
+        help="record per-unit CRC32s and a whole-archive digest "
+        "(verified by 'stz verify' and at decode time)",
+    )
+    p.add_argument(
+        "--recoverable", action="store_true",
+        help="prefix each unit with a self-describing record so a "
+        "truncated archive can be salvaged by 'stz repair' "
+        "(implies --checksum)",
+    )
+
+
 def _add_chunk_args(p: argparse.ArgumentParser) -> None:
     """The chunked-engine knobs shared by compress and stream."""
     p.add_argument(
@@ -488,6 +587,7 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--dtype", help="dtype for raw input, e.g. float32")
     c.add_argument("--threads", type=int, default=None)
     _add_chunk_args(c)
+    _add_integrity_args(c)
     c.set_defaults(fn=cmd_compress)
 
     s = sub.add_parser(
@@ -535,6 +635,7 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--dtype", help="dtype for raw input, e.g. float32")
     s.add_argument("--threads", type=int, default=None)
     _add_chunk_args(s)
+    _add_integrity_args(s)
     s.set_defaults(fn=cmd_stream)
 
     d = sub.add_parser("decompress", help="reconstruct (optionally coarse)")
@@ -558,6 +659,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="sharded archives: parallel chunk-level decode workers",
     )
+    d.add_argument(
+        "--on-error", choices=("raise", "skip", "fill"), default="raise",
+        help="fault policy for corrupt chunks/frames: abort (default), "
+        "or NaN-fill the damaged region and keep going (a warning "
+        "summarizes what was lost)",
+    )
     d.add_argument("--threads", type=int, default=None)
     d.set_defaults(fn=cmd_decompress)
 
@@ -574,6 +681,26 @@ def build_parser() -> argparse.ArgumentParser:
     i = sub.add_parser("info", help="show container metadata")
     i.add_argument("input")
     i.set_defaults(fn=cmd_info)
+
+    v = sub.add_parser(
+        "verify",
+        help="scrub an archive's checksums (exit 1 on corruption)",
+    )
+    v.add_argument("input")
+    v.add_argument(
+        "--strict", action="store_true",
+        help="also fail when the archive carries no checksums at all",
+    )
+    v.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser(
+        "repair",
+        help="salvage the longest valid prefix of a truncated "
+        "recoverable archive",
+    )
+    p.add_argument("input", help="damaged archive (written --recoverable)")
+    p.add_argument("output", help="rebuilt archive")
+    p.set_defaults(fn=cmd_repair)
     return ap
 
 

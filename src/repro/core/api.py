@@ -26,6 +26,15 @@ from repro.core.chunked import (
     decompress_chunked_roi,
 )
 from repro.core.config import STZConfig
+from repro.core.integrity import (  # noqa: F401 — public re-exports
+    ChunkCorruptionError,
+    DecodeReport,
+    FrameCorruptionError,
+    RepairReport,
+    VerifyReport,
+    repair_archive,
+    verify_archive,
+)
 from repro.core.pipeline import stz_compress, stz_decompress
 from repro.core.progressive import progressive_ladder
 from repro.core.random_access import RandomAccessResult, stz_decompress_roi
@@ -37,6 +46,7 @@ from repro.core.select import (
 from repro.core.stream import (
     CODEC_STZ,
     StreamReader,
+    add_archive_checksum,
     is_selected,
     is_sharded,
     unwrap_selected,
@@ -46,6 +56,7 @@ from repro.core.streaming import (
     StreamingCompressor,
     StreamingDecompressor,
 )
+from repro.util.io import atomic_write_bytes
 
 
 def _resolve_codec(
@@ -65,6 +76,7 @@ def compress(
     config: STZConfig | None = None,
     threads: int | None = None,
     codec: str | None = None,
+    checksum: bool = False,
 ) -> bytes:
     """Compress with the STZ streaming pipeline or a selected backend.
 
@@ -77,11 +89,16 @@ def compress(
     route it to the winning backend — the result is then a
     codec-selected ('STZC') envelope, which :func:`decompress` handles
     transparently.  Every choice preserves the hard L-inf bound.
+    ``checksum=True`` appends a flag-gated CRC32 of the archive so
+    :func:`verify_archive` can detect corruption (DESIGN.md §9);
+    pre-checksum readers reject the flagged archive cleanly.
     """
     config = _resolve_codec(config, codec)
     if config.codec == "stz":
-        return stz_compress(data, eb, eb_mode, config, threads)
-    return compress_selected(data, eb, eb_mode, config, threads)
+        blob = stz_compress(data, eb, eb_mode, config, threads)
+    else:
+        blob = compress_selected(data, eb, eb_mode, config, threads)
+    return add_archive_checksum(blob) if checksum else blob
 
 
 def compress_chunked(
@@ -96,6 +113,8 @@ def compress_chunked(
     codec: str | None = None,
     sink: io.IOBase | None = None,
     shape: tuple[int, ...] | None = None,
+    checksum: bool = False,
+    recoverable: bool = False,
 ) -> bytes | None:
     """Compress through the chunked execution engine into a sharded
     (container v3) archive.
@@ -106,12 +125,16 @@ def compress_chunked(
     ``chunks`` sets the per-axis chunk shape (int = every axis);
     ``executor``/``workers`` pick the chunk-level pool.  ``codec``
     applies per chunk — ``"auto"`` re-selects the backend chunk by
-    chunk through the unchanged selection engine.  See
-    :mod:`repro.core.chunked` for the full contract.
+    chunk through the unchanged selection engine.  ``checksum`` records
+    per-chunk CRC32s plus a whole-archive digest; ``recoverable``
+    additionally makes the byte stream forward-scannable after a crash
+    (see :func:`verify_archive` / :func:`repair_archive` and DESIGN.md
+    §9).  See :mod:`repro.core.chunked` for the full contract.
     """
     return _compress_chunked_impl(
         data, eb, eb_mode, _resolve_codec(config, codec), chunks,
         executor, workers, threads, sink, shape,
+        checksum=checksum, recoverable=recoverable,
     )
 
 
@@ -121,6 +144,8 @@ def decompress(
     out: np.ndarray | None = None,
     executor: str | None = None,
     workers: int | None = None,
+    on_error: str = "raise",
+    report: DecodeReport | None = None,
 ) -> np.ndarray:
     """Full-resolution reconstruction (plain STZ1 containers,
     codec-selected envelopes and sharded v3 archives alike).
@@ -129,7 +154,11 @@ def decompress(
     ``np.memmap`` keeps decode memory at O(chunk)) and
     ``executor``/``workers`` for parallel chunk-level decode; the
     default decodes chunks with the thread pool when ``threads`` asks
-    for parallelism.
+    for parallelism.  ``on_error``/``report`` apply chunk-granular
+    fault tolerance to sharded archives (``"skip"``/``"fill"`` degrade
+    a corrupt chunk to NaNs instead of raising — DESIGN.md §9);
+    single-array containers are one unit, so a decode failure there
+    raises under every policy.
     """
     if not isinstance(source, StreamReader) and is_sharded(source):
         if executor is None:
@@ -146,6 +175,7 @@ def decompress(
         return decompress_chunked(
             source, out=out, executor=executor, workers=workers,
             threads=None if executor != "serial" else threads,
+            on_error=on_error, report=report,
         )
     if out is not None:
         raise ValueError("out= is only supported for sharded v3 archives")
@@ -205,15 +235,21 @@ def decompress_roi(
     source: bytes | memoryview | StreamReader,
     roi: tuple[slice | int, ...],
     threads: int | None = None,
+    on_error: str = "raise",
+    report: DecodeReport | None = None,
 ) -> np.ndarray:
     """Random-access reconstruction of a full-resolution ROI box/slice.
 
     Sharded v3 archives serve the ROI from the chunk index — only the
     chunks intersecting the box are read and decoded, and STZ-coded
     chunks run the sub-chunk random-access path on top.
+    ``on_error``/``report`` follow the :func:`decompress` contract for
+    sharded archives.
     """
     if not isinstance(source, StreamReader) and is_sharded(source):
-        return decompress_chunked_roi(source, roi, threads=threads)
+        return decompress_chunked_roi(
+            source, roi, threads=threads, on_error=on_error, report=report
+        )
     source = _unwrap_stz(source, "random access")
     return stz_decompress_roi(source, roi, threads=threads).data
 
@@ -241,6 +277,8 @@ def compress_stream(
     chunks: int | tuple[int, ...] | None = None,
     chunk_executor: str = "thread",
     chunk_workers: int | None = None,
+    checksum: bool = False,
+    recoverable: bool = False,
 ) -> bytes:
     """Compress an iterable of equal-shape time steps into one
     multi-frame archive.
@@ -257,38 +295,56 @@ def compress_stream(
     identical to the serial engine.  ``chunks`` (optional) emits every
     frame as a sharded v3 payload through the chunked engine under
     ``chunk_executor``/``chunk_workers`` — chunk-level parallelism and
-    per-chunk codec selection per step.  To stream frames to disk
-    instead of accumulating the archive in memory, use
-    :class:`~repro.core.streaming.StreamingCompressor` with a ``sink``.
+    per-chunk codec selection per step.  ``checksum`` records per-frame
+    CRC32s plus a whole-archive digest; ``recoverable`` additionally
+    prefixes each frame with an 'STZR' record so a crash mid-stream
+    leaves an archive :func:`repair_archive` can rebuild (DESIGN.md
+    §9).  To stream frames to disk instead of accumulating the archive
+    in memory, use :class:`~repro.core.streaming.StreamingCompressor`
+    with a ``sink``.
     """
     config = _resolve_codec(config, codec)
     with StreamingCompressor(
         eb, eb_mode, config, keyframe_interval, threads=threads,
         overlap=overlap, chunks=chunks, chunk_executor=chunk_executor,
-        chunk_workers=chunk_workers,
+        chunk_workers=chunk_workers, checksum=checksum,
+        recoverable=recoverable,
     ) as sc:
         sc.extend(steps)
         return sc.close()
 
 
 def iter_decompress(
-    source: bytes | memoryview | io.IOBase, threads: int | None = None
+    source: bytes | memoryview | io.IOBase,
+    threads: int | None = None,
+    on_error: str = "raise",
+    report: DecodeReport | None = None,
 ) -> Iterator[np.ndarray]:
     """Yield the reconstruction of each time step of a multi-frame
     archive in order, decoding each frame exactly once (O(1 step)
-    memory)."""
-    return iter(StreamingDecompressor(source, threads=threads))
+    memory).  ``on_error``/``report`` apply frame/chunk-granular fault
+    tolerance (a corrupt frame degrades to NaNs until the next intra
+    frame — DESIGN.md §9)."""
+    return iter(
+        StreamingDecompressor(
+            source, threads=threads, on_error=on_error, report=report
+        )
+    )
 
 
 def decompress_frame(
     source: bytes | memoryview | io.IOBase,
     index: int,
     threads: int | None = None,
+    on_error: str = "raise",
+    report: DecodeReport | None = None,
 ) -> np.ndarray:
     """Random access to one time step of a multi-frame archive (rolls
     forward from the nearest keyframe; see
     :class:`~repro.core.streaming.StreamingDecompressor`)."""
-    return StreamingDecompressor(source, threads=threads).read_frame(index)
+    return StreamingDecompressor(
+        source, threads=threads, on_error=on_error, report=report
+    ).read_frame(index)
 
 
 class STZCompressor:
@@ -347,9 +403,11 @@ class STZFile:
         eb_mode: str = "abs",
         config: STZConfig | None = None,
         threads: int | None = None,
+        checksum: bool = False,
     ) -> "STZFile":
-        blob = compress(data, eb, eb_mode, config, threads)
-        Path(path).write_bytes(blob)
+        blob = compress(data, eb, eb_mode, config, threads, checksum=checksum)
+        # crash-safe: the file appears complete or not at all
+        atomic_write_bytes(path, blob)
         return STZFile(path)
 
     # -- reading -----------------------------------------------------------

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import io
 import mmap
+import zlib
 from multiprocessing import shared_memory
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -58,6 +59,7 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.core.config import STZConfig
+from repro.core.integrity import ChunkCorruptionError, DecodeReport
 from repro.core.parallel import execute_map, resolve_executor
 from repro.core.partition import ChunkPlan
 from repro.core.pipeline import stz_compress_with_recon, stz_decompress
@@ -65,6 +67,7 @@ from repro.core.random_access import normalize_roi, stz_decompress_roi
 from repro.core.select import CANDIDATES, decode_by_id, select_and_compress
 from repro.core.stream import (
     CODEC_STZ,
+    ChunkEntry,
     ShardedReader,
     ShardedWriter,
     is_selected,
@@ -206,6 +209,41 @@ def _decode_chunk_payload(
     return stz_decompress(payload, threads=threads)
 
 
+def _check_chunk_payload(
+    entry: ChunkEntry, payload: bytes | memoryview
+) -> None:
+    """Verify a chunk payload against its table CRC (checksummed
+    archives only — pre-checksum rows are "unchecked" by design)."""
+    if not entry.has_checksum:
+        return
+    computed = zlib.crc32(payload)
+    if computed != entry.crc:
+        raise ChunkCorruptionError(
+            entry.index,
+            entry.codec,
+            f"payload checksum mismatch (stored 0x{entry.crc:08x}, "
+            f"computed 0x{computed:08x})",
+        )
+
+
+def _as_chunk_error(exc: Exception, entry: ChunkEntry) -> ChunkCorruptionError:
+    """Attach chunk index + codec context to a decode failure (already
+    structured errors pass through untouched)."""
+    if isinstance(exc, ChunkCorruptionError):
+        return exc
+    err = ChunkCorruptionError(entry.index, entry.codec, str(exc))
+    err.__cause__ = exc
+    return err
+
+
+def _validate_on_error(on_error: str) -> None:
+    if on_error not in ("raise", "skip", "fill"):
+        raise ValueError(
+            f"unknown on_error policy {on_error!r} "
+            "(use 'raise', 'skip' or 'fill')"
+        )
+
+
 # ---------------------------------------------------------------------------
 # compression
 # ---------------------------------------------------------------------------
@@ -217,9 +255,17 @@ def _compress_worker(state, index: int) -> tuple[bytes, int]:
     compressed."""
     data, plan, abs_eb, config, threads, recon_out = state
     info = plan.chunk(index)
-    blob, codec_id, recon = _encode_chunk(
-        data[info.slices], abs_eb, config, threads, recon_out is not None
-    )
+    try:
+        blob, codec_id, recon = _encode_chunk(
+            data[info.slices], abs_eb, config, threads, recon_out is not None
+        )
+    except Exception as exc:
+        # chunk context makes multi-chunk failure reports actionable —
+        # and survives the pickle back from a fork worker
+        raise RuntimeError(
+            f"compressing chunk {index} (codec {config.codec!r}, origin "
+            f"{info.origin}) failed: {exc}"
+        ) from exc
     if recon_out is not None:
         recon_out[info.slices] = recon
     return blob, codec_id
@@ -258,8 +304,10 @@ def _run_compress(
             "process executor needs a shared (memmap/shared-memory) "
             "reconstruction buffer"
         )
+    # retry=1: a worker lost to the OOM killer / a segfault breaks the
+    # pool, not the chunks — the survivors re-run serially in-process
     for blob, codec_id in execute_map(
-        _compress_worker, list(range(plan.nchunks)), state, kind, n
+        _compress_worker, list(range(plan.nchunks)), state, kind, n, retry=1
     ):
         writer.add_chunk(blob, codec_id)
     _release_mapped(data)
@@ -289,8 +337,16 @@ def compress_chunked(
     threads: int | None = None,
     sink: io.IOBase | None = None,
     shape: tuple[int, ...] | None = None,
+    checksum: bool = False,
+    recoverable: bool = False,
 ) -> bytes | None:
     """Compress ``data`` into a sharded (container v3) archive.
+
+    ``checksum=True`` records per-chunk CRC32s plus a whole-archive
+    digest (flag-gated: pre-checksum readers reject the archive
+    cleanly); ``recoverable=True`` additionally prefixes every chunk
+    with an 'STZR' record so a crash before finalize leaves a
+    repairable stream — see DESIGN.md §9.
 
     ``data`` is an ndarray (memory-mapped arrays welcome — chunks are
     sliced out one at a time and released) or an iterator yielding the
@@ -311,7 +367,7 @@ def compress_chunked(
     if isinstance(data, np.ndarray):
         return _compress_chunked_array(
             data, eb, eb_mode, config, chunks, executor, workers,
-            threads, sink, None,
+            threads, sink, None, checksum, recoverable,
         )
     if shape is None:
         raise ValueError("chunk-iterator input requires shape=")
@@ -324,7 +380,7 @@ def compress_chunked(
     check_positive(eb, "error bound")
     return _compress_chunk_iter(
         iter(data), float(eb), config, chunks, executor, workers,
-        threads, shape, sink,
+        threads, shape, sink, checksum, recoverable,
     )
 
 
@@ -337,6 +393,7 @@ def compress_chunked_with_recon(
     executor: str = "thread",
     workers: int | None = None,
     threads: int | None = None,
+    checksum: bool = False,
 ) -> tuple[bytes, np.ndarray]:
     """:func:`compress_chunked` plus the decoder's exact reconstruction
     (assembled chunk by chunk from the encoder-tracked per-chunk
@@ -351,7 +408,7 @@ def compress_chunked_with_recon(
         executor = "thread"  # private recon buffer: stay in-process
     blob = _compress_chunked_array(
         data, eb, eb_mode, config, chunks, executor, workers, threads,
-        None, recon,
+        None, recon, checksum, False,
     )
     return blob, recon
 
@@ -367,13 +424,18 @@ def _compress_chunked_array(
     threads: int | None,
     sink: io.IOBase | None,
     recon_out: np.ndarray | None,
+    checksum: bool = False,
+    recoverable: bool = False,
 ) -> bytes | None:
     _validate_array(data)
     plan = ChunkPlan.regular(
         data.shape, chunks if chunks is not None else DEFAULT_CHUNK_EDGE
     )
     abs_eb = _resolve_eb_chunked(data, eb, eb_mode, plan)
-    writer = ShardedWriter(data.shape, data.dtype, plan.chunk_shape, sink)
+    writer = ShardedWriter(
+        data.shape, data.dtype, plan.chunk_shape, sink,
+        checksum=checksum, recoverable=recoverable,
+    )
     _run_compress(
         data, plan, abs_eb, config, writer, executor, workers, threads,
         recon_out,
@@ -392,6 +454,8 @@ def _compress_chunk_iter(
     threads: int | None,
     shape: tuple[int, ...],
     sink: io.IOBase | None,
+    checksum: bool = False,
+    recoverable: bool = False,
 ) -> bytes | None:
     """Compress a chunk iterator with a bounded in-flight window.
 
@@ -427,7 +491,10 @@ def _compress_chunk_iter(
                     f"expected float32/float64 chunks, got {chunk.dtype}"
                 )
             dtype = chunk.dtype
-            writer = ShardedWriter(shape, dtype, plan.chunk_shape, sink)
+            writer = ShardedWriter(
+                shape, dtype, plan.chunk_shape, sink,
+                checksum=checksum, recoverable=recoverable,
+            )
         if chunk.shape != info.shape or chunk.dtype != dtype:
             raise ValueError(
                 f"chunk {index} is {chunk.shape} {chunk.dtype}; the plan "
@@ -482,22 +549,39 @@ def _open_sharded(
     return ShardedReader(source)
 
 
-def _decode_worker(state, index: int) -> None:
+def _decode_worker(state, index: int) -> "ChunkCorruptionError | None":
     """Executor task: fetch chunk ``index``'s payload from the
-    (inherited) archive, decode it, and write it into the shared
-    output mapping.  Nothing heavier than the index crosses a process
-    boundary in either direction."""
-    src, entries, plan, out, threads = state
+    (inherited) archive, verify its checksum, decode it, and write it
+    into the shared output mapping.  Nothing heavier than the index
+    crosses a process boundary in either direction.
+
+    Under ``on_error != "raise"`` a failed chunk *returns* its
+    structured error instead of raising — one corrupt chunk must not
+    fail the other chunks' futures (and the error still pickles back
+    with full context, via ``ChunkCorruptionError.__reduce__``).
+    """
+    src, entries, plan, out, threads, on_error = state
     entry = entries[index]
-    if isinstance(src, (bytes, memoryview)):
-        payload = memoryview(src)[entry.offset : entry.offset + entry.length]
-    else:  # file path: workers read independently (no shared fd offset)
-        with open(src, "rb") as fh:
-            fh.seek(entry.offset)
-            payload = fh.read(entry.length)
-            if len(payload) != entry.length:
-                raise ValueError("truncated sharded STZ container")
-    out[plan.chunk(index).slices] = _decode_chunk_payload(payload, threads)
+    try:
+        if isinstance(src, (bytes, memoryview)):
+            payload = memoryview(src)[
+                entry.offset : entry.offset + entry.length
+            ]
+        else:  # file path: workers read independently (no shared fd offset)
+            with open(src, "rb") as fh:
+                fh.seek(entry.offset)
+                payload = fh.read(entry.length)
+                if len(payload) != entry.length:
+                    raise ValueError("truncated sharded STZ container")
+        _check_chunk_payload(entry, payload)
+        decoded = _decode_chunk_payload(payload, threads)
+        out[plan.chunk(index).slices] = decoded
+    except Exception as exc:
+        err = _as_chunk_error(exc, entry)
+        if on_error == "raise":
+            raise err
+        return err
+    return None
 
 
 def _worker_source(
@@ -521,6 +605,8 @@ def decompress_chunked(
     executor: str = "serial",
     workers: int | None = None,
     threads: int | None = None,
+    on_error: str = "raise",
+    report: DecodeReport | None = None,
 ) -> np.ndarray:
     """Reconstruct a sharded archive, chunk-parallel.
 
@@ -534,7 +620,19 @@ def decompress_chunked(
     the process executor decoded chunks land directly in a shared
     mapping (the ``out`` memmap, or an anonymous shared-memory buffer
     that is copied out once at the end), never in a pickle.
+
+    ``on_error`` is the fault-tolerance contract (DESIGN.md §9):
+    ``"raise"`` (default) surfaces the first corrupt chunk as a
+    :class:`~repro.core.integrity.ChunkCorruptionError`; ``"fill"``
+    decodes everything decodable and NaN-fills the failed chunks'
+    regions; ``"skip"`` leaves failed regions untouched in a
+    caller-provided ``out`` (without ``out`` a fresh allocation has no
+    prior contents, so skip fills NaN too — never uninitialized
+    memory).  Degraded chunks are recorded in ``report`` (a
+    :class:`~repro.core.integrity.DecodeReport`), so "clean" and
+    "NaN-filled two chunks" are distinguishable.
     """
+    _validate_on_error(on_error)
     reader = _open_sharded(source)
     plan = reader.plan
     if out is not None:
@@ -544,6 +642,17 @@ def decompress_chunked(
                 f"{plan.shape} {reader.dtype}"
             )
     kind, n = resolve_executor(executor, workers)
+    if report is not None:
+        report.attempted += plan.nchunks
+    # "skip" without a caller buffer would leave np.empty garbage —
+    # silent wrong data, the one thing this layer exists to prevent
+    fill_failed = on_error == "fill" or (on_error == "skip" and out is None)
+
+    def degrade(err: ChunkCorruptionError, target: np.ndarray) -> None:
+        if report is not None:
+            report.record(err)
+        if fill_failed:
+            target[plan.chunk(err.chunk_index).slices] = np.nan
 
     if kind == "serial":
         result = (
@@ -551,9 +660,16 @@ def decompress_chunked(
             else np.empty(plan.shape, dtype=reader.dtype)
         )
         for info in plan:
-            result[info.slices] = _decode_chunk_payload(
-                reader.read_chunk(info.index), threads
-            )
+            entry = reader.chunk(info.index)
+            try:
+                payload = reader.read_chunk(info.index)
+                _check_chunk_payload(entry, payload)
+                result[info.slices] = _decode_chunk_payload(payload, threads)
+            except Exception as exc:
+                err = _as_chunk_error(exc, entry)
+                if on_error == "raise":
+                    raise err
+                degrade(err, result)
             _release_mapped(result)
         return result
 
@@ -569,6 +685,10 @@ def decompress_chunked(
         target = np.ndarray(plan.shape, dtype=reader.dtype, buffer=shm.buf)
     else:
         target = np.empty(plan.shape, dtype=reader.dtype)
+    if target is not out and out is not None and on_error == "skip":
+        # skipped regions must keep the caller buffer's prior contents
+        # even though the decode stages through a separate mapping
+        target[...] = out
     try:
         state = (
             _worker_source(reader, source),
@@ -576,10 +696,19 @@ def decompress_chunked(
             plan,
             target,
             None,  # intra-chunk threads off under chunk-level pools
+            on_error,
         )
-        execute_map(
-            _decode_worker, list(range(plan.nchunks)), state, kind, n
-        )
+        # retry=1: BrokenProcessPool (a killed worker) fails futures,
+        # not chunks — the affected chunks re-run serially in-process.
+        # Genuinely corrupt chunks raise the same structured error on
+        # the retry (on_error="raise") or came back as error values
+        # (skip/fill), so retries never mask corruption.
+        for outcome in execute_map(
+            _decode_worker, list(range(plan.nchunks)), state, kind, n,
+            retry=1,
+        ):
+            if isinstance(outcome, ChunkCorruptionError):
+                degrade(outcome, target)
         reader.bytes_read += sum(c.length for c in reader.chunks)
         if target is out:
             return out
@@ -604,6 +733,8 @@ def decompress_chunked_roi(
     roi: tuple[slice | int, ...],
     threads: int | None = None,
     workers: int | None = None,
+    on_error: str = "raise",
+    report: DecodeReport | None = None,
 ) -> np.ndarray:
     """Reconstruct only the chunks intersecting ``roi``.
 
@@ -614,7 +745,13 @@ def decompress_chunked_roi(
     local window, so a small box inside a large chunk still skips the
     sub-blocks it cannot touch.  Bit-identical to cropping a full
     decompression.
+
+    ``on_error``/``report`` follow the :func:`decompress_chunked`
+    contract; the ROI output is always freshly allocated, so both
+    ``"skip"`` and ``"fill"`` NaN-fill a failed chunk's slice of the
+    box (never uninitialized memory).
     """
+    _validate_on_error(on_error)
     reader = _open_sharded(source)
     plan = reader.plan
     box = normalize_roi(plan.shape, roi)
@@ -628,43 +765,67 @@ def decompress_chunked_roi(
     # serial walk has no such hazard and keeps reading one payload at a
     # time.  Only the intersecting chunks are ever read either way.
     fan_out = bool(workers and workers > 1) and len(indices) > 1
+
+    def prefetch(index: int) -> "bytes | memoryview | None":
+        # a payload that cannot even be *read* is re-fetched (and
+        # re-failed, with chunk context) inside one() — where the
+        # on_error policy applies
+        try:
+            return reader.read_chunk(index)
+        except ValueError:
+            return None
+
     tasks = [
-        (index, reader.read_chunk(index) if fan_out else None)
+        (index, prefetch(index) if fan_out else None)
         for index in indices
     ]
+    if report is not None:
+        report.attempted += len(indices)
     # chunk-level parallelism replaces intra-chunk threading (nesting
     # pools oversubscribes — same rule as _run_compress)
     threads = None if fan_out else threads
 
     def one(task: "tuple[int, bytes | memoryview | None]") -> None:
         index, payload = task
-        if payload is None:
-            payload = reader.read_chunk(index)
+        entry = reader.chunk(index)
         info = plan.chunk(index)
         local = tuple(
             slice(max(lo, o) - o, min(hi, o + n) - o)
             for (lo, hi), o, n in zip(box, info.origin, info.shape)
         )
-        # STZ-coded chunks (plain STZ1 blobs *and* 'STZC'-enveloped
-        # auto selections) run the sub-chunk random-access path over
-        # their local window; foreign codecs decode fully and crop
-        if is_selected(payload):
-            inner_id, inner = unwrap_selected(payload)
-        else:
-            inner_id, inner = reader.chunk(index).codec_id, payload
-        sub: np.ndarray | None = None
-        if inner_id == CODEC_STZ:
-            try:
-                sub = stz_decompress_roi(inner, local, threads=threads).data
-            except NotImplementedError:
-                sub = None  # ablation configs: fall back to full decode
-        if sub is None:
-            sub = _decode_chunk_payload(payload, threads)[local]
         dest = tuple(
             slice(o + sl.start - lo, o + sl.stop - lo)
             for (lo, _), o, sl in zip(box, info.origin, local)
         )
-        out[dest] = sub
+        try:
+            if payload is None:
+                payload = reader.read_chunk(index)
+            _check_chunk_payload(entry, payload)
+            # STZ-coded chunks (plain STZ1 blobs *and* 'STZC'-enveloped
+            # auto selections) run the sub-chunk random-access path over
+            # their local window; foreign codecs decode fully and crop
+            if is_selected(payload):
+                inner_id, inner = unwrap_selected(payload)
+            else:
+                inner_id, inner = entry.codec_id, payload
+            sub: np.ndarray | None = None
+            if inner_id == CODEC_STZ:
+                try:
+                    sub = stz_decompress_roi(
+                        inner, local, threads=threads
+                    ).data
+                except NotImplementedError:
+                    sub = None  # ablation configs: fall back to full decode
+            if sub is None:
+                sub = _decode_chunk_payload(payload, threads)[local]
+            out[dest] = sub
+        except Exception as exc:
+            err = _as_chunk_error(exc, entry)
+            if on_error == "raise":
+                raise err
+            if report is not None:
+                report.record(err)
+            out[dest] = np.nan
 
     # same worker semantics as the other chunked entry points: an
     # explicit multi-worker request is honored (resolve_executor), not

@@ -35,7 +35,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -153,6 +153,106 @@ def _fork_invoke(item):
     return fn(state, item)
 
 
+class _ItemFailure:
+    """Per-item failure marker inside an outcome list — keeps one bad
+    item from discarding the results of every other item (the raw
+    material of :func:`execute_map`'s retry pass)."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
+
+
+def _thread_outcomes(
+    fn: Callable[[object, T], R],
+    items: Sequence[T],
+    state: object,
+    workers: int,
+) -> list:
+    def run(x):
+        try:
+            return fn(state, x)
+        except Exception as exc:  # noqa: BLE001 — outcome, re-raised later
+            return _ItemFailure(exc)
+
+    with ThreadPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(run, items))
+
+
+def _fork_outcomes(
+    fn: Callable[[object, T], R],
+    items: Sequence[T],
+    state: object,
+    workers: int,
+) -> list | None:
+    """Per-item outcomes over a fresh fork pool, or ``None`` when the
+    pool cannot run here (fork unavailable, or another pool is mid
+    publish→fork→clear) and the caller should run inline.
+
+    Uses one future per item instead of ``Pool.map`` so failures are
+    *identifiable*: a child that raises fails only its own future, and
+    a child that dies outright (OOM kill, segfault, SIGKILL) surfaces
+    as ``BrokenProcessPool`` on the futures still in flight rather than
+    hanging the map — that is what lets :func:`execute_map` retry the
+    affected items serially in the parent.
+    """
+    global _FORK_STATE
+    if not fork_available():
+        return None
+    if not _FORK_LOCK.acquire(blocking=False):
+        # another thread is mid publish→fork→clear (or this is a nested
+        # call inside a forked worker, which inherited the lock held):
+        # run inline rather than overwrite its published state
+        return None
+    try:
+        _FORK_STATE = (fn, state)
+        try:
+            ctx = mp.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(items)), mp_context=ctx
+            ) as pool:
+                futures = [pool.submit(_fork_invoke, x) for x in items]
+                outcomes: list = []
+                for fut in futures:
+                    try:
+                        outcomes.append(fut.result())
+                    except Exception as exc:  # noqa: BLE001 — see above
+                        outcomes.append(_ItemFailure(exc))
+                return outcomes
+        finally:
+            _FORK_STATE = None
+    finally:
+        _FORK_LOCK.release()
+
+
+def _settle(
+    outcomes: list,
+    fn: Callable[[object, T], R],
+    items: Sequence[T],
+    state: object,
+    retry: int,
+) -> list[R]:
+    """Resolve ``_ItemFailure`` outcomes: re-run each failed item
+    serially in the calling process up to ``retry`` times, then raise
+    the (last) failure.  Serial re-execution is the degradation path
+    for *worker* casualties — a ``BrokenProcessPool`` wipes every
+    in-flight future, but the items themselves are typically fine."""
+    for i, outcome in enumerate(outcomes):
+        if not isinstance(outcome, _ItemFailure):
+            continue
+        exc = outcome.exc
+        for _ in range(max(0, retry)):
+            try:
+                outcomes[i] = fn(state, items[i])
+                break
+            except Exception as retry_exc:  # noqa: BLE001 — raised below
+                exc = retry_exc
+        else:
+            raise exc
+    return outcomes
+
+
 def fork_map(
     fn: Callable[[object, T], R],
     items: Sequence[T],
@@ -174,25 +274,16 @@ def fork_map(
     is unavailable (:func:`resolve_executor` normally routes those
     cases away first), or another fork pool is already in flight —
     concurrent or nested pools would race on :data:`_FORK_STATE`.
+    A child exception fails the whole map (first failed item in item
+    order, like the serial loop); callers that want degradation go
+    through :func:`execute_map` with ``retry``.
     """
-    global _FORK_STATE
-    if workers <= 1 or len(items) <= 1 or not fork_available():
+    if workers <= 1 or len(items) <= 1:
         return [fn(state, x) for x in items]
-    if not _FORK_LOCK.acquire(blocking=False):
-        # another thread is mid publish→fork→clear (or this is a nested
-        # call inside a forked worker, which inherited the lock held):
-        # run inline rather than overwrite its published state
+    outcomes = _fork_outcomes(fn, items, state, workers)
+    if outcomes is None:
         return [fn(state, x) for x in items]
-    try:
-        _FORK_STATE = (fn, state)
-        try:
-            ctx = mp.get_context("fork")
-            with ctx.Pool(processes=min(workers, len(items))) as pool:
-                return pool.map(_fork_invoke, items)
-        finally:
-            _FORK_STATE = None
-    finally:
-        _FORK_LOCK.release()
+    return _settle(outcomes, fn, items, state, retry=0)
 
 
 def execute_map(
@@ -201,19 +292,33 @@ def execute_map(
     state: object,
     executor: str = "serial",
     workers: int | None = None,
+    retry: int = 0,
 ) -> list[R]:
     """Run ``fn(state, item)`` for every item under the chosen executor.
 
     The one entry point the chunked engine uses for both directions:
     ``serial`` is the reference loop, ``thread`` shares ``state`` by
-    virtue of threads, ``process`` goes through :func:`fork_map`.
+    virtue of threads, ``process`` goes through the fork pool.
     Results are returned in item order for every executor — the
     byte-determinism contract of the v3 container.
+
+    ``retry`` bounds a serial re-execution pass over items whose pooled
+    run failed: a crashed worker (``BrokenProcessPool`` — OOM killer,
+    segfault) fails every in-flight future, but the items are usually
+    healthy, so the chunked engine passes ``retry=1`` and loses nothing
+    but time.  Deterministic failures (a genuinely corrupt chunk) fail
+    again in the parent and surface with their original, contextual
+    exception — retries never mask an error, they only strip away pool
+    mechanics.  The serial path never retries: it would deterministically
+    re-raise.
     """
     kind, n = resolve_executor(executor, workers)
     if kind == "serial" or len(items) <= 1:
         return [fn(state, x) for x in items]
     if kind == "thread":
-        with ThreadPoolExecutor(max_workers=min(n, len(items))) as pool:
-            return list(pool.map(lambda x: fn(state, x), items))
-    return fork_map(fn, items, state, n)
+        outcomes = _thread_outcomes(fn, items, state, n)
+    else:
+        outcomes = _fork_outcomes(fn, items, state, n)
+        if outcomes is None:
+            return [fn(state, x) for x in items]
+    return _settle(outcomes, fn, items, state, retry)

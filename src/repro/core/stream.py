@@ -92,12 +92,45 @@ a query touches.  Unknown container flags, unknown per-chunk flags and
 unknown codec ids are all rejected at open — same policy, same reason,
 as every flag field above; v1/v2 readers reject v3 archives cleanly by
 magic (and pre-v3 builds never parse past it).
+
+**Integrity and crash recovery** (DESIGN.md §9) ride on the same
+flag-bit evolution pattern, in three independent, writer-opt-in layers:
+
+* **Per-unit checksums** — ``checksum=True`` writers record a CRC32 of
+  every frame/chunk payload in 4 of the 6 spare pad bytes of the v2
+  frame table / v3 chunk table row (old rows parse as crc 0), mark the
+  row with :data:`FRAME_CHECKSUM` / :data:`CHUNK_CHECKSUM`, and append
+  a *whole-archive digest* (CRC32 of every byte up to the digest
+  block) between table and trailer, gated by the container-level
+  :data:`MULTI_CHECKSUM` / :data:`SHARD_CHECKSUM` bit.  Archives
+  without the bits verify as "unchecked"; archives *with* them are
+  rejected cleanly by pre-checksum readers (unknown-flag policy).
+  Single-array containers get the same property from a trailing CRC32
+  gated by an STZ1 header flag bit / 'STZC' envelope flag bit
+  (:func:`add_archive_checksum`).
+* **Recoverable appends** — ``recoverable=True`` (implies checksums)
+  prefixes every frame/chunk payload with a 20-byte ``'STZR'`` record
+  (magic, payload length, payload CRC32, frame flags, codec id) so an
+  archive whose table/trailer was lost to a crash mid-stream is
+  reconstructible by forward scan: each record revalidates its payload
+  by checksum, and :func:`repro.core.integrity.repair_archive` rebuilds
+  the table from the longest valid record prefix.  Gated by
+  :data:`MULTI_RECOVER` / :data:`SHARD_RECOVER`.
+* **Decode-time verification** — readers expose the stored CRCs
+  (:class:`FrameInfo.crc` / :class:`ChunkEntry.crc`); the decode layers
+  (:mod:`repro.core.chunked`, :mod:`repro.core.streaming`) verify each
+  payload before parsing it and surface mismatches as structured
+  corruption errors with ``on_error`` degradation.  The whole-archive
+  digest is only checked by :func:`repro.core.integrity.verify_archive`
+  (checking it on open would read the entire file and defeat random
+  access).
 """
 
 from __future__ import annotations
 
 import io
 import struct
+import zlib
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -118,19 +151,30 @@ SHARD_MAGIC = b"STZS"
 SHARD_VERSION = 1
 _SHARD_FIXED = struct.Struct("<4sBBBB")
 # magic, version, flags, dtype, ndim
-#: sharded-container flag bits this reader understands (none defined;
-#: unknown bits are rejected like every other flag field here)
-_KNOWN_SHARD_FLAGS = 0
-#: per-chunk flag bits this reader understands (none defined yet)
-_KNOWN_CHUNK_FLAGS = 0
+#: container-level v3 flag: the chunk table carries per-chunk payload
+#: CRC32s and a whole-archive digest precedes the trailer
+SHARD_CHECKSUM = 1
+#: container-level v3 flag: every chunk payload is prefixed by a 20-byte
+#: 'STZR' record so a lost table/trailer is rebuildable by forward scan
+SHARD_RECOVER = 2
+#: sharded-container flag bits this reader understands (unknown bits
+#: are rejected like every other flag field here)
+_KNOWN_SHARD_FLAGS = SHARD_CHECKSUM | SHARD_RECOVER
+#: per-chunk flag: the table row's crc field holds the payload's CRC32
+CHUNK_CHECKSUM = 1
+#: per-chunk flag bits this reader understands
+_KNOWN_CHUNK_FLAGS = CHUNK_CHECKSUM
 
 SELECT_MAGIC = b"STZC"
 SELECT_VERSION = 1
 _SELECT_HEADER = struct.Struct("<4sBBBB")
 # magic, version, codec_id, flags, pad
-#: envelope flag bits this reader understands (none defined; unknown
-#: bits are rejected like every other flag field in this module)
-_KNOWN_SELECT_FLAGS = 0
+#: envelope flag: the container ends with a CRC32 of every preceding
+#: byte (set by :func:`add_archive_checksum`)
+SELECT_CHECKSUM = 1
+#: envelope flag bits this reader understands (unknown bits are
+#: rejected like every other flag field in this module)
+_KNOWN_SELECT_FLAGS = SELECT_CHECKSUM
 
 #: frame payload is the STZ1 compression of ``step - prev_recon``; the
 #: decoder must add the previous frame's reconstruction back
@@ -141,17 +185,27 @@ FRAME_DELTA = 1
 #: pre-sharding readers reject such archives at open instead of handing
 #: a v3 container to a codec parser.
 FRAME_SHARDED = 2
+#: the frame-table row's crc field holds the payload's CRC32; decoders
+#: verify before parsing (a mismatch is surfaced as corruption, never
+#: decoded into plausible garbage)
+FRAME_CHECKSUM = 4
 #: frame flags this reader understands (unknown bits are rejected at
 #: open, mirroring the STZ1 header-flag policy)
-_KNOWN_FRAME_FLAGS = FRAME_DELTA | FRAME_SHARDED
+_KNOWN_FRAME_FLAGS = FRAME_DELTA | FRAME_SHARDED | FRAME_CHECKSUM
 #: container-level v2 flag: some frame's payload may be encoded by a
 #: non-STZ backend (see the per-frame codec id).  Writers set it for
 #: codec-selected streams so pre-codec-id readers reject the archive at
 #: open instead of handing a foreign payload to the STZ1 parser.
 MULTI_CODEC = 1
+#: container-level v2 flag: frames carry CRC32s and a whole-archive
+#: digest precedes the trailer (see the module docstring)
+MULTI_CHECKSUM = 2
+#: container-level v2 flag: every frame payload is prefixed by a
+#: 20-byte 'STZR' record — the crash-recovery discipline
+MULTI_RECOVER = 4
 #: container-level v2 flags this reader understands (unknown bits are
 #: rejected at open so a future semantic change fails loudly)
-_KNOWN_MULTI_FLAGS = MULTI_CODEC
+_KNOWN_MULTI_FLAGS = MULTI_CODEC | MULTI_CHECKSUM | MULTI_RECOVER
 
 #: stable on-disk codec ids for codec-selected containers — the v2
 #: frame-table codec byte and the 'STZC' envelope.  0 (STZ) doubles as
@@ -199,19 +253,27 @@ _FLAG_ADAPTIVE = 2
 #: formula, so the bit travels with the container; its absence selects
 #: the float64 formula every pre-flag encoder used
 _FLAG_F32_QUANT = 4
+#: the container ends with a CRC32 of every preceding byte (set by
+#: :func:`add_archive_checksum`) — whole-archive integrity for
+#: single-array STZ1 blobs
+_FLAG_CHECKSUM = 8
 #: flags this reader understands; unknown bits are *rejected*, because
 #: a flag may change decode semantics (as _FLAG_F32_QUANT does) and
 #: silently ignoring one would decode plausibly-looking garbage that
 #: can violate the hard error bound
-_KNOWN_FLAGS = _FLAG_PARTITION_ONLY | _FLAG_ADAPTIVE | _FLAG_F32_QUANT
+_KNOWN_FLAGS = (
+    _FLAG_PARTITION_ONLY | _FLAG_ADAPTIVE | _FLAG_F32_QUANT | _FLAG_CHECKSUM
+)
 
 _FIXED = struct.Struct("<4sBBBBBBBBddII")
 _SEG = struct.Struct("<BBBBQQ")
 _MULTI_FIXED = struct.Struct("<4sBBH")
 _MULTI_TRAILER = struct.Struct("<QI4s")
 #: the codec byte sits where a zero pad byte used to: old rows parse
-#: identically (codec 0 = STZ) and all-STZ tables stay byte-exact
-_FRAME = struct.Struct("<QQBB6x")
+#: identically (codec 0 = STZ) and all-STZ tables stay byte-exact.
+#: The crc field reuses 4 more of the original pad bytes the same way:
+#: pre-checksum rows parse as crc 0 with the checksum flag unset.
+_FRAME = struct.Struct("<QQBBI2x")
 #: numpy mirror of ``_FRAME`` — table emitted/parsed in one shot
 _FRAME_DTYPE = np.dtype(
     [
@@ -219,10 +281,26 @@ _FRAME_DTYPE = np.dtype(
         ("length", "<u8"),
         ("flags", "u1"),
         ("codec", "u1"),
-        ("pad", "u1", (6,)),
+        ("crc", "<u4"),
+        ("pad", "u1", (2,)),
     ]
 )
 assert _FRAME_DTYPE.itemsize == _FRAME.size
+
+#: whole-archive digest block (v2/v3, gated by MULTI_CHECKSUM /
+#: SHARD_CHECKSUM): CRC32 of every container byte before this block,
+#: i.e. head + records + payloads + table.  Sits between the table and
+#: the 16-byte trailer so the trailer geometry stays fixed-size.
+_DIGEST = struct.Struct("<I4x")
+
+#: recoverable-append record: prefixes each frame/chunk payload when
+#: the writer runs with ``recoverable=True``.  Self-delimiting and
+#: self-validating (payload length + payload CRC32 + the table fields),
+#: which is exactly what a forward scan needs to rebuild a table lost
+#: to a crash before :meth:`MultiFrameWriter.finalize`.
+RECORD_MAGIC = b"STZR"
+_RECORD = struct.Struct("<4sQIBB2x")
+# magic, payload length, payload crc32, flags, codec id
 #: numpy mirror of ``_SEG`` — lets the writer emit and the reader parse
 #: the whole segment table with one vectorized call instead of a
 #: per-segment ``struct`` loop
@@ -237,6 +315,56 @@ _SEG_DTYPE = np.dtype(
     ]
 )
 assert _SEG_DTYPE.itemsize == _SEG.size
+
+
+#: header byte holding the flag field, per magic — used by
+#: :func:`add_archive_checksum` and the integrity scrubber
+_FLAG_BYTE_OFFSET = {MAGIC: 11, SELECT_MAGIC: 6}
+
+
+def add_archive_checksum(blob: bytes | memoryview) -> bytes:
+    """Append a whole-container CRC32 to a single-array archive.
+
+    Works on 'STZ1' containers and 'STZC' envelopes: sets the
+    container's checksum flag bit and appends the CRC32 of every byte
+    of the (flag-updated) archive.  Readers that predate the bit reject
+    the result cleanly (unknown-flag policy); readers that know it
+    verify the trailing CRC before decoding in-memory sources.
+    Idempotent on already-checksummed archives.
+    """
+    buf = bytearray(blob)
+    magic = bytes(buf[:4])
+    if magic == MAGIC:
+        off, bit = _FLAG_BYTE_OFFSET[MAGIC], _FLAG_CHECKSUM
+    elif magic == SELECT_MAGIC:
+        off, bit = _FLAG_BYTE_OFFSET[SELECT_MAGIC], SELECT_CHECKSUM
+    else:
+        raise ValueError(
+            "whole-archive checksums apply to single-array containers "
+            "(STZ1 / STZC); multi-frame and sharded archives carry "
+            "per-unit checksums instead (checksum=True writers)"
+        )
+    if len(buf) <= off:
+        raise ValueError("truncated STZ container")
+    if buf[off] & bit:
+        return bytes(buf)
+    buf[off] |= bit
+    buf += struct.pack("<I", zlib.crc32(buf))
+    return bytes(buf)
+
+
+def _verify_trailing_crc(buf: memoryview, what: str) -> None:
+    """Check a container's trailing CRC32 (covers all preceding bytes,
+    including the flag byte that gates it)."""
+    if len(buf) < 4:
+        raise ValueError(f"truncated {what} container")
+    (stored,) = struct.unpack("<I", buf[-4:])
+    computed = zlib.crc32(buf[:-4])
+    if computed != stored:
+        raise ValueError(
+            f"{what} container checksum mismatch "
+            f"(stored 0x{stored:08x}, computed 0x{computed:08x})"
+        )
 
 
 def eps_to_mask(eps: Offset) -> int:
@@ -416,6 +544,12 @@ class StreamReader:
                 "container uses unknown feature flags "
                 f"0x{flags & ~_KNOWN_FLAGS:02x}; upgrade the reader"
             )
+        self.has_checksum = bool(flags & _FLAG_CHECKSUM)
+        if self.has_checksum and self._buf is not None:
+            # in-memory sources verify at open (pure compute, no extra
+            # I/O); file sources stay lazy so random access never reads
+            # the whole archive — `stz verify` covers them
+            _verify_trailing_crc(self._buf, "STZ")
         shape = struct.unpack(
             f"<{ndim}Q", self._read_at(_FIXED.size, 8 * ndim)
         )
@@ -484,10 +618,17 @@ class FrameInfo:
     length: int
     flags: int
     codec_id: int = CODEC_STZ
+    crc: int = 0  # CRC32 of the payload, valid iff has_checksum
 
     @property
     def is_delta(self) -> bool:
         return bool(self.flags & FRAME_DELTA)
+
+    @property
+    def has_checksum(self) -> bool:
+        """Whether ``crc`` holds the payload's CRC32 (pre-checksum rows
+        parse with the flag unset and crc 0 — "unchecked")."""
+        return bool(self.flags & FRAME_CHECKSUM)
 
     @property
     def is_sharded(self) -> bool:
@@ -528,23 +669,53 @@ class MultiFrameWriter:
     the sink is never seeked: any append-only byte sink works.  With no
     ``sink`` an in-memory buffer is used and :meth:`getvalue` returns
     the archive bytes.
+
+    ``checksum=True`` records a CRC32 per frame plus a whole-archive
+    digest; ``recoverable=True`` (implies ``checksum``) additionally
+    prefixes every payload with an 'STZR' record so the archive is
+    salvageable by forward scan if the process dies before
+    :meth:`finalize` — see the module docstring and DESIGN.md §9.
     """
 
-    def __init__(self, sink: io.IOBase | None = None, flags: int = 0):
+    def __init__(
+        self,
+        sink: io.IOBase | None = None,
+        flags: int = 0,
+        checksum: bool = False,
+        recoverable: bool = False,
+    ):
         if flags & ~_KNOWN_MULTI_FLAGS:
             raise ValueError(f"unknown container flags 0x{flags:02x}")
+        # flag bits and keyword arguments are equivalent spellings: a
+        # checksum bit without checksum behaviour would produce an
+        # archive whose geometry contradicts its own flags
+        recoverable = recoverable or bool(flags & MULTI_RECOVER)
+        checksum = checksum or recoverable or bool(flags & MULTI_CHECKSUM)
+        if checksum:
+            flags |= MULTI_CHECKSUM
+        if recoverable:
+            flags |= MULTI_RECOVER
+        self.checksum = checksum
+        self.recoverable = recoverable
         self._own = sink is None
         self._sink: io.IOBase = io.BytesIO() if sink is None else sink
-        self._sink.write(
-            _MULTI_FIXED.pack(MULTI_MAGIC, MULTI_VERSION, flags, 0)
-        )
         self.flags = flags
-        self._pos = _MULTI_FIXED.size
+        self._pos = 0
+        self._digest = 0
+        self._write(_MULTI_FIXED.pack(MULTI_MAGIC, MULTI_VERSION, flags, 0))
         self._offsets: list[int] = []
         self._lengths: list[int] = []
         self._flags: list[int] = []
         self._codecs: list[int] = []
+        self._crcs: list[int] = []
         self._finalized = False
+
+    def _write(self, data: bytes | memoryview) -> None:
+        """Append ``data``, tracking position and the running digest."""
+        self._sink.write(data)
+        self._pos += len(data)
+        if self.checksum:
+            self._digest = zlib.crc32(data, self._digest)
 
     @property
     def nframes(self) -> int:
@@ -576,13 +747,26 @@ class MultiFrameWriter:
                 "non-STZ frame codec requires a writer opened with "
                 "flags=MULTI_CODEC"
             )
-        info = FrameInfo(self.nframes, self._pos, len(payload), flags, codec_id)
+        crc = 0
+        if self.checksum:
+            crc = zlib.crc32(payload)
+            flags |= FRAME_CHECKSUM
+        if self.recoverable:
+            # the record carries everything the table row would — a
+            # forward scan can rebuild the table byte-exactly from the
+            # records alone (integrity.repair_archive)
+            self._write(
+                _RECORD.pack(RECORD_MAGIC, len(payload), crc, flags, codec_id)
+            )
+        info = FrameInfo(
+            self.nframes, self._pos, len(payload), flags, codec_id, crc
+        )
         self._offsets.append(info.offset)
         self._lengths.append(info.length)
         self._flags.append(flags)
         self._codecs.append(codec_id)
-        self._sink.write(payload)
-        self._pos += info.length
+        self._crcs.append(crc)
+        self._write(payload)
         return info
 
     def finalize(self) -> None:
@@ -594,9 +778,15 @@ class MultiFrameWriter:
         table["length"] = self._lengths
         table["flags"] = self._flags
         table["codec"] = self._codecs
-        self._sink.write(table.tobytes())
+        table["crc"] = self._crcs
+        table_off = self._pos
+        self._write(table.tobytes())
+        if self.checksum:
+            # digest of every byte written so far (head through table);
+            # written raw — it cannot cover itself
+            self._sink.write(_DIGEST.pack(self._digest))
         self._sink.write(
-            _MULTI_TRAILER.pack(self._pos, self.nframes, MULTI_END_MAGIC)
+            _MULTI_TRAILER.pack(table_off, self.nframes, MULTI_END_MAGIC)
         )
         self._finalized = True
 
@@ -653,25 +843,40 @@ class MultiFrameReader:
                 f"0x{flags & ~_KNOWN_MULTI_FLAGS:02x}; upgrade the reader"
             )
         self.flags = flags
+        self.has_digest = bool(flags & MULTI_CHECKSUM)
         table_off, nframes, end_magic = _MULTI_TRAILER.unpack(
             self._read_at(total - _MULTI_TRAILER.size, _MULTI_TRAILER.size)
         )
         if end_magic != MULTI_END_MAGIC:
             raise ValueError("truncated multi-frame STZ container")
-        if table_off + _FRAME.size * nframes + _MULTI_TRAILER.size != total:
+        extra = _DIGEST.size if self.has_digest else 0
+        if (
+            table_off + _FRAME.size * nframes + extra + _MULTI_TRAILER.size
+            != total
+        ):
             raise ValueError("corrupt multi-frame table geometry")
+        #: where the whole-archive digest coverage ends (== digest block
+        #: start when has_digest) — verify_archive checks CRC32 of
+        #: bytes [0, digest_offset) against stored_digest
+        self.digest_offset = table_off + _FRAME.size * nframes
+        self.stored_digest: int | None = None
+        if self.has_digest:
+            (self.stored_digest,) = _DIGEST.unpack(
+                self._read_at(self.digest_offset, _DIGEST.size)
+            )
         table = np.frombuffer(
             self._read_at(table_off, _FRAME.size * nframes),
             dtype=_FRAME_DTYPE,
         )
         self.frames: tuple[FrameInfo, ...] = tuple(
-            FrameInfo(i, int(off), int(length), int(fl), int(cid))
-            for i, (off, length, fl, cid) in enumerate(
+            FrameInfo(i, int(off), int(length), int(fl), int(cid), int(crc))
+            for i, (off, length, fl, cid, crc) in enumerate(
                 zip(
                     table["offset"].tolist(),
                     table["length"].tolist(),
                     table["flags"].tolist(),
                     table["codec"].tolist(),
+                    table["crc"].tolist(),
                 )
             )
         )
@@ -786,6 +991,11 @@ def unwrap_selected(
             f"container uses unknown codec id {codec_id}; "
             "upgrade the reader"
         )
+    if flags & SELECT_CHECKSUM:
+        # trailing CRC covers the whole envelope; strip it so the
+        # inner codec sees exactly the payload it produced
+        _verify_trailing_crc(buf, "codec-selected")
+        return codec_id, buf[_SELECT_HEADER.size : len(buf) - 4]
     return codec_id, buf[_SELECT_HEADER.size :]
 
 
@@ -802,11 +1012,18 @@ class ChunkEntry:
     length: int
     flags: int
     codec_id: int = CODEC_STZ
+    crc: int = 0  # CRC32 of the payload, valid iff has_checksum
 
     @property
     def codec(self) -> str:
         """Name of the backend that encoded this chunk's payload."""
         return CODEC_NAMES[self.codec_id]
+
+    @property
+    def has_checksum(self) -> bool:
+        """Whether ``crc`` holds the payload's CRC32 (pre-checksum rows
+        parse with the flag unset and crc 0 — "unchecked")."""
+        return bool(self.flags & CHUNK_CHECKSUM)
 
 
 def is_sharded(source: bytes | memoryview | io.IOBase) -> bool:
@@ -843,9 +1060,21 @@ class ShardedWriter:
         chunk_shape: tuple[int, ...],
         sink: io.IOBase | None = None,
         flags: int = 0,
+        checksum: bool = False,
+        recoverable: bool = False,
     ):
         if flags & ~_KNOWN_SHARD_FLAGS:
             raise ValueError(f"unknown container flags 0x{flags:02x}")
+        # flag bits and keyword arguments are equivalent spellings (see
+        # MultiFrameWriter)
+        recoverable = recoverable or bool(flags & SHARD_RECOVER)
+        checksum = checksum or recoverable or bool(flags & SHARD_CHECKSUM)
+        if checksum:
+            flags |= SHARD_CHECKSUM
+        if recoverable:
+            flags |= SHARD_RECOVER
+        self.checksum = checksum
+        self.recoverable = recoverable
         self.plan = ChunkPlan(
             tuple(int(n) for n in shape), tuple(int(c) for c in chunk_shape)
         )
@@ -859,11 +1088,21 @@ class ShardedWriter:
         ) + struct.pack(
             f"<{2 * ndim}Q", *self.plan.shape, *self.plan.chunk_shape
         )
-        self._sink.write(head)
-        self._pos = len(head)
+        self._pos = 0
+        self._digest = 0
+        self._write(head)
+        self._offsets: list[int] = []
         self._lengths: list[int] = []
         self._codecs: list[int] = []
+        self._crcs: list[int] = []
         self._finalized = False
+
+    def _write(self, data: bytes | memoryview) -> None:
+        """Append ``data``, tracking position and the running digest."""
+        self._sink.write(data)
+        self._pos += len(data)
+        if self.checksum:
+            self._digest = zlib.crc32(data, self._digest)
 
     @property
     def nchunks(self) -> int:
@@ -887,13 +1126,23 @@ class ShardedWriter:
                 f"plan has only {self.plan.nchunks} chunks; chunk "
                 f"{self.nchunks} does not exist"
             )
+        flags = 0
+        crc = 0
+        if self.checksum:
+            crc = zlib.crc32(payload)
+            flags = CHUNK_CHECKSUM
+        if self.recoverable:
+            self._write(
+                _RECORD.pack(RECORD_MAGIC, len(payload), crc, flags, codec_id)
+            )
         entry = ChunkEntry(
-            self.nchunks, self._pos, len(payload), 0, codec_id
+            self.nchunks, self._pos, len(payload), flags, codec_id, crc
         )
+        self._offsets.append(entry.offset)
         self._lengths.append(entry.length)
         self._codecs.append(codec_id)
-        self._sink.write(payload)
-        self._pos += entry.length
+        self._crcs.append(crc)
+        self._write(payload)
         return entry
 
     def finalize(self) -> None:
@@ -905,15 +1154,19 @@ class ShardedWriter:
                 f"plan needs {self.plan.nchunks} chunks, got {self.nchunks}"
             )
         table = np.zeros(self.nchunks, dtype=_FRAME_DTYPE)
-        lengths = np.asarray(self._lengths, dtype=np.uint64)
-        ends = np.cumsum(lengths, dtype=np.uint64)
-        first = self._pos - int(ends[-1]) if self.nchunks else self._pos
-        table["offset"] = first + ends - lengths
-        table["length"] = lengths
+        table["offset"] = self._offsets
+        table["length"] = self._lengths
+        table["flags"] = [CHUNK_CHECKSUM if self.checksum else 0] * (
+            self.nchunks
+        )
         table["codec"] = self._codecs
-        self._sink.write(table.tobytes())
+        table["crc"] = self._crcs
+        table_off = self._pos
+        self._write(table.tobytes())
+        if self.checksum:
+            self._sink.write(_DIGEST.pack(self._digest))
         self._sink.write(
-            _MULTI_TRAILER.pack(self._pos, self.nchunks, MULTI_END_MAGIC)
+            _MULTI_TRAILER.pack(table_off, self.nchunks, MULTI_END_MAGIC)
         )
         self._finalized = True
 
@@ -972,6 +1225,7 @@ class ShardedReader:
                 f"0x{flags & ~_KNOWN_SHARD_FLAGS:02x}; upgrade the reader"
             )
         self.flags = flags
+        self.has_digest = bool(flags & SHARD_CHECKSUM)
         self.dtype = dtype_from_code(dt)
         dims = struct.unpack(
             f"<{2 * ndim}Q",
@@ -985,25 +1239,36 @@ class ShardedReader:
         )
         if end_magic != MULTI_END_MAGIC:
             raise ValueError("truncated sharded STZ container")
-        if table_off + _FRAME.size * nchunks + _MULTI_TRAILER.size != total:
+        extra = _DIGEST.size if self.has_digest else 0
+        if (
+            table_off + _FRAME.size * nchunks + extra + _MULTI_TRAILER.size
+            != total
+        ):
             raise ValueError("corrupt sharded chunk-table geometry")
         if nchunks != self.plan.nchunks:
             raise ValueError(
                 f"chunk table has {nchunks} entries; the stored plan "
                 f"{shape} / {chunk_shape} needs {self.plan.nchunks}"
             )
+        self.digest_offset = table_off + _FRAME.size * nchunks
+        self.stored_digest: int | None = None
+        if self.has_digest:
+            (self.stored_digest,) = _DIGEST.unpack(
+                self._read_at(self.digest_offset, _DIGEST.size)
+            )
         table = np.frombuffer(
             self._read_at(table_off, _FRAME.size * nchunks),
             dtype=_FRAME_DTYPE,
         )
         self.chunks: tuple[ChunkEntry, ...] = tuple(
-            ChunkEntry(i, int(off), int(length), int(fl), int(cid))
-            for i, (off, length, fl, cid) in enumerate(
+            ChunkEntry(i, int(off), int(length), int(fl), int(cid), int(crc))
+            for i, (off, length, fl, cid, crc) in enumerate(
                 zip(
                     table["offset"].tolist(),
                     table["length"].tolist(),
                     table["flags"].tolist(),
                     table["codec"].tolist(),
+                    table["crc"].tolist(),
                 )
             )
         )

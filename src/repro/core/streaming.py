@@ -64,14 +64,21 @@ keyframe at or before the request).
 from __future__ import annotations
 
 import io
+import zlib
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.chunked import (
+    _validate_on_error,
     compress_chunked_with_recon,
     decompress_chunked,
+)
+from repro.core.integrity import (
+    ChunkCorruptionError,
+    DecodeReport,
+    FrameCorruptionError,
 )
 from repro.core.config import STZConfig
 from repro.core.pipeline import stz_compress_with_recon
@@ -88,6 +95,7 @@ from repro.core.select import (
 )
 from repro.core.stream import (
     CODEC_IDS,
+    CODEC_NAMES,
     CODEC_STZ,
     FRAME_DELTA,
     FRAME_SHARDED,
@@ -176,6 +184,8 @@ class StreamingCompressor:
         chunks: int | tuple[int, ...] | None = None,
         chunk_executor: str = "thread",
         chunk_workers: int | None = None,
+        checksum: bool = False,
+        recoverable: bool = False,
     ):
         if keyframe_interval < 1:
             raise ValueError("keyframe_interval must be >= 1")
@@ -191,6 +201,12 @@ class StreamingCompressor:
         self._chunks = chunks
         self._chunk_executor = chunk_executor
         self._chunk_workers = chunk_workers
+        # integrity options (DESIGN.md §9): checksum => per-frame CRCs
+        # + whole-archive digest; recoverable => 'STZR' record prefixes
+        # so a crash mid-stream leaves a repairable archive.  Sharded
+        # frame payloads inherit the checksum so their inner chunk
+        # tables verify too.
+        self._checksum = bool(checksum) or bool(recoverable)
         # sharded frames record codec id 0 (the codec story lives in
         # the per-chunk v3 table), so the MULTI_CODEC gate only matters
         # for non-sharded foreign-codec frames
@@ -199,6 +215,8 @@ class StreamingCompressor:
             flags=MULTI_CODEC
             if (self.config.codec != "stz" and chunks is None)
             else 0,
+            checksum=checksum,
+            recoverable=recoverable,
         )
         if self.config.codec == "auto":
             # independent scorers for intra and delta payloads: a field
@@ -316,6 +334,7 @@ class StreamingCompressor:
             blob, recon = compress_chunked_with_recon(
                 step, self.abs_eb, "abs", self.config, self._chunks,
                 self._chunk_executor, self._chunk_workers, self.threads,
+                checksum=self._checksum,
             )
             return blob, recon, "sharded"
         if self.config.codec == "auto":
@@ -352,6 +371,7 @@ class StreamingCompressor:
             blob, rr = compress_chunked_with_recon(
                 resid, delta_eb, "abs", self.config, self._chunks,
                 self._chunk_executor, self._chunk_workers, self.threads,
+                checksum=self._checksum,
             )
             return blob, rr, "sharded"
         if self.config.codec == "auto":
@@ -511,10 +531,25 @@ class StreamingDecompressor:
     """
 
     def __init__(
-        self, source: bytes | memoryview | io.IOBase, threads: int | None = None
+        self,
+        source: bytes | memoryview | io.IOBase,
+        threads: int | None = None,
+        on_error: str = "raise",
+        report: DecodeReport | None = None,
     ):
+        _validate_on_error(on_error)
         self.reader = MultiFrameReader(source)
         self.threads = threads
+        #: fault policy (DESIGN.md §9): ``"raise"`` surfaces a
+        #: structured :class:`FrameCorruptionError` /
+        #: :class:`ChunkCorruptionError`; ``"fill"`` and ``"skip"``
+        #: replace an undecodable frame with NaNs of the stream's
+        #: shape/dtype and keep going (there is no caller-owned output
+        #: buffer at the frame level, so skip degrades to fill).  A
+        #: NaN-degraded frame poisons the delta chain after it — NaN +
+        #: delta stays NaN — until the next intra frame resets it.
+        self.on_error = on_error
+        self.report = report
         self._cache_index = -1
         self._cache: np.ndarray | None = None
 
@@ -528,26 +563,66 @@ class StreamingDecompressor:
     def frame_info(self, index: int) -> FrameInfo:
         return self.reader.frame(index)
 
+    def _degrade(self, err: FrameCorruptionError) -> np.ndarray:
+        """Apply the fault policy to an undecodable frame: raise, or
+        record the failure and return a NaN frame.  Without a prior
+        reconstruction in the cache the stream's shape/dtype are
+        unknown, so the very first decodable frame must decode — the
+        error propagates regardless of policy."""
+        if self.on_error == "raise" or self._cache is None:
+            raise err
+        if self.report is not None:
+            self.report.record(err)
+        return np.full(self._cache.shape, np.nan, self._cache.dtype)
+
     def _decode_one(self, index: int) -> np.ndarray:
         """Decode frame ``index`` given its predecessor in the cache."""
         info = self.reader.frame(index)
-        if info.is_sharded:
-            # chunk-parallel when the caller asked for parallelism
-            arr = decompress_chunked(
-                self.reader.read_frame(index),
-                executor="thread" if self.threads and self.threads > 1
-                else "serial",
-                workers=self.threads,
+        if self.report is not None:
+            self.report.attempted += 1
+        try:
+            payload = self.reader.read_frame(index)
+            if info.has_checksum and zlib.crc32(bytes(payload)) != info.crc:
+                raise FrameCorruptionError(
+                    index,
+                    "sharded" if info.is_sharded else info.codec,
+                    "frame payload checksum mismatch",
+                )
+            if info.is_sharded:
+                # chunk-parallel when the caller asked for parallelism;
+                # chunk-level faults inside the frame are handled by the
+                # inner decode under the same policy (NaN regions, not a
+                # whole NaN frame)
+                arr = decompress_chunked(
+                    payload,
+                    executor="thread" if self.threads and self.threads > 1
+                    else "serial",
+                    workers=self.threads,
+                    on_error=self.on_error,
+                    report=self.report,
+                )
+            else:
+                arr = decode_by_id(
+                    info.codec_id, payload, threads=self.threads
+                )
+        except (FrameCorruptionError, ChunkCorruptionError) as exc:
+            arr = self._degrade(
+                exc if isinstance(exc, FrameCorruptionError)
+                else FrameCorruptionError(index, exc.codec, str(exc))
             )
+        except Exception as exc:
+            codec = (
+                CODEC_NAMES.get(info.codec_id, str(info.codec_id))
+                if not info.is_sharded
+                else "sharded"
+            )
+            err = FrameCorruptionError(index, codec, f"decode failed: {exc}")
+            err.__cause__ = exc
+            arr = self._degrade(err)
         else:
-            arr = decode_by_id(
-                info.codec_id,
-                self.reader.read_frame(index),
-                threads=self.threads,
-            )
-        if self.reader.frame(index).is_delta:
-            # bit-identical to the encoder's commit-time addition
-            arr = self._cache + arr
+            if info.is_delta:
+                # bit-identical to the encoder's commit-time addition
+                arr = self._cache + arr
         self._cache = arr
         self._cache_index = index
         return arr

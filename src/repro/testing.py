@@ -13,11 +13,21 @@ codec-selection tests: each (shape, dtype, variant) pair is generated
 once per process instead of once per parametrized test (the sweep
 multiplies every field by codecs x bounds), and the arrays are handed
 out read-only so no codec under test can corrupt a neighbour's input.
+
+The **fault-injection harness** (:func:`flip_bit` / :func:`flip_byte` /
+:func:`truncate_at` / :func:`corrupt_chunk_payload` /
+:func:`corrupt_frame_payload` / :class:`WorkerKiller`) drives the
+corruption conformance suite (DESIGN.md §9): every injector is
+deterministic — same archive + same arguments = same damaged bytes —
+so a failing corruption test reproduces exactly.
 """
 
 from __future__ import annotations
 
+import os
+import signal
 from functools import lru_cache
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -105,3 +115,119 @@ def evolving_field(
             shape, seed=step_seed + t
         ).astype(dtype)
         yield field
+
+
+# ---------------------------------------------------------------------------
+# fault-injection harness
+# ---------------------------------------------------------------------------
+
+def flip_bit(blob: bytes, byte_offset: int, bit: int = 0) -> bytes:
+    """Return ``blob`` with one bit flipped (deterministic bit rot)."""
+    if not 0 <= byte_offset < len(blob):
+        raise ValueError(
+            f"byte_offset {byte_offset} outside blob of {len(blob)} B"
+        )
+    if not 0 <= bit < 8:
+        raise ValueError(f"bit must be 0..7, got {bit}")
+    damaged = bytearray(blob)
+    damaged[byte_offset] ^= 1 << bit
+    return bytes(damaged)
+
+
+def flip_byte(blob: bytes, byte_offset: int, xor: int = 0xFF) -> bytes:
+    """Return ``blob`` with one byte XORed (``xor`` must not be 0 —
+    that would be a no-op masquerading as an injected fault)."""
+    if not 0 <= byte_offset < len(blob):
+        raise ValueError(
+            f"byte_offset {byte_offset} outside blob of {len(blob)} B"
+        )
+    if not 1 <= xor <= 0xFF:
+        raise ValueError(f"xor must be 1..255, got {xor}")
+    damaged = bytearray(blob)
+    damaged[byte_offset] ^= xor
+    return bytes(damaged)
+
+
+def truncate_at(blob: bytes, offset: int) -> bytes:
+    """Return the first ``offset`` bytes of ``blob`` (a crash before
+    the remaining bytes reached disk)."""
+    if not 0 <= offset <= len(blob):
+        raise ValueError(
+            f"offset {offset} outside blob of {len(blob)} B"
+        )
+    return blob[:offset]
+
+
+def corrupt_chunk_payload(
+    blob: bytes, index: int, byte: int = 0, xor: int = 0xFF
+) -> bytes:
+    """Flip one payload byte of chunk ``index`` of a sharded archive."""
+    from repro.core.stream import ShardedReader
+
+    entry = ShardedReader(blob).chunk(index)
+    if not 0 <= byte < entry.length:
+        raise ValueError(
+            f"byte {byte} outside chunk {index} payload of "
+            f"{entry.length} B"
+        )
+    return flip_byte(blob, entry.offset + byte, xor)
+
+
+def corrupt_frame_payload(
+    blob: bytes, index: int, byte: int = 0, xor: int = 0xFF
+) -> bytes:
+    """Flip one payload byte of frame ``index`` of a multi-frame
+    archive."""
+    from repro.core.stream import MultiFrameReader
+
+    info = MultiFrameReader(blob).frame(index)
+    if not 0 <= byte < info.length:
+        raise ValueError(
+            f"byte {byte} outside frame {index} payload of "
+            f"{info.length} B"
+        )
+    return flip_byte(blob, info.offset + byte, xor)
+
+
+class WorkerKiller:
+    """One-shot SIGKILL for exactly one pool worker.
+
+    The claim is a file created with ``O_CREAT | O_EXCL`` — an atomic
+    filesystem token that exactly one process can win, which makes the
+    injector safe under any executor (fork pool, thread pool, serial)
+    and idempotent across retries: the retried item finds the token
+    taken and runs normally.  Usage::
+
+        killer = WorkerKiller(tmp_path)
+        def fn(state, item):
+            killer.maybe_die()      # first worker to arrive dies
+            return real_work(item)
+
+    The parent observes the casualty as ``BrokenProcessPool``; with
+    ``execute_map(..., retry=1)`` the item is re-run serially and the
+    map heals (DESIGN.md §9's executor retry rule).
+    """
+
+    def __init__(self, directory: str | os.PathLike, name: str = "kill-token"):
+        self.token = Path(directory) / name
+        # the constructing process (the test) is never a valid target —
+        # under the serial/thread executors maybe_die() must be a no-op
+        # or the injector would kill the test run itself
+        self._parent = os.getpid()
+
+    def armed(self) -> bool:
+        """Whether the kill has not happened yet."""
+        return not self.token.exists()
+
+    def maybe_die(self) -> None:
+        """SIGKILL the calling *worker* process if it wins the claim
+        (no-op in the constructing process and for every later
+        caller)."""
+        if os.getpid() == self._parent:
+            return
+        try:
+            fd = os.open(self.token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return
+        os.close(fd)
+        os.kill(os.getpid(), signal.SIGKILL)

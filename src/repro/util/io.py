@@ -1,0 +1,53 @@
+"""Crash-safe file output.
+
+Every CLI/tool write goes through :func:`atomic_write`: the data lands
+in a temporary file *in the destination directory* (same filesystem, so
+the final rename is atomic), is fsynced, and only then renamed over the
+destination.  A crash — or any exception inside the ``with`` block —
+leaves either the complete old file or the complete new file, never a
+truncated hybrid, and the temp file is removed on failure.  This is the
+writer-side half of the integrity story (DESIGN.md §9): checksums
+detect torn archives after the fact, atomic replacement stops the CLI
+from creating them in the first place.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+
+@contextmanager
+def atomic_write(path: str | os.PathLike) -> Iterator[IO[bytes]]:
+    """Context manager yielding a binary file handle; on clean exit the
+    written bytes atomically replace ``path`` (flush + fsync + rename).
+
+    On *any* exception — including :class:`SystemExit` from CLI error
+    paths — the temp file is deleted and ``path`` is untouched.
+    """
+    dest = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        prefix=f".{dest.name}.", suffix=".tmp", dir=dest.parent or "."
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, dest)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data`` (see
+    :func:`atomic_write`)."""
+    with atomic_write(path) as fh:
+        fh.write(data)

@@ -29,8 +29,17 @@ from repro.core.config import STZConfig
 from repro.core.pipeline import stz_compress, stz_decompress
 from repro.core.streaming import StreamingDecompressor
 from repro.datasets.synthetic import smooth_field
+from repro.util.io import atomic_write, atomic_write_bytes
 
 HERE = Path(__file__).parent
+
+
+def save_npy(path: Path, arr: np.ndarray) -> None:
+    """Atomic np.save — an interrupted regeneration never leaves a
+    torn fixture that the golden tests would then pin by accident."""
+    with atomic_write(path) as fh:
+        np.save(fh, arr)
+
 
 #: (name, shape, dtype, abs_eb, config kwargs) for single-frame fixtures
 SINGLE = [
@@ -53,6 +62,12 @@ AUTO_SINGLE = [
 
 AUTO_STREAM_EB = 1e-3
 AUTO_STREAM_KEYFRAME = 2
+
+#: integrity (checksum/recoverable) fixtures — flag-gated extensions of
+#: each container version, pinned the same way the base formats are
+INTEGRITY_EB = 2e-3
+INTEGRITY_KEYFRAME = 2
+INTEGRITY_CHUNKS = (7, 6)
 
 #: sharded (container v3) fixtures: name -> (abs_eb, codec, chunks)
 CHUNKED = {
@@ -89,6 +104,19 @@ def auto_input(name: str) -> np.ndarray:
     raise KeyError(name)
 
 
+def integrity_single_input() -> np.ndarray:
+    return smooth_field((10, 12), seed=31).astype(np.float32)
+
+
+def integrity_sharded_input() -> np.ndarray:
+    return smooth_field((14, 12), seed=32).astype(np.float32)
+
+
+def integrity_stream_steps() -> list[np.ndarray]:
+    base = smooth_field((8, 10), seed=33).astype(np.float32)
+    return [base + np.float32(0.02) * t for t in range(3)]
+
+
 def auto_stream_steps() -> list[np.ndarray]:
     """Mixed-statistics steps so the golden archive pins *several*
     per-frame codec choices, not just one."""
@@ -105,9 +133,9 @@ def main() -> None:
     for name, shape, dtype, eb, cfg_kw in SINGLE:
         data = smooth_field(shape, seed=21).astype(dtype)
         blob = stz_compress(data, eb, "abs", STZConfig(**cfg_kw))
-        np.save(HERE / f"{name}_input.npy", data)
-        (HERE / f"{name}.stz").write_bytes(blob)
-        np.save(HERE / f"{name}_recon.npy", stz_decompress(blob))
+        save_npy(HERE / f"{name}_input.npy", data)
+        atomic_write_bytes(HERE / f"{name}.stz", blob)
+        save_npy(HERE / f"{name}_recon.npy", stz_decompress(blob))
         print(f"{name}: {data.nbytes} B -> {len(blob)} B")
 
     base = smooth_field((8, 6, 4), seed=22).astype(np.float32)
@@ -120,9 +148,9 @@ def main() -> None:
         ]
     )
     blob = compress_stream(list(steps), 4e-3, keyframe_interval=2)
-    np.save(HERE / "multi_input.npy", steps)
-    (HERE / "multi.stz").write_bytes(blob)
-    np.save(
+    save_npy(HERE / "multi_input.npy", steps)
+    atomic_write_bytes(HERE / "multi.stz", blob)
+    save_npy(
         HERE / "multi_recon.npy",
         np.stack(list(StreamingDecompressor(blob))),
     )
@@ -132,9 +160,9 @@ def main() -> None:
     for name, eb in AUTO_SINGLE:
         data = auto_input(name)
         blob = compress(data, eb, "abs", codec="auto")
-        np.save(HERE / f"{name}_input.npy", data)
-        (HERE / f"{name}.stz").write_bytes(blob)
-        np.save(HERE / f"{name}_recon.npy", decompress(blob))
+        save_npy(HERE / f"{name}_input.npy", data)
+        atomic_write_bytes(HERE / f"{name}.stz", blob)
+        save_npy(HERE / f"{name}_recon.npy", decompress(blob))
         print(f"{name}: {data.nbytes} B -> {len(blob)} B")
 
     # codec-selected multi-frame archive (per-frame codec-id bytes)
@@ -145,9 +173,9 @@ def main() -> None:
         keyframe_interval=AUTO_STREAM_KEYFRAME,
         codec="auto",
     )
-    np.save(HERE / "auto_multi_input.npy", asteps)
-    (HERE / "auto_multi.stz").write_bytes(blob)
-    np.save(
+    save_npy(HERE / "auto_multi_input.npy", asteps)
+    atomic_write_bytes(HERE / "auto_multi.stz", blob)
+    save_npy(
         HERE / "auto_multi_recon.npy",
         np.stack(list(StreamingDecompressor(blob))),
     )
@@ -157,10 +185,44 @@ def main() -> None:
     for name, (eb, codec, chunks) in CHUNKED.items():
         data = chunked_input(name)
         blob = compress_chunked(data, eb, "abs", codec=codec, chunks=chunks)
-        np.save(HERE / f"{name}_input.npy", data)
-        (HERE / f"{name}.stz").write_bytes(blob)
-        np.save(HERE / f"{name}_recon.npy", decompress(blob))
+        save_npy(HERE / f"{name}_input.npy", data)
+        atomic_write_bytes(HERE / f"{name}.stz", blob)
+        save_npy(HERE / f"{name}_recon.npy", decompress(blob))
         print(f"{name}: {data.nbytes} B -> {len(blob)} B")
+
+    # integrity fixtures: the checksum/recoverable flag-gated layers of
+    # each container version (DESIGN.md §9).  These EXTEND the fixture
+    # set — the unchecked archives above stay committed untouched, which
+    # is exactly the backward-compat contract under test.
+    data = integrity_single_input()
+    blob = compress(data, INTEGRITY_EB, "abs", checksum=True)
+    save_npy(HERE / "checksummed_single_input.npy", data)
+    atomic_write_bytes(HERE / "checksummed_single.stz", blob)
+    save_npy(HERE / "checksummed_single_recon.npy", decompress(blob))
+    print(f"checksummed_single: {data.nbytes} B -> {len(blob)} B")
+
+    data = integrity_sharded_input()
+    blob = compress_chunked(
+        data, INTEGRITY_EB, "abs", chunks=INTEGRITY_CHUNKS,
+        checksum=True, recoverable=True,
+    )
+    save_npy(HERE / "recoverable_sharded_input.npy", data)
+    atomic_write_bytes(HERE / "recoverable_sharded.stz", blob)
+    save_npy(HERE / "recoverable_sharded_recon.npy", decompress(blob))
+    print(f"recoverable_sharded: {data.nbytes} B -> {len(blob)} B")
+
+    isteps = np.stack(integrity_stream_steps())
+    blob = compress_stream(
+        list(isteps), INTEGRITY_EB, keyframe_interval=INTEGRITY_KEYFRAME,
+        checksum=True, recoverable=True,
+    )
+    save_npy(HERE / "recoverable_multi_input.npy", isteps)
+    atomic_write_bytes(HERE / "recoverable_multi.stz", blob)
+    save_npy(
+        HERE / "recoverable_multi_recon.npy",
+        np.stack(list(StreamingDecompressor(blob))),
+    )
+    print(f"recoverable_multi: {isteps.nbytes} B -> {len(blob)} B")
 
 
 if __name__ == "__main__":
