@@ -8,10 +8,15 @@ of that trade on the registry datasets:
 
 * ``speedup`` — chunked 4-worker compress (the fork-based process
   executor, which parallelizes the whole per-chunk chain) vs the
-  serial chunked walk, interleaved runs, best-of-repeats.  Asserted
-  >= ``MIN_SPEEDUP`` only on hosts with >= 4 usable cores (the CI
-  bench-smoke gate; a 1-core container records the honest ~1.0x
-  instead of a vacuous pass).
+  serial chunked walk, interleaved runs, best-of-repeats.  The
+  parallel trials run against a *warmed* ``WorkerPool`` (forked once
+  before timing, reused across reps) so the number is the
+  steady-state executor speedup, not pool startup amortized over one
+  map.  Asserted >= ``MIN_SPEEDUP`` only on hosts with >= 4 usable
+  cores — affinity-aware via ``parallel_capacity()``, so a 1-CPU
+  container quota on a many-core machine does not arm a gate it
+  cannot pass (it records the honest ~1.0x instead: the engine's
+  capacity gate degrades parallel requests to the serial walk there).
 * ``cr_ratio`` — chunked CR / full-array CR at the same bound.  This
   is the chunking *penalty* stated plainly (values < 1 mean chunking
   costs ratio); asserted above a floor so a regression that silently
@@ -35,7 +40,7 @@ import numpy as np
 
 from repro.core.api import compress, compress_chunked
 from repro.core.chunked import decompress_chunked
-from repro.core.parallel import parallel_capacity
+from repro.core.parallel import WorkerPool, parallel_capacity
 from repro.datasets import dataset_names, load
 
 from conftest import RSSSampler, fmt_table, record_bench, vm_rss_kb
@@ -96,20 +101,29 @@ def test_chunked_parallel(artifact):
             data, abs_eb, "abs", chunks=SMALL_CHUNKS, executor="serial"
         )
         # interleaved timing: serial and parallel alternate so machine
-        # noise decorrelates (bench_encode_batched protocol)
+        # noise decorrelates (bench_encode_batched protocol).  The
+        # parallel trials share one warm WorkerPool: the un-timed
+        # warm-up rep forks it, the timed reps reuse it, so the
+        # recorded speedup is the steady-state executor, not fork
+        # startup amortized over a single map.
         t_serial, t_par = np.inf, np.inf
-        for _ in range(REPS):
-            t0 = time.perf_counter()
-            compress_chunked(
-                data, abs_eb, "abs", chunks=CHUNKS, executor="serial"
-            )
-            t_serial = min(t_serial, time.perf_counter() - t0)
-            t0 = time.perf_counter()
+        with WorkerPool("process", WORKERS) as pool:
             compress_chunked(
                 data, abs_eb, "abs", chunks=CHUNKS,
-                executor="process", workers=WORKERS,
+                executor="process", workers=WORKERS, pool=pool,
             )
-            t_par = min(t_par, time.perf_counter() - t0)
+            for _ in range(REPS):
+                t0 = time.perf_counter()
+                compress_chunked(
+                    data, abs_eb, "abs", chunks=CHUNKS, executor="serial"
+                )
+                t_serial = min(t_serial, time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                compress_chunked(
+                    data, abs_eb, "abs", chunks=CHUNKS,
+                    executor="process", workers=WORKERS, pool=pool,
+                )
+                t_par = min(t_par, time.perf_counter() - t0)
         t_dec = _best(lambda: decompress_chunked(chunked_blob))
 
         speedup = t_serial / t_par
@@ -154,6 +168,7 @@ def test_chunked_parallel(artifact):
             "chunks": CHUNKS,
             "workers": WORKERS,
             "executor": "process",
+            "pool": "warm",
             "rel_eb": REL_EB,
             "cores": parallel_capacity(),
             "speedup_asserted": many_cores,

@@ -1,0 +1,109 @@
+"""Micro-benchmark: compiled hot kernels vs the pure-NumPy reference.
+
+The ``repro.util.jit`` facade (DESIGN.md §10) compiles the serial
+encode path's hot kernels — quantize/predict, Huffman tree + packing,
+SZx plane packing — to native code behind a byte-identical contract.
+This bench measures what that buys on the standard speed dataset
+(``smooth_field`` 128^3 float32, the ``encode_batched`` reference
+workload) plus a high-entropy field where the Huffman side dominates.
+
+Both modes run interleaved in one process via ``jit.override`` so the
+ratio isolates the kernels; byte-identity of the two archives is
+asserted on every rep (the facade's contract is not just speed).
+Results land in ``BENCH_speed.json`` under ``kernels``.  The CI gate:
+when the compiled kernels are available, jit-on serial encode must not
+regress below the pure-NumPy baseline (``MIN_SPEEDUP``); when no
+compiler exists, availability is recorded and the gate stands down —
+the facade may never turn a missing toolchain into a failure.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.api import compress, decompress
+from repro.util import jit
+from repro.util.validation import resolve_eb
+
+from conftest import fmt_table, record_bench, smooth_field
+
+GRID = (128, 128, 128)
+REL_EB = 1e-3
+REPS = 5
+#: the jit path must at least match the reference it replaces — a
+#: noise-tolerant floor just under parity; the recorded speedup is the
+#: trajectory number (≈2x smooth, >4x high-entropy on quiet machines)
+MIN_SPEEDUP = 0.95
+
+
+def _fields() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(7)
+    return {
+        "smooth": smooth_field(GRID).astype(np.float32),
+        "high_entropy": np.cumsum(
+            rng.standard_normal(GRID), axis=0
+        ).astype(np.float32),
+    }
+
+
+def test_kernels_serial_encode(artifact):
+    available = jit.available()
+    rows = []
+    payload: dict = {
+        "grid": list(GRID),
+        "rel_eb": REL_EB,
+        "available": available,
+        "backend": jit.status()["backend"],
+        "datasets": {},
+    }
+    for name, data in _fields().items():
+        eb = resolve_eb(data, REL_EB, "rel")
+        mb = data.nbytes / 1e6
+        # warm both paths (first-call compile/load + allocator)
+        with jit.override(True):
+            blob_jit = compress(data, eb)
+        with jit.override(False):
+            blob_ref = compress(data, eb)
+        # byte identity is part of the contract being benchmarked
+        assert blob_jit == blob_ref, name
+        t_jit, t_ref, t_dec = np.inf, np.inf, np.inf
+        for _ in range(REPS):  # interleaved: noise decorrelates
+            with jit.override(False):
+                t0 = time.perf_counter()
+                compress(data, eb)
+                t_ref = min(t_ref, time.perf_counter() - t0)
+            with jit.override(True):
+                t0 = time.perf_counter()
+                compress(data, eb)
+                t_jit = min(t_jit, time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                decompress(blob_jit)
+                t_dec = min(t_dec, time.perf_counter() - t0)
+        speedup = t_ref / t_jit
+        payload["datasets"][name] = {
+            "numpy_s": round(t_ref, 4),
+            "jit_s": round(t_jit, 4),
+            "numpy_mb_s": round(mb / t_ref, 1),
+            "jit_mb_s": round(mb / t_jit, 1),
+            "speedup": round(speedup, 3),
+            "decompress_s": round(t_dec, 4),
+        }
+        rows.append(
+            [name, round(mb / t_ref, 1), round(mb / t_jit, 1),
+             round(speedup, 2)]
+        )
+    artifact(
+        "kernels",
+        fmt_table(
+            ["dataset", "numpy MB/s", "jit MB/s", "speedup"], rows
+        )
+        + f"(grid {'x'.join(map(str, GRID))} f32, rel_eb {REL_EB}; "
+        f"jit available: {available}; archives byte-identical "
+        "in both modes)\n",
+    )
+    record_bench("kernels", payload)
+    if available:
+        for name, d in payload["datasets"].items():
+            assert d["speedup"] >= MIN_SPEEDUP, (name, d)

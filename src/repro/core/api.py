@@ -35,6 +35,7 @@ from repro.core.integrity import (  # noqa: F401 — public re-exports
     repair_archive,
     verify_archive,
 )
+from repro.core.parallel import WorkerPool  # noqa: F401 — public re-export
 from repro.core.pipeline import stz_compress, stz_decompress
 from repro.core.progressive import progressive_ladder
 from repro.core.random_access import RandomAccessResult, stz_decompress_roi
@@ -115,6 +116,7 @@ def compress_chunked(
     shape: tuple[int, ...] | None = None,
     checksum: bool = False,
     recoverable: bool = False,
+    pool: "WorkerPool | None" = None,
 ) -> bytes | None:
     """Compress through the chunked execution engine into a sharded
     (container v3) archive.
@@ -129,12 +131,14 @@ def compress_chunked(
     per-chunk CRC32s plus a whole-archive digest; ``recoverable``
     additionally makes the byte stream forward-scannable after a crash
     (see :func:`verify_archive` / :func:`repair_archive` and DESIGN.md
-    §9).  See :mod:`repro.core.chunked` for the full contract.
+    §9).  ``pool`` reuses a warm
+    :class:`~repro.core.parallel.WorkerPool` across calls.  See
+    :mod:`repro.core.chunked` for the full contract.
     """
     return _compress_chunked_impl(
         data, eb, eb_mode, _resolve_codec(config, codec), chunks,
         executor, workers, threads, sink, shape,
-        checksum=checksum, recoverable=recoverable,
+        checksum=checksum, recoverable=recoverable, pool=pool,
     )
 
 
@@ -146,6 +150,7 @@ def decompress(
     workers: int | None = None,
     on_error: str = "raise",
     report: DecodeReport | None = None,
+    pool: "WorkerPool | None" = None,
 ) -> np.ndarray:
     """Full-resolution reconstruction (plain STZ1 containers,
     codec-selected envelopes and sharded v3 archives alike).
@@ -175,7 +180,7 @@ def decompress(
         return decompress_chunked(
             source, out=out, executor=executor, workers=workers,
             threads=None if executor != "serial" else threads,
-            on_error=on_error, report=report,
+            on_error=on_error, report=report, pool=pool,
         )
     if out is not None:
         raise ValueError("out= is only supported for sharded v3 archives")

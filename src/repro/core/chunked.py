@@ -60,7 +60,12 @@ import numpy as np
 
 from repro.core.config import STZConfig
 from repro.core.integrity import ChunkCorruptionError, DecodeReport
-from repro.core.parallel import execute_map, resolve_executor
+from repro.core.parallel import (
+    WorkerPool,
+    engine_executor,
+    execute_map,
+    resolve_executor,
+)
 from repro.core.partition import ChunkPlan
 from repro.core.pipeline import stz_compress_with_recon, stz_decompress
 from repro.core.random_access import normalize_roi, stz_decompress_roi
@@ -281,8 +286,11 @@ def _run_compress(
     workers: int | None,
     threads: int | None,
     recon_out: np.ndarray | None,
+    pool: WorkerPool | None = None,
 ) -> None:
-    kind, n = resolve_executor(executor, workers)
+    # capacity-gated: a 1-core host runs the serial reference walk
+    # (byte-identical output, none of the pool overhead)
+    kind, n = engine_executor(executor, workers)
     if kind == "serial":
         # the O(chunk)-memory reference walk: one chunk in flight,
         # memmap pages dropped as the plan advances
@@ -307,7 +315,8 @@ def _run_compress(
     # retry=1: a worker lost to the OOM killer / a segfault breaks the
     # pool, not the chunks — the survivors re-run serially in-process
     for blob, codec_id in execute_map(
-        _compress_worker, list(range(plan.nchunks)), state, kind, n, retry=1
+        _compress_worker, list(range(plan.nchunks)), state, kind, n,
+        retry=1, pool=pool,
     ):
         writer.add_chunk(blob, codec_id)
     _release_mapped(data)
@@ -339,6 +348,7 @@ def compress_chunked(
     shape: tuple[int, ...] | None = None,
     checksum: bool = False,
     recoverable: bool = False,
+    pool: WorkerPool | None = None,
 ) -> bytes | None:
     """Compress ``data`` into a sharded (container v3) archive.
 
@@ -357,7 +367,11 @@ def compress_chunked(
     the chunk-level pool (:data:`repro.core.parallel.EXECUTORS`) and
     ``threads`` feeds the intra-chunk pipeline on the serial executor.
     With a ``sink`` the archive streams to it and ``None`` is returned;
-    otherwise the archive bytes are returned.
+    otherwise the archive bytes are returned.  ``pool`` (an optional
+    :class:`~repro.core.parallel.WorkerPool` of the matching kind)
+    reuses warm workers across engine calls — repeated compressions,
+    streaming frames, bench reps — instead of paying pool startup per
+    call; its lifetime (and ``close()``) belongs to the caller.
 
     The archive bytes are identical for every executor (module
     docstring); the hard bound is the single resolved absolute bound,
@@ -367,7 +381,7 @@ def compress_chunked(
     if isinstance(data, np.ndarray):
         return _compress_chunked_array(
             data, eb, eb_mode, config, chunks, executor, workers,
-            threads, sink, None, checksum, recoverable,
+            threads, sink, None, checksum, recoverable, pool,
         )
     if shape is None:
         raise ValueError("chunk-iterator input requires shape=")
@@ -380,7 +394,7 @@ def compress_chunked(
     check_positive(eb, "error bound")
     return _compress_chunk_iter(
         iter(data), float(eb), config, chunks, executor, workers,
-        threads, shape, sink, checksum, recoverable,
+        threads, shape, sink, checksum, recoverable, pool,
     )
 
 
@@ -394,12 +408,15 @@ def compress_chunked_with_recon(
     workers: int | None = None,
     threads: int | None = None,
     checksum: bool = False,
+    pool: WorkerPool | None = None,
 ) -> tuple[bytes, np.ndarray]:
     """:func:`compress_chunked` plus the decoder's exact reconstruction
     (assembled chunk by chunk from the encoder-tracked per-chunk
     recons) — the closed-loop input the streaming subsystem's sharded
     delta frames need.  In-memory by necessity: the reconstruction is
-    a full array."""
+    a full array.  ``pool`` follows the :func:`compress_chunked`
+    contract (the streaming subsystem passes one so its per-frame
+    thread pool stays warm across the whole stream)."""
     config = config or STZConfig()
     _validate_array(data)
     recon = np.empty(data.shape, dtype=data.dtype)
@@ -408,7 +425,7 @@ def compress_chunked_with_recon(
         executor = "thread"  # private recon buffer: stay in-process
     blob = _compress_chunked_array(
         data, eb, eb_mode, config, chunks, executor, workers, threads,
-        None, recon, checksum, False,
+        None, recon, checksum, False, pool,
     )
     return blob, recon
 
@@ -426,6 +443,7 @@ def _compress_chunked_array(
     recon_out: np.ndarray | None,
     checksum: bool = False,
     recoverable: bool = False,
+    pool: WorkerPool | None = None,
 ) -> bytes | None:
     _validate_array(data)
     plan = ChunkPlan.regular(
@@ -438,7 +456,7 @@ def _compress_chunked_array(
     )
     _run_compress(
         data, plan, abs_eb, config, writer, executor, workers, threads,
-        recon_out,
+        recon_out, pool,
     )
     writer.finalize()
     return writer.getvalue() if writer.in_memory else None
@@ -456,6 +474,7 @@ def _compress_chunk_iter(
     sink: io.IOBase | None,
     checksum: bool = False,
     recoverable: bool = False,
+    pool: WorkerPool | None = None,
 ) -> bytes | None:
     """Compress a chunk iterator with a bounded in-flight window.
 
@@ -463,13 +482,14 @@ def _compress_chunk_iter(
     depth-``workers`` pipeline: the producer fills the window while
     finished chunks drain to the writer in plan order); the serial
     executor holds exactly one.  The process executor degrades to
-    threads — future chunks cannot be fork-inherited.
+    threads — future chunks cannot be fork-inherited.  A matching
+    ``pool`` supplies the (warm) thread pool instead of a per-call one.
     """
     shape = tuple(int(n) for n in shape)
     plan = ChunkPlan.regular(
         shape, chunks if chunks is not None else DEFAULT_CHUNK_EDGE
     )
-    kind, n = resolve_executor(
+    kind, n = engine_executor(
         "thread" if executor == "process" else executor, workers
     )
     writer: ShardedWriter | None = None
@@ -512,11 +532,13 @@ def _compress_chunk_iter(
         from concurrent.futures import ThreadPoolExecutor
 
         window = max(2, n)
-        with ThreadPoolExecutor(max_workers=n) as pool:
+        warm = pool is not None and pool.kind == "thread"
+        tpe = pool.thread_pool() if warm else ThreadPoolExecutor(max_workers=n)
+        try:
             pending: list = []
             for index in range(plan.nchunks):
                 pending.append(
-                    pool.submit(
+                    tpe.submit(
                         _encode_chunk, pull(index), abs_eb, config, None,
                         False,
                     )
@@ -527,6 +549,9 @@ def _compress_chunk_iter(
             for fut in pending:
                 blob, codec_id, _ = fut.result()
                 writer.add_chunk(blob, codec_id)
+        finally:
+            if not warm:  # a caller-owned pool outlives this call
+                tpe.shutdown(wait=True)
     remaining = next(it, None)
     if remaining is not None:
         raise ValueError(
@@ -607,6 +632,7 @@ def decompress_chunked(
     threads: int | None = None,
     on_error: str = "raise",
     report: DecodeReport | None = None,
+    pool: WorkerPool | None = None,
 ) -> np.ndarray:
     """Reconstruct a sharded archive, chunk-parallel.
 
@@ -641,7 +667,9 @@ def decompress_chunked(
                 f"out is {tuple(out.shape)} {out.dtype}; archive is "
                 f"{plan.shape} {reader.dtype}"
             )
-    kind, n = resolve_executor(executor, workers)
+    # capacity-gated like _run_compress: a truly 1-core host decodes
+    # through the serial walk (identical result, no pool overhead)
+    kind, n = engine_executor(executor, workers)
     if report is not None:
         report.attempted += plan.nchunks
     # "skip" without a caller buffer would leave np.empty garbage —
@@ -705,7 +733,7 @@ def decompress_chunked(
         # (skip/fill), so retries never mask corruption.
         for outcome in execute_map(
             _decode_worker, list(range(plan.nchunks)), state, kind, n,
-            retry=1,
+            retry=1, pool=pool,
         ):
             if isinstance(outcome, ChunkCorruptionError):
                 degrade(outcome, target)
@@ -735,6 +763,7 @@ def decompress_chunked_roi(
     workers: int | None = None,
     on_error: str = "raise",
     report: DecodeReport | None = None,
+    pool: WorkerPool | None = None,
 ) -> np.ndarray:
     """Reconstruct only the chunks intersecting ``roi``.
 
@@ -765,6 +794,11 @@ def decompress_chunked_roi(
     # serial walk has no such hazard and keeps reading one payload at a
     # time.  Only the intersecting chunks are ever read either way.
     fan_out = bool(workers and workers > 1) and len(indices) > 1
+    if fan_out:
+        # same capacity gate as the other engine entry points: on a
+        # truly 1-core host the serial walk wins (and skips the
+        # up-front payload prefetch the fan-out needs)
+        fan_out = engine_executor("thread", workers)[0] == "thread"
 
     def prefetch(index: int) -> "bytes | memoryview | None":
         # a payload that cannot even be *read* is re-fetched (and
@@ -837,5 +871,6 @@ def decompress_chunked_roi(
         None,
         "thread" if fan_out else "serial",
         workers,
+        pool=pool,
     )
     return out

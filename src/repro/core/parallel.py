@@ -10,18 +10,22 @@ Two layers share this module:
   are numpy C loops that release the GIL, and threads avoid pickling
   multi-MB arrays.
 * **Executor layer** (:func:`resolve_executor` / :func:`execute_map` /
-  :func:`fork_map`) — the chunked engine's worker pool.  ``"serial"``
-  and ``"thread"`` are what they say; ``"process"`` runs a fork-based
-  pool whose workers *inherit* the parent's task payload (the source
-  array or archive buffer) through the fork instead of receiving it by
-  pickle: only chunk indices cross the pipe inbound, and outputs either
-  come back as (small, already compressed) bytes or are written into a
-  shared mapping (``multiprocessing.shared_memory`` / a file-backed
-  ``np.memmap``) the workers inherited.  Hosts without the ``fork``
-  start method fall back to the thread pool — same results, the chunked
-  byte stream is deterministic by construction (each chunk's bytes
-  depend only on its content and the config, and assembly order is the
-  plan order).
+  :func:`fork_map` / :class:`WorkerPool`) — the chunked engine's worker
+  pool.  ``"serial"`` and ``"thread"`` are what they say; ``"process"``
+  runs a fork-based pool whose workers *inherit* the parent's task
+  payload (the source array or archive buffer) through the fork instead
+  of receiving it by pickle: chunk indices cross the pipe inbound in
+  contiguous per-worker slices (one task and one result pickle per
+  worker, not per chunk), and outputs either come back as (small,
+  already compressed) bytes or are written into a shared mapping
+  (``multiprocessing.shared_memory`` / a file-backed ``np.memmap``) the
+  workers inherited.  A :class:`WorkerPool` handle keeps workers warm
+  across maps; :func:`engine_executor` adds the capacity gate the
+  chunked entry points use to degrade to the serial walk on truly
+  1-core hosts.  Hosts without the ``fork`` start method fall back to
+  the thread pool — same results, the chunked byte stream is
+  deterministic by construction (each chunk's bytes depend only on its
+  content and the config, and assembly order is the plan order).
 
 DESIGN.md §3 documents the thread-mode substitution: absolute speedups
 are below a C++ OpenMP build, but the *structural* contrast the paper
@@ -47,16 +51,44 @@ DEFAULT_THREADS = 8
 EXECUTORS = ("serial", "thread", "process")
 
 
+def _usable_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the *machine*, not the process: under a
+    container quota or a ``taskset`` affinity mask the scheduler
+    confines the process to a subset, and sizing pools (or arming the
+    chunked bench's speedup gate) off the machine count claims
+    parallelism that does not exist.  Resolution order:
+    ``os.process_cpu_count`` (3.13+), the affinity mask, the machine
+    count.
+    """
+    counter = getattr(os, "process_cpu_count", None)
+    if counter is not None:
+        n = counter()
+        if n:
+            return n
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            n = len(getaffinity(0))
+            if n:
+                return n
+        except OSError:
+            pass
+    return os.cpu_count() or 1
+
+
 def effective_workers(workers: int | None) -> int:
     """Resolve a worker/thread-count request (None/0/1 mean serial).
 
     The single resolution rule shared by the thread facade and the
-    process executor: requests are honored up to ``4 * cpu_count`` (an
-    oversubscription allowance for I/O-ish stages), never below 1.
+    process executor: requests are honored up to ``4 *`` the usable-CPU
+    count (an oversubscription allowance for I/O-ish stages), never
+    below 1.
     """
     if workers is None or workers <= 1:
         return 1
-    return min(workers, 4 * (os.cpu_count() or 1))
+    return min(workers, 4 * _usable_cpus())
 
 
 def effective_threads(threads: int | None) -> int:
@@ -72,8 +104,44 @@ def parallel_capacity() -> int:
     this to fall back to their serial path — the same behavior as an
     OpenMP build with one core.  Thread-count *requests* are still
     honored by :func:`effective_threads` on multi-core hosts.
+    Affinity-aware (:func:`_usable_cpus`): a 48-core machine with a
+    1-CPU container quota has capacity 1, not 48.
     """
-    return os.cpu_count() or 1
+    return _usable_cpus()
+
+
+def force_pools() -> bool:
+    """Whether ``STZ_FORCE_POOLS`` disables the engine capacity gate.
+
+    CI (and the executor test-suite) sets it so real pool mechanics
+    are exercised even on 1-core runners, where
+    :func:`engine_executor` would otherwise degrade every parallel
+    request to the serial walk.
+    """
+    return os.environ.get("STZ_FORCE_POOLS", "").lower() in (
+        "1", "true", "on", "yes"
+    )
+
+
+def engine_executor(executor: str, workers: int | None) -> tuple[str, int]:
+    """:func:`resolve_executor` plus the chunked engine's capacity gate.
+
+    On a host whose usable-CPU count is 1, a chunk-level pool cannot
+    run anything concurrently: every pooled chunk pays submit/pickle/
+    collect overhead for zero parallelism, which is exactly how the
+    process executor used to *lose* to the serial walk on 1-core CI
+    runners.  The chunked-engine entry points route parallel requests
+    through this gate and degrade them to the serial walk when
+    capacity is truly 1 — byte-identical output by the determinism
+    contract, never slower than serial.  ``STZ_FORCE_POOLS=1``
+    disables the gate.  Direct :func:`execute_map` / :func:`fork_map`
+    calls are never gated: explicit requests are honored there (the
+    fault-injection tests rely on real pools on any host).
+    """
+    kind, n = resolve_executor(executor, workers)
+    if kind != "serial" and _usable_cpus() < 2 and not force_pools():
+        return "serial", 1
+    return kind, n
 
 
 def pmap(
@@ -148,11 +216,6 @@ _FORK_STATE: tuple | None = None
 _FORK_LOCK = threading.Lock()
 
 
-def _fork_invoke(item):
-    fn, state = _FORK_STATE
-    return fn(state, item)
-
-
 class _ItemFailure:
     """Per-item failure marker inside an outcome list — keeps one bad
     item from discarding the results of every other item (the raw
@@ -164,11 +227,189 @@ class _ItemFailure:
         self.exc = exc
 
 
+def _fork_invoke_batch(batch):
+    """Worker task: run a contiguous slice of items, one result list
+    back.  The *slice* is the submit/pickle unit (one task and one
+    result pickle per worker instead of per chunk); the *item* stays
+    the failure unit via per-item ``_ItemFailure`` markers, so the
+    retry contract still identifies exactly which items failed."""
+    fn, state = _FORK_STATE
+    out = []
+    for item in batch:
+        try:
+            out.append(fn(state, item))
+        except Exception as exc:  # noqa: BLE001 — outcome, re-raised later
+            out.append(_ItemFailure(exc))
+    return out
+
+
+def _same_payload(old, new) -> bool:
+    """Whether a warm fork pool's snapshot of ``old`` can stand in for
+    ``new``.  Identical objects always can; tuples/lists recurse;
+    arrays and other mutable buffers must be the *same object* — the
+    children hold a copy-on-write snapshot from fork time, and the
+    caller's side of the warm-pool contract is not to mutate payload
+    it passes by identity while the pool is warm.  Everything else
+    (frozen configs, plans, floats, paths, ``bytes``) compares by
+    equality.
+    """
+    if old is new:
+        return True
+    if type(old) is not type(new):
+        return False
+    if isinstance(old, (tuple, list)):
+        return len(old) == len(new) and all(
+            _same_payload(a, b) for a, b in zip(old, new)
+        )
+    if (
+        hasattr(old, "__array_interface__")
+        or isinstance(old, (bytearray, memoryview))
+    ):
+        return False  # mutable buffers only match by identity (above)
+    try:
+        return bool(old == new)
+    except Exception:  # noqa: BLE001 — incomparable payloads never match
+        return False
+
+
+def _slice_spans(nitems: int, nslices: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced ``(start, stop)`` spans — one per worker."""
+    nslices = max(1, min(nslices, nitems))
+    base, extra = divmod(nitems, nslices)
+    spans, start = [], 0
+    for i in range(nslices):
+        stop = start + base + (1 if i < extra else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
+def _collect_slices(
+    pool_exec: ProcessPoolExecutor,
+    items: Sequence,
+    spans: list[tuple[int, int]],
+) -> tuple[list, bool]:
+    """Submit one slice per span and flatten the per-item outcomes.
+
+    A child that *raises* fails only its own items (markers travel
+    back inside the slice result); a child that dies outright (OOM
+    kill, segfault, SIGKILL) breaks the pool and surfaces as
+    ``BrokenProcessPool`` on the in-flight slice futures — every item
+    of an affected slice is marked failed, and the second return value
+    reports the breakage so a warm pool can be discarded.
+    """
+    futures = [
+        pool_exec.submit(_fork_invoke_batch, list(items[a:b]))
+        for a, b in spans
+    ]
+    outcomes: list = []
+    broken = False
+    for fut, (a, b) in zip(futures, spans):
+        try:
+            outcomes.extend(fut.result())
+        except Exception as exc:  # noqa: BLE001 — see above
+            outcomes.extend(_ItemFailure(exc) for _ in range(b - a))
+            broken = True
+    return outcomes, broken
+
+
+class WorkerPool:
+    """Reusable executor handle: keeps workers warm across
+    :func:`execute_map` calls.
+
+    Pool startup is pure overhead charged to every map — thread-stack
+    or fork+interpreter setup, then teardown — and the chunked bench,
+    the streaming subsystem and repeated engine invocations issue many
+    maps back to back.  A ``WorkerPool`` amortizes it: the thread pool
+    is created once and reused unconditionally; a fork pool is reused
+    while the published ``(fn, state)`` pair is the *same objects* as
+    at fork time (children snapshot them when they fork, so different
+    state must repool), and while warm it keeps :data:`_FORK_STATE`
+    published under :data:`_FORK_LOCK` — late-spawned workers of the
+    same pool still snapshot the right payload, and concurrent
+    :func:`fork_map` callers degrade inline exactly as they would
+    against an in-flight one-shot pool.
+
+    Not thread-safe: one engine invocation (or bench loop) drives a
+    pool from one thread.  Always :meth:`close` (or use as a context
+    manager) — a warm fork pool holds the module fork lock.
+    """
+
+    def __init__(self, executor: str, workers: int | None = None):
+        self.kind, self.workers = resolve_executor(executor, workers)
+        self._threads: ThreadPoolExecutor | None = None
+        self._proc: ProcessPoolExecutor | None = None
+        self._key: tuple | None = None
+        self._lock_held = False
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def thread_pool(self) -> ThreadPoolExecutor:
+        """The warm thread pool (created on first use)."""
+        if self._threads is None:
+            self._threads = ThreadPoolExecutor(max_workers=self.workers)
+        return self._threads
+
+    def fork_pool(self, fn, state) -> ProcessPoolExecutor | None:
+        """The warm fork pool for ``(fn, state)``, or ``None`` when no
+        pool can run right now (fork unavailable, or another fork pool
+        holds the lock) and the caller should run inline."""
+        global _FORK_STATE
+        if self._proc is not None:
+            if self._key[0] is fn and _same_payload(self._key[1], state):
+                return self._proc
+            self._release_fork()  # children hold a stale snapshot
+        if not fork_available():
+            return None
+        if not _FORK_LOCK.acquire(blocking=False):
+            return None
+        _FORK_STATE = (fn, state)
+        self._lock_held = True
+        try:
+            self._proc = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=mp.get_context("fork")
+            )
+        except BaseException:
+            self._release_fork()
+            raise
+        self._key = (fn, state)
+        return self._proc
+
+    def discard_fork(self) -> None:
+        """Drop a (broken) fork pool so the next call builds afresh."""
+        self._release_fork()
+
+    def _release_fork(self) -> None:
+        global _FORK_STATE
+        if self._proc is not None:
+            try:
+                self._proc.shutdown(wait=True, cancel_futures=True)
+            except Exception:  # noqa: BLE001 — broken pools may misbehave
+                pass
+            self._proc = None
+            self._key = None
+        if self._lock_held:
+            _FORK_STATE = None
+            self._lock_held = False
+            _FORK_LOCK.release()
+
+    def close(self) -> None:
+        self._release_fork()
+        if self._threads is not None:
+            self._threads.shutdown(wait=True)
+            self._threads = None
+
+
 def _thread_outcomes(
     fn: Callable[[object, T], R],
     items: Sequence[T],
     state: object,
     workers: int,
+    pool: WorkerPool | None = None,
 ) -> list:
     def run(x):
         try:
@@ -176,8 +417,10 @@ def _thread_outcomes(
         except Exception as exc:  # noqa: BLE001 — outcome, re-raised later
             return _ItemFailure(exc)
 
-    with ThreadPoolExecutor(max_workers=min(workers, len(items))) as pool:
-        return list(pool.map(run, items))
+    if pool is not None:
+        return list(pool.thread_pool().map(run, items))
+    with ThreadPoolExecutor(max_workers=min(workers, len(items))) as tpe:
+        return list(tpe.map(run, items))
 
 
 def _fork_outcomes(
@@ -185,19 +428,29 @@ def _fork_outcomes(
     items: Sequence[T],
     state: object,
     workers: int,
+    pool: WorkerPool | None = None,
 ) -> list | None:
-    """Per-item outcomes over a fresh fork pool, or ``None`` when the
-    pool cannot run here (fork unavailable, or another pool is mid
-    publish→fork→clear) and the caller should run inline.
+    """Per-item outcomes over the fork pool — warm via ``pool``, else a
+    one-shot pool — or ``None`` when no pool can run here (fork
+    unavailable, or another pool is in flight) and the caller should
+    run inline.
 
-    Uses one future per item instead of ``Pool.map`` so failures are
-    *identifiable*: a child that raises fails only its own future, and
-    a child that dies outright (OOM kill, segfault, SIGKILL) surfaces
-    as ``BrokenProcessPool`` on the futures still in flight rather than
-    hanging the map — that is what lets :func:`execute_map` retry the
-    affected items serially in the parent.
+    Items are submitted as contiguous per-worker slices
+    (:func:`_slice_spans` / :func:`_collect_slices`): only one task
+    pickle and one result pickle per worker instead of per chunk,
+    while per-item failure markers keep :func:`execute_map`'s retry
+    pass item-granular.
     """
     global _FORK_STATE
+    spans = _slice_spans(len(items), workers)
+    if pool is not None:
+        proc = pool.fork_pool(fn, state)
+        if proc is None:
+            return None
+        outcomes, broken = _collect_slices(proc, items, spans)
+        if broken:
+            pool.discard_fork()
+        return outcomes
     if not fork_available():
         return None
     if not _FORK_LOCK.acquire(blocking=False):
@@ -211,14 +464,8 @@ def _fork_outcomes(
             ctx = mp.get_context("fork")
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(items)), mp_context=ctx
-            ) as pool:
-                futures = [pool.submit(_fork_invoke, x) for x in items]
-                outcomes: list = []
-                for fut in futures:
-                    try:
-                        outcomes.append(fut.result())
-                    except Exception as exc:  # noqa: BLE001 — see above
-                        outcomes.append(_ItemFailure(exc))
+            ) as pool_exec:
+                outcomes, _ = _collect_slices(pool_exec, items, spans)
                 return outcomes
         finally:
             _FORK_STATE = None
@@ -293,6 +540,7 @@ def execute_map(
     executor: str = "serial",
     workers: int | None = None,
     retry: int = 0,
+    pool: WorkerPool | None = None,
 ) -> list[R]:
     """Run ``fn(state, item)`` for every item under the chosen executor.
 
@@ -311,14 +559,22 @@ def execute_map(
     exception — retries never mask an error, they only strip away pool
     mechanics.  The serial path never retries: it would deterministically
     re-raise.
+
+    ``pool`` (a :class:`WorkerPool` of the matching kind) reuses warm
+    workers across calls instead of paying pool startup/teardown per
+    map; a mismatched or absent handle falls back to a one-shot pool.
+    The handle's lifetime belongs to the caller (the chunked engine
+    scopes one to an engine invocation; benches to the timing loop).
     """
     kind, n = resolve_executor(executor, workers)
+    if pool is not None and pool.kind != kind:
+        pool = None
     if kind == "serial" or len(items) <= 1:
         return [fn(state, x) for x in items]
     if kind == "thread":
-        outcomes = _thread_outcomes(fn, items, state, n)
+        outcomes = _thread_outcomes(fn, items, state, n, pool)
     else:
-        outcomes = _fork_outcomes(fn, items, state, n)
+        outcomes = _fork_outcomes(fn, items, state, n, pool)
         if outcomes is None:
             return [fn(state, x) for x in items]
     return _settle(outcomes, fn, items, state, retry)

@@ -16,6 +16,12 @@ Compression walks the hierarchy coarsest-first:
 Decompression mirrors this and may stop at any level (progressive).
 All per-sub-block work at one level is independent, so both directions
 accept a ``threads`` argument (the paper's OMP mode).
+
+The hot kernels under this pipeline — quantization, Huffman tree and
+packing, interpolation combination — engage compiled implementations
+through the ``repro.util.jit`` facade when available (DESIGN.md §10);
+the facade's contract is byte-identical output, so nothing at this
+layer branches on it.
 """
 
 from __future__ import annotations

@@ -37,6 +37,7 @@ import itertools
 import numpy as np
 
 from repro.core.partition import Offset
+from repro.util import jit
 
 # diagonal cubic weights per number of odd axes (Eqs. 6, 7, 8):
 # pred = wn * sum(nearest 2^j) - wo * sum(outer-diagonal 2^j)
@@ -59,13 +60,24 @@ def _sum_seq(arrays: list[np.ndarray]) -> np.ndarray:
 
 
 def _linear_combine(corners: list[np.ndarray], j: int) -> np.ndarray:
-    return _sum_seq(corners) * (0.5**j)
+    # compiled fused combine (repro.util.jit, DESIGN.md §10): one pass
+    # over the strided corner views instead of 2^j temporaries; the
+    # weights are dyadic, so the scalar cast is exact and the result is
+    # bit-identical to the reference expression below
+    w = 0.5**j
+    out = jit.combine(corners, (), w, 0.0)
+    if out is not None:
+        return out
+    return _sum_seq(corners) * w
 
 
 def _cubic_combine(
     near: list[np.ndarray], outer: list[np.ndarray], j: int
 ) -> np.ndarray:
     wn, wo = _CUBIC_WEIGHTS[j]
+    out = jit.combine(near, outer, wn, wo)
+    if out is not None:
+        return out
     return _sum_seq(near) * wn - _sum_seq(outer) * wo
 
 

@@ -81,6 +81,7 @@ from repro.core.integrity import (
     FrameCorruptionError,
 )
 from repro.core.config import STZConfig
+from repro.core.parallel import WorkerPool
 from repro.core.pipeline import stz_compress_with_recon
 from repro.core.select import (
     CANDIDATES,
@@ -250,6 +251,15 @@ class StreamingCompressor:
         self._overlap = bool(overlap)
         self._pool = ThreadPoolExecutor(max_workers=1) if overlap else None
         self._pending: Future | None = None
+        #: warm chunk-level worker pool shared by every sharded frame —
+        #: without it each frame pays thread-pool startup/teardown
+        #: inside compress_chunked_with_recon (process requests run as
+        #: threads there: the private recon buffer must stay in-process)
+        self._chunk_pool = (
+            WorkerPool("thread", chunk_workers)
+            if self._chunks is not None
+            else None
+        )
 
     @property
     def nframes(self) -> int:
@@ -334,7 +344,7 @@ class StreamingCompressor:
             blob, recon = compress_chunked_with_recon(
                 step, self.abs_eb, "abs", self.config, self._chunks,
                 self._chunk_executor, self._chunk_workers, self.threads,
-                checksum=self._checksum,
+                checksum=self._checksum, pool=self._chunk_pool,
             )
             return blob, recon, "sharded"
         if self.config.codec == "auto":
@@ -371,7 +381,7 @@ class StreamingCompressor:
             blob, rr = compress_chunked_with_recon(
                 resid, delta_eb, "abs", self.config, self._chunks,
                 self._chunk_executor, self._chunk_workers, self.threads,
-                checksum=self._checksum,
+                checksum=self._checksum, pool=self._chunk_pool,
             )
             return blob, rr, "sharded"
         if self.config.codec == "auto":
@@ -504,6 +514,8 @@ class StreamingCompressor:
             finally:
                 if self._pool is not None:
                     self._pool.shutdown(wait=True)
+                if self._chunk_pool is not None:
+                    self._chunk_pool.close()
             self._writer.finalize()
             self._result = (
                 self._writer.getvalue() if self._writer.in_memory else None

@@ -38,6 +38,7 @@ import zlib
 
 import numpy as np
 
+from repro.util import jit
 from repro.util.cache import BoundedLRU
 
 from repro.encoding.bitstream import pack_codes, pack_codes_at
@@ -68,6 +69,13 @@ def _code_lengths(freqs: np.ndarray) -> np.ndarray:
         return lengths
 
     order = np.argsort(freqs[present], kind="stable")
+    # compiled merge loop (repro.util.jit): identical tie-breaks and
+    # depth walk, so the lengths — and every downstream segment byte —
+    # match the Python two-queue below exactly
+    depths = jit.huffman_tree(np.ascontiguousarray(freqs[present][order]))
+    if depths is not None:
+        lengths[present[order]] = depths
+        return lengths
     leaf_freq = freqs[present][order].tolist()
     # merged-node queue; two-queue merge keeps both queues sorted so no heap
     # is needed.
@@ -116,6 +124,9 @@ def _limit_lengths(
             f"{present.size} distinct symbols cannot fit {maxlen}-bit codes"
         )
     L[present] = np.minimum(L[present], maxlen)
+    limited = jit.huffman_limit(L, present, freqs, maxlen)
+    if limited is not None:
+        return limited
     budget = 1 << maxlen
     kraft = int(np.sum(1 << (maxlen - L[present])))
     if kraft > budget:
@@ -265,6 +276,30 @@ def _assemble_segment(
     return b"".join([header, lens_z, sync_z, packed.tobytes(), pad])
 
 
+def _pack_stream(
+    symbols: np.ndarray,
+    lengths: np.ndarray,
+    codes: np.ndarray,
+    chunk: int,
+) -> tuple[np.ndarray, int, np.ndarray]:
+    """Pack one stream's payload: ``(packed, nbits, sync_starts)``.
+
+    Prefers the compiled single-pass packer (repro.util.jit, DESIGN.md
+    §10) which emits the payload bytes and the sync index in one walk;
+    the vectorized gather/cumsum/scatter below is the byte-identical
+    reference and the fallback."""
+    compiled = jit.huffman_pack(
+        symbols, (codes << np.uint32(5)) | lengths, chunk
+    )
+    if compiled is not None:
+        return compiled
+    sym_codes = codes[symbols]
+    sym_lens = lengths[symbols].astype(np.int64)
+    packed, nbits = pack_codes(sym_codes, sym_lens)
+    starts = np.cumsum(sym_lens) - sym_lens
+    return packed, nbits, starts[::chunk]
+
+
 def huffman_encode(symbols: np.ndarray, chunk: int | None = None) -> bytes:
     """Encode a non-negative integer array into a self-describing segment."""
     symbols = _normalize_symbols(symbols)
@@ -277,15 +312,11 @@ def huffman_encode(symbols: np.ndarray, chunk: int | None = None) -> bytes:
     lengths = _limit_lengths(_code_lengths(freqs), freqs)
     codes = _canonical_codes(lengths)
 
-    sym_codes = codes[symbols]
-    sym_lens = lengths[symbols].astype(np.int64)
-    packed, nbits = pack_codes(sym_codes, sym_lens)
-
     if chunk is None:
         chunk = _choose_chunk(m)
-    starts = np.cumsum(sym_lens) - sym_lens
+    packed, nbits, sync = _pack_stream(symbols, lengths, codes, chunk)
     return _assemble_segment(
-        m, chunk, freqs.size, nbits, lengths, starts[::chunk], packed
+        m, chunk, freqs.size, nbits, lengths, sync, packed
     )
 
 
@@ -320,6 +351,19 @@ def huffman_encode_many(
         lengths = _limit_lengths(_code_lengths(freqs), freqs)
         streams.append((i, symbols, freqs, lengths, _canonical_codes(lengths)))
     if not streams:
+        return results  # type: ignore[return-value]
+
+    if jit.has("huff_pack"):
+        # the compiled packer walks each stream once (payload bytes +
+        # sync index in one pass), so there is nothing left to fuse —
+        # per-stream segments are byte-identical to the path below
+        for i, symbols, freqs, lengths, codes in streams:
+            m = symbols.size
+            chunk_k = chunk if chunk is not None else _choose_chunk(m)
+            packed, nbits, sync = _pack_stream(symbols, lengths, codes, chunk_k)
+            results[i] = _assemble_segment(
+                m, chunk_k, freqs.size, nbits, lengths, sync, packed
+            )
         return results  # type: ignore[return-value]
 
     # per-symbol gathers run per stream (each code table stays cache

@@ -31,6 +31,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.util import jit
+
 DEFAULT_RADIUS = 16384
 
 
@@ -115,7 +117,14 @@ def _quantize_flat(
 def _quantize_flat_impl(
     flat: np.ndarray, pflat: np.ndarray, eb: float, radius: int, f32: bool
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    if f32 and _f32_mode(flat.dtype, pflat.dtype, eb, radius):
+    f32_mode = f32 and _f32_mode(flat.dtype, pflat.dtype, eb, radius)
+    # compiled single-pass kernel (repro.util.jit, DESIGN.md §10):
+    # byte-identical to the vectorized reference below, engaged only
+    # when available and the inputs are eligible
+    compiled = jit.quantize(flat, pflat, eb, radius, f32_mode)
+    if compiled is not None:
+        return compiled
+    if f32_mode:
         # float32 residuals, bin search and reconstruction: a third of
         # the temporary traffic of the float64 up-convert path.  NaN/inf
         # residuals propagate into the comparisons, which come out False
@@ -365,13 +374,17 @@ def dequantize(
     record it).
     """
     pred = np.asarray(pred)
+    codes = np.asarray(codes)
     pflat = pred.reshape(-1)
-    if f32 and _f32_mode(pred.dtype, pred.dtype, eb, radius):
-        qf = codes.astype(np.float32) - np.float32(radius)
-        recon = pflat + qf * np.float32(2.0 * eb)
-    else:
-        q = codes.astype(np.int64) - radius
-        recon = _reconstruct(pflat, q, eb, pred.dtype)
+    f32_mode = f32 and _f32_mode(pred.dtype, pred.dtype, eb, radius)
+    recon = jit.dequantize(codes, pflat, eb, radius, f32_mode)
+    if recon is None:
+        if f32_mode:
+            qf = codes.astype(np.float32) - np.float32(radius)
+            recon = pflat + qf * np.float32(2.0 * eb)
+        else:
+            q = codes.astype(np.int64) - radius
+            recon = _reconstruct(pflat, q, eb, pred.dtype)
     if outlier_pos.size:
         recon[outlier_pos] = outlier_val
     return recon

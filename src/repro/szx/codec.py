@@ -41,6 +41,7 @@ import struct
 import numpy as np
 
 from repro.encoding.lossless import compress_bytes, decompress_bytes
+from repro.util import jit
 from repro.util.sections import pack_sections, unpack_sections
 from repro.util.validation import (
     as_float_array,
@@ -182,9 +183,16 @@ def _szx_compress_impl(
         if w == 0:
             continue  # all-zero codes: nothing to store
         sel = np.flatnonzero(qwidth == w)
+        grp = qcodes[sel]
+        # compiled plane-major packer (repro.util.jit, DESIGN.md §10):
+        # byte-identical to the packbits reference below
+        packed = jit.szx_pack(grp, int(w))
+        if packed is not None:
+            packed_parts.append(packed.tobytes())
+            continue
         planes = np.arange(int(w) - 1, -1, -1, dtype=np.uint32)
         bits = (
-            (qcodes[sel][None, :, :] >> planes[:, None, None]) & np.uint32(1)
+            (grp[None, :, :] >> planes[:, None, None]) & np.uint32(1)
         ).astype(np.uint8)
         packed_parts.append(np.packbits(bits.reshape(-1)).tobytes())
 
@@ -259,11 +267,13 @@ def szx_decompress(blob: bytes | memoryview) -> np.ndarray:
         sel = np.flatnonzero(qwidth == w)
         nbits = int(w) * sel.size * BLOCK
         nbytes = (nbits + 7) // 8
-        bits = np.unpackbits(
-            np.frombuffer(packed, dtype=np.uint8, count=nbytes, offset=off),
-            count=nbits,
-        ).reshape(int(w), sel.size, BLOCK)
+        buf = np.frombuffer(packed, dtype=np.uint8, count=nbytes, offset=off)
         off += nbytes
+        grp = jit.szx_unpack(buf, sel.size * BLOCK, int(w))
+        if grp is not None:
+            qcodes[sel] = grp.reshape(sel.size, BLOCK)
+            continue
+        bits = np.unpackbits(buf, count=nbits).reshape(int(w), sel.size, BLOCK)
         planes = np.arange(int(w) - 1, -1, -1, dtype=np.uint32)
         qcodes[sel] = (
             (bits.astype(np.uint32) << planes[:, None, None])

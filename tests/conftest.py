@@ -6,6 +6,15 @@ with ``benchmarks/conftest.py``, so the two trees cannot drift apart.
 
 from __future__ import annotations
 
+import os
+
+# the chunked engine's capacity gate degrades parallel requests to the
+# serial walk on 1-core hosts (repro.core.parallel.engine_executor);
+# the suite must exercise real pool mechanics regardless of the
+# runner's core count, so the gate is forced open here.  Tests of the
+# gate itself monkeypatch the variable away.
+os.environ.setdefault("STZ_FORCE_POOLS", "1")
+
 from repro.testing import (  # noqa: F401
     FIELD_VARIANTS,
     conformance_field,

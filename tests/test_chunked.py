@@ -47,11 +47,15 @@ from repro.core.chunked import (
 from repro.core.config import STZConfig
 from repro.core.parallel import (
     EXECUTORS,
+    WorkerPool,
+    _slice_spans,
     effective_threads,
     effective_workers,
+    engine_executor,
     execute_map,
     fork_available,
     fork_map,
+    parallel_capacity,
     pstarmap,
     resolve_executor,
 )
@@ -220,6 +224,121 @@ class TestExecutorLayer:
                 a, b = pool.map(run, ["A", "B"])
             assert a == [("A", i) for i in range(8)]
             assert b == [("B", i) for i in range(8)]
+
+    def test_parallel_capacity_is_affinity_aware(self, monkeypatch):
+        import repro.core.parallel as par
+
+        # a container quota masks the process to 3 of many CPUs: the
+        # affinity mask, not the machine count, is the capacity
+        monkeypatch.delattr(par.os, "process_cpu_count", raising=False)
+        monkeypatch.setattr(
+            par.os, "sched_getaffinity", lambda pid: {0, 2, 5},
+            raising=False,
+        )
+        monkeypatch.setattr(par.os, "cpu_count", lambda: 48)
+        assert parallel_capacity() == 3
+        assert effective_workers(100) == 12  # 4x usable, not 4x machine
+        # 3.13+: os.process_cpu_count wins when present
+        monkeypatch.setattr(
+            par.os, "process_cpu_count", lambda: 2, raising=False
+        )
+        assert parallel_capacity() == 2
+
+    def test_engine_executor_gates_single_core(self, monkeypatch):
+        import repro.core.parallel as par
+
+        monkeypatch.delenv("STZ_FORCE_POOLS", raising=False)
+        monkeypatch.setattr(par, "_usable_cpus", lambda: 1)
+        # parallel requests degrade to the serial walk on 1 core...
+        assert engine_executor("process", 4) == ("serial", 1)
+        assert engine_executor("thread", 4) == ("serial", 1)
+        assert engine_executor("serial", None) == ("serial", 1)
+        # ...but resolve_executor (direct execute_map/fork_map callers)
+        # still honors the explicit request
+        assert resolve_executor("thread", 3) == ("thread", 3)
+        # the override keeps pool mechanics testable anywhere
+        monkeypatch.setenv("STZ_FORCE_POOLS", "1")
+        assert engine_executor("thread", 4) == ("thread", 4)
+        # with real capacity the gate never triggers
+        monkeypatch.delenv("STZ_FORCE_POOLS")
+        monkeypatch.setattr(par, "_usable_cpus", lambda: 8)
+        assert engine_executor("thread", 4) == ("thread", 4)
+
+    def test_slice_spans_cover_and_balance(self):
+        for nitems in (1, 2, 3, 7, 8, 23, 100):
+            for nslices in (1, 2, 4, 7, 200):
+                spans = _slice_spans(nitems, nslices)
+                # contiguous, complete, in order
+                assert spans[0][0] == 0 and spans[-1][1] == nitems
+                assert all(
+                    a2 == b1 for (_, b1), (a2, _) in zip(spans, spans[1:])
+                )
+                # never more slices than items; sizes within 1 of even
+                assert len(spans) == min(nslices, nitems)
+                sizes = [b - a for a, b in spans]
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_worker_pool_thread_reuse_and_outcomes(self):
+        def fn(state, x):
+            if x == 5:
+                raise ValueError("five")
+            return state * x
+
+        with WorkerPool("thread", 3) as pool:
+            first = execute_map(
+                fn, [0, 1, 2, 3], 2, "thread", 3, pool=pool
+            )
+            assert first == [0, 2, 4, 6]
+            tpe = pool.thread_pool()
+            assert execute_map(
+                fn, [4, 6], 2, "thread", 3, pool=pool
+            ) == [8, 12]
+            assert pool.thread_pool() is tpe  # warm across maps
+            # deterministic failures still surface with their own error
+            with pytest.raises(ValueError, match="five"):
+                execute_map(fn, [4, 5], 2, "thread", 3, retry=1, pool=pool)
+
+    @pytest.mark.skipif(not fork_available(), reason="no fork")
+    def test_worker_pool_fork_warm_reuse_and_repool(self):
+        import repro.core.parallel as par
+
+        state_a = (np.arange(6), 1.5)
+        state_b = (np.arange(6), 2.5)
+
+        def fn(st, i):
+            arr, scale = st
+            return float(arr[i]) * scale
+
+        with WorkerPool("process", 2) as pool:
+            out = execute_map(fn, [0, 1, 2], state_a, "process", 2, pool=pool)
+            assert out == [0.0, 1.5, 3.0]
+            proc = pool._proc
+            assert proc is not None
+            # same payload (same array object, equal scalars): warm
+            out = execute_map(fn, [3, 4], state_a, "process", 2, pool=pool)
+            assert out == [4.5, 6.0]
+            assert pool._proc is proc
+            # the pool holds the fork lock while warm
+            assert not par._FORK_LOCK.acquire(blocking=False)
+            # different payload: children hold a stale snapshot — repool
+            out = execute_map(fn, [0, 1], state_b, "process", 2, pool=pool)
+            assert out == [0.0, 2.5]
+            assert pool._proc is not proc
+        # close() released the lock and the workers
+        assert par._FORK_LOCK.acquire(blocking=False)
+        par._FORK_LOCK.release()
+        assert par._FORK_STATE is None
+
+    def test_execute_map_ignores_mismatched_pool(self):
+        with WorkerPool("thread", 2) as pool:
+            # a thread handle passed to a process map is ignored, not
+            # misused (and vice versa a serial map needs no pool)
+            out = execute_map(
+                lambda s, x: x + 1, [1, 2, 3], None, "process", 2,
+                pool=pool,
+            )
+            assert out == [2, 3, 4]
+            assert pool._proc is None
 
 
 # ---------------------------------------------------------------------------

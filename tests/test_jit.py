@@ -1,0 +1,185 @@
+"""The ``repro.util.jit`` facade: byte-determinism and the kill switch.
+
+The facade's contract (DESIGN.md §10) is *bit-identity*: with the
+compiled kernels engaged, every archive byte and every reconstruction
+bit must equal the pure-NumPy reference path's.  These tests pin that
+contract where it is cheapest to break silently:
+
+* every golden fixture — committed archives decode bit-exactly in both
+  modes, and committed inputs re-encode to the same bytes in both;
+* value-edge inputs — NaN, infinities, denormals, constant fields —
+  where a compiled kernel's rounding or classification could diverge
+  from numpy's without failing any smooth-field test;
+* the ``STZ_JIT=0`` kill switch — the facade must disengage completely
+  (wrappers return ``None``) and the reference path must carry the
+  whole pipeline alone.
+
+When no compiler is available the facade reports unavailable and every
+identity test collapses to reference-vs-reference — still a valid run,
+by design (the facade may never make availability an error).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.api import compress, compress_chunked, decompress
+from repro.core.stream import MULTI_MAGIC
+from repro.core.streaming import StreamingDecompressor
+from repro.util import jit
+
+GOLDEN = Path(__file__).parent / "golden"
+
+FIXTURES = sorted(p.stem for p in GOLDEN.glob("*.stz"))
+
+
+def _decode_all(blob: bytes) -> list[np.ndarray]:
+    """Every reconstruction in an archive (multi-frame aware)."""
+    if bytes(blob[:4]) == MULTI_MAGIC:
+        return list(StreamingDecompressor(blob))
+    return [decompress(blob)]
+
+
+def _bits(arrays: list[np.ndarray]) -> list[bytes]:
+    """Bit-exact fingerprints (``==`` would treat NaN as unequal)."""
+    return [np.ascontiguousarray(a).tobytes() for a in arrays]
+
+
+class TestGoldenIdentity:
+    @pytest.mark.parametrize("name", FIXTURES)
+    def test_decode_bit_identical_both_modes(self, name):
+        blob = (GOLDEN / f"{name}.stz").read_bytes()
+        with jit.override(True):
+            on = _bits(_decode_all(blob))
+        with jit.override(False):
+            off = _bits(_decode_all(blob))
+        assert on == off, name
+        # and both match the committed reconstruction bit-exactly
+        recon = np.load(GOLDEN / f"{name}_recon.npy")
+        assert b"".join(on) == np.ascontiguousarray(recon).tobytes(), name
+
+    @pytest.mark.parametrize("name", FIXTURES)
+    def test_reencode_bit_identical_both_modes(self, name):
+        data = np.load(GOLDEN / f"{name}_input.npy")
+        if data.ndim > 3:  # multi-frame inputs: encode the first step
+            data = data[0]
+        eb = 1e-3 * float(np.nanmax(data) - np.nanmin(data) or 1.0)
+        with jit.override(True):
+            on_plain = compress(data, eb)
+            on_chunked = compress_chunked(data, eb, chunks=16)
+        with jit.override(False):
+            off_plain = compress(data, eb)
+            off_chunked = compress_chunked(data, eb, chunks=16)
+        assert on_plain == off_plain, name
+        assert on_chunked == off_chunked, name
+
+
+def _edge_fields() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(11)
+    smooth = np.cumsum(rng.standard_normal((20, 21, 22)), axis=1)
+    nanfield = smooth.copy()
+    nanfield[::5, 3, :] = np.nan
+    inffield = smooth.copy()
+    inffield[0, 0, 0] = np.inf
+    inffield[7, :, 2] = -np.inf
+    denormal = (rng.standard_normal((16, 16, 16)) * 1e-310).astype(
+        np.float64
+    )
+    return {
+        "constant": np.full((17, 13, 9), 2.75),
+        "constant_zero": np.zeros((8, 8, 8), dtype=np.float32),
+        "nan": nanfield,
+        "inf": inffield,
+        "denormal_f64": denormal,
+        "denormal_f32": (
+            rng.standard_normal((16, 16, 16)) * 1e-41
+        ).astype(np.float32),
+        "mixed_extreme": np.array(
+            [[np.nan, np.inf, -np.inf, 0.0, -0.0, 5e-324, 1e308, -1e308]]
+            * 9
+        ),
+    }
+
+
+@pytest.mark.conformance
+class TestValueEdgeIdentity:
+    @pytest.mark.parametrize("case", sorted(_edge_fields()))
+    @pytest.mark.parametrize("f32", [False, True])
+    def test_edge_values_bit_identical(self, case, f32):
+        data = _edge_fields()[case]
+        if f32:
+            data = data.astype(np.float32)
+        results = {}
+        for mode in (True, False):
+            with jit.override(mode):
+                blob = compress(data, 1e-3)
+                recon = decompress(blob)
+            results[mode] = (blob, recon.tobytes(), recon.dtype)
+        assert results[True] == results[False], case
+
+    @pytest.mark.parametrize("f32", [False, True])
+    def test_edge_values_chunked_identical(self, f32):
+        data = _edge_fields()["nan"]
+        if f32:
+            data = data.astype(np.float32)
+        with jit.override(True):
+            on = compress_chunked(data, 1e-3, chunks=8)
+        with jit.override(False):
+            off = compress_chunked(data, 1e-3, chunks=8)
+        assert on == off
+
+
+class TestKillSwitch:
+    def test_stz_jit_0_disengages_facade(self, monkeypatch):
+        monkeypatch.setenv("STZ_JIT", "0")
+        with jit.override(None):  # follow the env, not an outer override
+            assert not jit.enabled()
+            assert jit.status()["enabled"] is False
+            # every wrapper must decline — the one-`if` fallback sites
+            # then run pure NumPy
+            x = np.linspace(0.0, 1.0, 64)
+            p = np.zeros(64)
+            assert jit.quantize(x, p, 1e-3, 1 << 15, False) is None
+            assert jit.dequantize(
+                np.zeros(64, np.uint32), p, 1e-3, 1 << 15, False
+            ) is None
+            assert jit.huffman_pack(
+                np.zeros(8, np.uint32), np.full(2, 32, np.uint32), 4
+            ) is None
+            assert jit.huffman_tree(np.array([3, 2], np.int64)) is None
+            assert jit.szx_pack(np.zeros(128, np.uint32), 4) is None
+            assert jit.combine((x.reshape(8, 8),), (), 0.5, 0.0) is None
+            # the reference path carries the pipeline alone
+            data = np.cumsum(
+                np.random.default_rng(0).standard_normal((16, 16, 16)), 0
+            )
+            blob = compress(data, 1e-3)
+            assert np.max(np.abs(decompress(blob) - data)) <= 1e-3
+
+    def test_off_values_accepted(self, monkeypatch):
+        for val in ("off", "false", "0", "OFF"):
+            monkeypatch.setenv("STZ_JIT", val)
+            with jit.override(None):
+                assert not jit.enabled(), val
+        monkeypatch.setenv("STZ_JIT", "1")
+        with jit.override(None):
+            assert jit.enabled()
+
+    def test_override_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("STZ_JIT", "0")
+        with jit.override(True):
+            assert jit.enabled()
+        with jit.override(False):
+            monkeypatch.setenv("STZ_JIT", "1")
+            assert not jit.enabled()
+
+    def test_status_shape(self):
+        st = jit.status()
+        assert st["backend"] == "generated-c/ctypes"
+        assert set(st) >= {
+            "enabled", "loaded", "attempted", "library", "cache_dir",
+            "error",
+        }
