@@ -1,0 +1,164 @@
+"""Serve-layer benchmark: closed-loop load against a live server.
+
+The Fig.-10 detect-then-extract workflow, served: many small ROI
+requests hammer the same few chunks of one archive (the halos everyone
+is looking at).  This benchmark runs that repeated-ROI workload
+closed-loop — each client thread issues its next request only after
+the previous response lands — over real TCP against the in-process
+:class:`~repro.testing.ServerHarness`, twice:
+
+* **warm cache** — the default server; after warm-up every hot chunk
+  sits decoded in the :class:`DecodedChunkCache` and requests cost a
+  dict lookup plus the ROI copy,
+* **cache disabled** — ``cache_bytes=0``; the identical code path
+  re-decodes the chunk (checksum + Huffman + interpolation) on every
+  request.
+
+Reported per run: p50/p99 request latency, closed-loop request
+throughput, and the server's own cache hit rate.  Three gates double
+as the CI smoke contract:
+
+* warm-cache p50 must undercut the cache-disabled p50 by
+  ``MIN_CACHE_SPEEDUP``x — the cache has to *pay*, not just exist,
+* the warm run's hit rate must be positive on a repeated-ROI workload
+  (a zero here means the digest/index keying broke),
+* post-warm-up p99 <= ``MAX_TAIL_RATIO`` x p50 — admission control and
+  the executor hand-off must keep the tail bounded, not park requests
+  behind a convoy.
+
+Results land in ``BENCH_speed.json`` under ``serve``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.testing import ServerHarness, smooth_field
+
+from conftest import fmt_table, record_bench
+
+GRID = (96, 96, 96)
+CHUNKS = 48
+REL_EB = 1e-3
+TENANT = "bench"
+CLIENTS = 3
+#: timed requests per client (after warm-up); closed loop, so total
+#: wall clock adapts to the server rather than overrunning it
+REQS_PER_CLIENT = 40
+WARMUP_PER_CLIENT = 6
+#: the hotspot: a handful of sub-chunk boxes inside two of the eight
+#: 48^3 chunks — every request after warm-up re-reads a decoded chunk
+HOT_BOXES = (
+    "8:24,8:24,8:24",
+    "16:32,0:16,24:40",
+    "32:46,30:44,2:18",
+    "50:66,50:66,50:66",
+    "60:76,48:64,70:86",
+)
+#: CI gates (see module docstring)
+MIN_CACHE_SPEEDUP = 5.0
+MAX_TAIL_RATIO = 10.0
+
+
+def _drive(harness, digest: str) -> dict:
+    """Closed-loop repeated-ROI workload; returns latency stats."""
+
+    def client_loop(cid: int) -> list[float]:
+        lat: list[float] = []
+        with harness.client(TENANT, timeout=120) as cli:
+            for i in range(WARMUP_PER_CLIENT + REQS_PER_CLIENT):
+                box = HOT_BOXES[(cid + i) % len(HOT_BOXES)]
+                t0 = time.perf_counter()
+                resp = cli.roi(digest, box)
+                dt = time.perf_counter() - t0
+                assert resp.status == 200, (resp.status, resp.body[:200])
+                if i >= WARMUP_PER_CLIENT:
+                    lat.append(dt)
+        return lat
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=CLIENTS) as tp:
+        per_client = list(tp.map(client_loop, range(CLIENTS)))
+    wall = time.perf_counter() - t0
+    lat = np.array([dt for lats in per_client for dt in lats])
+    stats = harness.client(TENANT).stats()
+    return {
+        "requests": int(lat.size),
+        "p50_ms": round(float(np.percentile(lat, 50)) * 1e3, 3),
+        "p99_ms": round(float(np.percentile(lat, 99)) * 1e3, 3),
+        "mean_ms": round(float(lat.mean()) * 1e3, 3),
+        "req_per_s": round(lat.size / wall, 1),
+        "cache_hit_rate": round(
+            stats["engine"]["cache"]["hit_rate"], 4
+        ),
+        "rejected": stats["admission"]["rejected"],
+    }
+
+
+def _serve_workload(cache_bytes: int) -> dict:
+    data = smooth_field(GRID, seed=11).astype(np.float32)
+    eb = REL_EB * float(data.max() - data.min())
+    with ServerHarness(
+        executor="thread",
+        workers=2,
+        cache_bytes=cache_bytes,
+        max_inflight=8,
+        max_queue=64,
+        request_timeout=120.0,
+    ) as h:
+        with h.client(TENANT, timeout=120) as cli:
+            resp = cli.compress(data, eb, chunks=CHUNKS)
+            assert resp.status == 200, resp.body[:200]
+            digest = resp.headers["x-archive-digest"]
+        return _drive(h, digest)
+
+
+def test_serve_repeated_roi(artifact):
+    """Warm-cache vs cache-disabled repeated-ROI latency, plus the
+    tail-latency and hit-rate smoke gates."""
+    warm = _serve_workload(cache_bytes=64 * (1 << 20))
+    cold = _serve_workload(cache_bytes=0)
+
+    speedup = cold["p50_ms"] / warm["p50_ms"]
+    tail_ratio = warm["p99_ms"] / warm["p50_ms"]
+    rows = [
+        ["warm cache", warm["p50_ms"], warm["p99_ms"], warm["req_per_s"],
+         warm["cache_hit_rate"]],
+        ["cache off", cold["p50_ms"], cold["p99_ms"], cold["req_per_s"],
+         cold["cache_hit_rate"]],
+    ]
+    artifact(
+        "serve_repeated_roi",
+        fmt_table(
+            ["server", "p50 (ms)", "p99 (ms)", "req/s", "hit rate"], rows
+        )
+        + f"(grid {'x'.join(map(str, GRID))}, chunks {CHUNKS}^3, "
+        f"{CLIENTS} closed-loop clients x {REQS_PER_CLIENT} ROI reqs; "
+        f"cache p50 speedup {speedup:.1f}x, warm tail p99/p50 "
+        f"{tail_ratio:.1f})\n",
+    )
+    record_bench(
+        "serve",
+        {
+            "grid": list(GRID),
+            "chunks": CHUNKS,
+            "clients": CLIENTS,
+            "requests_per_client": REQS_PER_CLIENT,
+            "hot_boxes": len(HOT_BOXES),
+            "executor": "thread",
+            "workers": 2,
+            "warm_cache": warm,
+            "cache_disabled": cold,
+            "cache_p50_speedup": round(speedup, 2),
+            "warm_tail_p99_over_p50": round(tail_ratio, 2),
+        },
+    )
+    # the CI smoke gates
+    assert warm["cache_hit_rate"] > 0, warm
+    assert speedup >= MIN_CACHE_SPEEDUP, (warm, cold)
+    assert tail_ratio <= MAX_TAIL_RATIO, warm
+    # closed-loop load within max_inflight: admission must not reject
+    assert warm["rejected"] == 0 and cold["rejected"] == 0

@@ -21,6 +21,7 @@ Examples::
     stz verify field.stz                              # integrity scrub
     stz repair broken.stz fixed.stz                   # salvage a crash
     stz decompress damaged.stz out.npy --on-error fill
+    stz serve --port 8641 --workers 4 --cache-mb 256  # HTTP service
 
 All file outputs are written atomically (temp + fsync + rename): a
 crash mid-write leaves the previous file intact, never a torn one.
@@ -511,6 +512,31 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    # local import: the asyncio serve stack should not tax every other
+    # subcommand's startup
+    import asyncio
+
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        request_timeout=args.timeout if args.timeout > 0 else None,
+        quota_bytes=args.quota_mb * 1024 * 1024,
+        cache_bytes=args.cache_mb * 1024 * 1024,
+        executor=args.executor,
+        workers=args.workers,
+    )
+    try:
+        asyncio.run(run_server(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_repair(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as fh:
         blob = fh.read()
@@ -692,6 +718,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="also fail when the archive carries no checksums at all",
     )
     v.set_defaults(fn=cmd_verify)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the multi-tenant compression service (HTTP)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8641)
+    sv.add_argument(
+        "--executor", choices=EXECUTORS, default="thread",
+        help="shared worker-pool kind for all tenants' CPU work",
+    )
+    sv.add_argument(
+        "--workers", type=int, default=2,
+        help="chunk-level workers in the shared pool",
+    )
+    sv.add_argument(
+        "--max-inflight", type=int, default=4,
+        help="gated requests executing concurrently",
+    )
+    sv.add_argument(
+        "--max-queue", type=int, default=16,
+        help="gated requests allowed to wait; beyond this the server "
+        "answers 429 with Retry-After",
+    )
+    sv.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request wall-clock budget in seconds (<=0 disables); "
+        "expiry answers 503 and cancels the pooled work",
+    )
+    sv.add_argument(
+        "--quota-mb", type=int, default=256,
+        help="per-tenant byte quota (stored archives + streamed steps)",
+    )
+    sv.add_argument(
+        "--cache-mb", type=int, default=64,
+        help="decoded-chunk LRU cache capacity (0 disables)",
+    )
+    sv.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "repair",

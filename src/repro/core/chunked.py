@@ -241,6 +241,25 @@ def _as_chunk_error(exc: Exception, entry: ChunkEntry) -> ChunkCorruptionError:
     return err
 
 
+def roi_chunk_windows(
+    box: tuple[tuple[int, int], ...], info
+) -> tuple[tuple[slice, ...], tuple[slice, ...]]:
+    """The two windows a chunk contributes to a normalized ROI box:
+    ``(local, dest)`` — the chunk-local slice of the intersection and
+    where it lands in the box-shaped output.  One definition shared by
+    :func:`decompress_chunked_roi` and the serve layer's cache-fed ROI
+    assembly, so the two paths cannot disagree about geometry."""
+    local = tuple(
+        slice(max(lo, o) - o, min(hi, o + n) - o)
+        for (lo, hi), o, n in zip(box, info.origin, info.shape)
+    )
+    dest = tuple(
+        slice(o + sl.start - lo, o + sl.stop - lo)
+        for (lo, _), o, sl in zip(box, info.origin, local)
+    )
+    return local, dest
+
+
 def _validate_on_error(on_error: str) -> None:
     if on_error not in ("raise", "skip", "fill"):
         raise ValueError(
@@ -823,14 +842,7 @@ def decompress_chunked_roi(
         index, payload = task
         entry = reader.chunk(index)
         info = plan.chunk(index)
-        local = tuple(
-            slice(max(lo, o) - o, min(hi, o + n) - o)
-            for (lo, hi), o, n in zip(box, info.origin, info.shape)
-        )
-        dest = tuple(
-            slice(o + sl.start - lo, o + sl.stop - lo)
-            for (lo, _), o, sl in zip(box, info.origin, local)
-        )
+        local, dest = roi_chunk_windows(box, info)
         try:
             if payload is None:
                 payload = reader.read_chunk(index)

@@ -39,6 +39,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -284,10 +285,34 @@ def _slice_spans(nitems: int, nslices: int) -> list[tuple[int, int]]:
     return spans
 
 
+def _remaining(deadline: float | None) -> float | None:
+    """Seconds left until ``deadline`` (None = unbounded; 0 = expired)."""
+    if deadline is None:
+        return None
+    return max(0.0, deadline - time.monotonic())
+
+
+def _expired(deadline: float | None) -> bool:
+    return deadline is not None and time.monotonic() >= deadline
+
+
+def _cancel_all(futures) -> None:
+    for fut in futures:
+        fut.cancel()
+
+
+def _map_timeout(nleft: int) -> TimeoutError:
+    return TimeoutError(
+        f"execute_map deadline expired with {nleft} task(s) still "
+        "in flight; pending work was cancelled"
+    )
+
+
 def _collect_slices(
     pool_exec: ProcessPoolExecutor,
     items: Sequence,
     spans: list[tuple[int, int]],
+    deadline: float | None = None,
 ) -> tuple[list, bool]:
     """Submit one slice per span and flatten the per-item outcomes.
 
@@ -297,6 +322,14 @@ def _collect_slices(
     ``BrokenProcessPool`` on the in-flight slice futures — every item
     of an affected slice is marked failed, and the second return value
     reports the breakage so a warm pool can be discarded.
+
+    ``deadline`` (``time.monotonic()`` seconds) bounds the wait: on
+    expiry the not-yet-started slices are cancelled and the whole map
+    raises :class:`TimeoutError` — a timed-out map is the *caller's*
+    casualty, never folded into per-item failure markers (the retry
+    pass re-running every abandoned item serially would exactly defeat
+    the timeout).  The caller is responsible for discarding a warm
+    pool whose in-flight slices were abandoned.
     """
     futures = [
         pool_exec.submit(_fork_invoke_batch, list(items[a:b]))
@@ -304,10 +337,15 @@ def _collect_slices(
     ]
     outcomes: list = []
     broken = False
-    for fut, (a, b) in zip(futures, spans):
+    for i, (fut, (a, b)) in enumerate(zip(futures, spans)):
         try:
-            outcomes.extend(fut.result())
+            outcomes.extend(fut.result(timeout=_remaining(deadline)))
         except Exception as exc:  # noqa: BLE001 — see above
+            if isinstance(exc, TimeoutError) and _expired(deadline):
+                # the *wait* timed out (not a task raising TimeoutError
+                # of its own before the deadline): abandon the map
+                _cancel_all(futures[i:])
+                raise _map_timeout(len(futures) - i) from None
             outcomes.extend(_ItemFailure(exc) for _ in range(b - a))
             broken = True
     return outcomes, broken
@@ -330,14 +368,23 @@ class WorkerPool:
     :func:`fork_map` callers degrade inline exactly as they would
     against an in-flight one-shot pool.
 
-    Not thread-safe: one engine invocation (or bench loop) drives a
-    pool from one thread.  Always :meth:`close` (or use as a context
-    manager) — a warm fork pool holds the module fork lock.
+    Thread-safety: the *thread* side is safe to drive from concurrent
+    callers — :meth:`thread_pool` creation is lock-guarded and
+    ``ThreadPoolExecutor`` itself is thread-safe — which is what lets
+    the serve layer funnel every tenant's CPU work onto one shared
+    handle.  The *fork* side is not: :meth:`fork_pool` /
+    :meth:`discard_fork` mutate the warm-pool key, so concurrent fork
+    maps over one handle must be serialized by the caller (one engine
+    invocation or bench loop drives it from one thread; the serve
+    layer holds a mutex around process-executor maps).  Always
+    :meth:`close` (or use as a context manager) — a warm fork pool
+    holds the module fork lock.
     """
 
     def __init__(self, executor: str, workers: int | None = None):
         self.kind, self.workers = resolve_executor(executor, workers)
         self._threads: ThreadPoolExecutor | None = None
+        self._tcreate = threading.Lock()
         self._proc: ProcessPoolExecutor | None = None
         self._key: tuple | None = None
         self._lock_held = False
@@ -349,9 +396,14 @@ class WorkerPool:
         self.close()
 
     def thread_pool(self) -> ThreadPoolExecutor:
-        """The warm thread pool (created on first use)."""
+        """The warm thread pool (created on first use; creation is
+        atomic so concurrent first callers cannot leak a pool)."""
         if self._threads is None:
-            self._threads = ThreadPoolExecutor(max_workers=self.workers)
+            with self._tcreate:
+                if self._threads is None:
+                    self._threads = ThreadPoolExecutor(
+                        max_workers=self.workers
+                    )
         return self._threads
 
     def fork_pool(self, fn, state) -> ProcessPoolExecutor | None:
@@ -379,15 +431,21 @@ class WorkerPool:
         self._key = (fn, state)
         return self._proc
 
-    def discard_fork(self) -> None:
-        """Drop a (broken) fork pool so the next call builds afresh."""
-        self._release_fork()
+    def discard_fork(self, wait: bool = True) -> None:
+        """Drop a (broken or abandoned) fork pool so the next call
+        builds afresh.  ``wait=False`` is the cancellation path: a
+        timed-out map must not block behind a worker still chewing an
+        orphaned slice — pending slices are cancelled, running ones
+        finish detached in children that hold their own fork-time
+        snapshot, and the handle (plus the module fork lock) is free
+        for the next map immediately."""
+        self._release_fork(wait)
 
-    def _release_fork(self) -> None:
+    def _release_fork(self, wait: bool = True) -> None:
         global _FORK_STATE
         if self._proc is not None:
             try:
-                self._proc.shutdown(wait=True, cancel_futures=True)
+                self._proc.shutdown(wait=wait, cancel_futures=True)
             except Exception:  # noqa: BLE001 — broken pools may misbehave
                 pass
             self._proc = None
@@ -410,17 +468,41 @@ def _thread_outcomes(
     state: object,
     workers: int,
     pool: WorkerPool | None = None,
+    deadline: float | None = None,
 ) -> list:
+    """Per-item outcomes over a thread pool (warm via ``pool``, else
+    one-shot).  A ``deadline`` expiry cancels every not-yet-started
+    item and raises :class:`TimeoutError`; already-running items finish
+    in the background and their results are discarded — thread pools
+    are not poisoned by abandonment, so a warm pool stays usable."""
+
     def run(x):
         try:
             return fn(state, x)
         except Exception as exc:  # noqa: BLE001 — outcome, re-raised later
             return _ItemFailure(exc)
 
+    def collect(tpe: ThreadPoolExecutor) -> list:
+        futures = [tpe.submit(run, x) for x in items]
+        outcomes: list = []
+        for i, fut in enumerate(futures):
+            try:
+                outcomes.append(fut.result(timeout=_remaining(deadline)))
+            except TimeoutError:
+                if _expired(deadline):
+                    _cancel_all(futures[i:])
+                    raise _map_timeout(len(futures) - i) from None
+                raise
+        return outcomes
+
     if pool is not None:
-        return list(pool.thread_pool().map(run, items))
-    with ThreadPoolExecutor(max_workers=min(workers, len(items))) as tpe:
-        return list(tpe.map(run, items))
+        return collect(pool.thread_pool())
+    tpe = ThreadPoolExecutor(max_workers=min(workers, len(items)))
+    try:
+        return collect(tpe)
+    finally:
+        # cancellation path: don't block teardown behind abandoned items
+        tpe.shutdown(wait=deadline is None, cancel_futures=True)
 
 
 def _fork_outcomes(
@@ -429,6 +511,7 @@ def _fork_outcomes(
     state: object,
     workers: int,
     pool: WorkerPool | None = None,
+    deadline: float | None = None,
 ) -> list | None:
     """Per-item outcomes over the fork pool — warm via ``pool``, else a
     one-shot pool — or ``None`` when no pool can run here (fork
@@ -440,6 +523,14 @@ def _fork_outcomes(
     pickle and one result pickle per worker instead of per chunk,
     while per-item failure markers keep :func:`execute_map`'s retry
     pass item-granular.
+
+    Drain-or-discard: if the waiting caller is torn away mid-map — a
+    ``deadline`` expiry, ``KeyboardInterrupt``, anything — a *warm*
+    pool is discarded (without waiting on the orphaned in-flight
+    slices) before the exception propagates.  A warm handle must never
+    come back from an abandoned map still holding live slices: the
+    next map on it would interleave with work the previous caller gave
+    up on, and :meth:`WorkerPool.close` would block on it.
     """
     global _FORK_STATE
     spans = _slice_spans(len(items), workers)
@@ -447,7 +538,11 @@ def _fork_outcomes(
         proc = pool.fork_pool(fn, state)
         if proc is None:
             return None
-        outcomes, broken = _collect_slices(proc, items, spans)
+        try:
+            outcomes, broken = _collect_slices(proc, items, spans, deadline)
+        except BaseException:
+            pool.discard_fork(wait=False)
+            raise
         if broken:
             pool.discard_fork()
         return outcomes
@@ -462,11 +557,21 @@ def _fork_outcomes(
         _FORK_STATE = (fn, state)
         try:
             ctx = mp.get_context("fork")
-            with ProcessPoolExecutor(
+            pool_exec = ProcessPoolExecutor(
                 max_workers=min(workers, len(items)), mp_context=ctx
-            ) as pool_exec:
-                outcomes, _ = _collect_slices(pool_exec, items, spans)
-                return outcomes
+            )
+            try:
+                outcomes, _ = _collect_slices(
+                    pool_exec, items, spans, deadline
+                )
+            except BaseException:
+                # one-shot pool, torn-away caller: cancel what hasn't
+                # started and leave the rest to finish detached —
+                # waiting here would hang the very caller that timed out
+                pool_exec.shutdown(wait=False, cancel_futures=True)
+                raise
+            pool_exec.shutdown(wait=True)
+            return outcomes
         finally:
             _FORK_STATE = None
     finally:
@@ -541,6 +646,7 @@ def execute_map(
     workers: int | None = None,
     retry: int = 0,
     pool: WorkerPool | None = None,
+    timeout: float | None = None,
 ) -> list[R]:
     """Run ``fn(state, item)`` for every item under the chosen executor.
 
@@ -565,16 +671,38 @@ def execute_map(
     map; a mismatched or absent handle falls back to a one-shot pool.
     The handle's lifetime belongs to the caller (the chunked engine
     scopes one to an engine invocation; benches to the timing loop).
+
+    ``timeout`` (seconds) bounds the whole map's wall clock.  On
+    expiry the map raises :class:`TimeoutError`: not-yet-started work
+    is cancelled, in-flight pooled work is abandoned (running thread
+    items finish detached and are discarded; a warm fork pool is
+    discarded without waiting so its orphaned slices can never leak
+    into a later map on the same handle), and the timeout is *never*
+    converted into per-item failures — a retry pass serially re-running
+    everything the deadline cut off would defeat it.  This is the serve
+    layer's request-timeout contract: a cancelled caller leaves every
+    pool either drained or discarded, never poisoned.
     """
     kind, n = resolve_executor(executor, workers)
+    deadline = None if timeout is None else time.monotonic() + timeout
     if pool is not None and pool.kind != kind:
         pool = None
     if kind == "serial" or len(items) <= 1:
-        return [fn(state, x) for x in items]
+        out = []
+        for x in items:
+            if _expired(deadline):
+                raise _map_timeout(len(items) - len(out))
+            out.append(fn(state, x))
+        return out
     if kind == "thread":
-        outcomes = _thread_outcomes(fn, items, state, n, pool)
+        outcomes = _thread_outcomes(fn, items, state, n, pool, deadline)
     else:
-        outcomes = _fork_outcomes(fn, items, state, n, pool)
+        outcomes = _fork_outcomes(fn, items, state, n, pool, deadline)
         if outcomes is None:
-            return [fn(state, x) for x in items]
+            out = []
+            for x in items:
+                if _expired(deadline):
+                    raise _map_timeout(len(items) - len(out))
+                out.append(fn(state, x))
+            return out
     return _settle(outcomes, fn, items, state, retry)

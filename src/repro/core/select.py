@@ -388,7 +388,13 @@ def sample_tiles(data: np.ndarray, edge: int = _TILE_EDGE) -> list[np.ndarray]:
 #: => same bytes") is preserved no matter what was compressed before —
 #: while repeated compressions of the same data (benchmark repeats,
 #: conformance sweeps, golden regeneration) skip the ~30 tile
-#: compressions entirely.
+#: compressions entirely.  Concurrent compressions (the serve layer
+#: probes from every request thread) are safe: ops are lock-guarded
+#: and the get→score→put window is the benign pure-function race
+#: documented in :mod:`repro.util.cache` — both racers compute the
+#: same scores for the same content key, so last-put-wins loses
+#: nothing.  The stored dict is never handed out: probe() returns a
+#: copy on hit and puts a copy, so no caller can mutate a cached entry.
 _PROBE_CACHE: BoundedLRU[dict] = BoundedLRU(128)
 
 

@@ -179,7 +179,11 @@ def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
 #: handful of code tables), so the cache turns the rebuild into a hash
 #: of the lengths bytes.  Tables are 256 KiB each; the LRU bound keeps
 #: the cache under ~8 MiB.  Entries are handed out read-only — decoders
-#: only gather from them.
+#: only gather from them.  Safe under concurrent decodes (the serve
+#: layer's request threads): each cache op is lock-guarded, and the
+#: unsynchronized get→build→put window is the benign pure-function
+#: race documented in :mod:`repro.util.cache` — a double build of the
+#: identical table, never a torn one.
 _TABLE_CACHE: BoundedLRU[np.ndarray] = BoundedLRU(32)
 
 

@@ -1,0 +1,44 @@
+"""Compression-as-a-service: asyncio multi-tenant serve layer.
+
+Public surface of the PR-8 subsystem (DESIGN.md §11): an HTTP server
+exposing compress / decompress / ROI-extract / stream-append over
+per-tenant sessions, one shared warm worker pool for all tenants' CPU
+work, and a content-addressed decoded-chunk LRU cache.  Stdlib +
+numpy only — no new dependencies.
+"""
+
+from repro.serve.cache import DecodedChunkCache, archive_digest
+from repro.serve.engine import ServeEngine
+from repro.serve.errors import (
+    BadRequest,
+    QuotaExceeded,
+    RequestTimeout,
+    ServeError,
+    ServerBusy,
+    UnknownArchive,
+)
+from repro.serve.server import (
+    AdmissionGate,
+    CompressionServer,
+    ServeConfig,
+    run_server,
+)
+from repro.serve.session import ServedArchive, TenantSession
+
+__all__ = [
+    "AdmissionGate",
+    "BadRequest",
+    "CompressionServer",
+    "DecodedChunkCache",
+    "QuotaExceeded",
+    "RequestTimeout",
+    "ServeConfig",
+    "ServeEngine",
+    "ServeError",
+    "ServedArchive",
+    "ServerBusy",
+    "TenantSession",
+    "UnknownArchive",
+    "archive_digest",
+    "run_server",
+]

@@ -1,0 +1,170 @@
+"""Decoded-chunk LRU cache for the serve layer.
+
+The Fig.-10 detect-then-extract workflow is a *hot-read* pattern: many
+small ROI requests land on the same few chunks of the same archive
+(the halos everyone is looking at).  Re-decoding a chunk costs
+milliseconds of Huffman + interpolation work; returning the decoded
+array from memory costs a dict lookup.  This cache holds decoded chunk
+arrays under ``(archive digest, chunk index)`` keys with a **byte**
+capacity (entries are multi-hundred-KiB arrays, so counting entries
+would let a few large chunks blow the memory budget an operator
+configured).
+
+Coherence rule (DESIGN.md §11): entries are immutable *because
+archives are content-addressed*.  The digest half of the key is a
+blake2b hash of the full archive bytes, so a cached chunk can never be
+stale — a "modified" archive is a different archive with a different
+digest, and its chunks occupy different keys.  Two tenants holding
+byte-identical archives share entries harmlessly (same bytes, same
+decoded chunks); tenants holding different archives cannot collide
+even on equal chunk indices.  Nothing is ever invalidated, only
+evicted.
+
+Integrity rule: callers must verify a chunk (checksum + successful
+decode) *before* :meth:`put` — a :class:`ChunkCorruptionError` path
+must never populate the cache, or one corrupt request would poison
+every later hit.  The serve engine enforces this ordering; the cache
+enforces immutability by marking stored arrays read-only.
+
+Accounting is deterministic: ``stats()["bytes"]`` is exactly the sum
+of the stored arrays' ``nbytes`` at all times (:meth:`check` asserts
+it, and the concurrency tests call it under load), hits/misses/
+evictions are monotonic counters, and every mutation happens under one
+lock so concurrent tenants can never tear an insert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+#: digest width for archive content addresses (matches the probe
+#: cache's blake2b-16 convention)
+DIGEST_SIZE = 16
+
+
+def archive_digest(blob: bytes | memoryview) -> bytes:
+    """Content address of an archive: blake2b-16 of its full bytes."""
+    return hashlib.blake2b(blob, digest_size=DIGEST_SIZE).digest()
+
+
+class DecodedChunkCache:
+    """Byte-bounded LRU of decoded chunk arrays.
+
+    ``capacity_bytes=0`` disables the cache entirely (every get
+    misses, every put is rejected) — the bench's cache-off baseline
+    runs the identical code path minus the memory.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be >= 0")
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: "OrderedDict[tuple[bytes, int], np.ndarray]" = (
+            OrderedDict()
+        )
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: puts refused because the single array exceeds the whole
+        #: capacity (or the cache is disabled) — distinct from
+        #: evictions so the accounting test can tell "never stored"
+        #: from "stored then displaced"
+        self.rejected = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity_bytes > 0
+
+    def get(self, digest: bytes, index: int) -> np.ndarray | None:
+        """The cached decoded chunk (recency-refreshed), or None."""
+        with self._lock:
+            arr = self._entries.get((digest, index))
+            if arr is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end((digest, index))
+            self.hits += 1
+            return arr
+
+    def put(self, digest: bytes, index: int, chunk: np.ndarray) -> bool:
+        """Store a *verified* decoded chunk; returns whether it was
+        kept.  Oversized arrays (bigger than the whole capacity) are
+        rejected rather than evicting everything for one entry.  A
+        re-put of an existing key — two tenants racing on the same
+        missing chunk — replaces the entry without double-counting its
+        bytes."""
+        nbytes = int(chunk.nbytes)
+        with self._lock:
+            if nbytes > self.capacity_bytes:
+                self.rejected += 1
+                return False
+            chunk.setflags(write=False)  # immutability is the contract
+            key = (digest, index)
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = chunk
+            self._bytes += nbytes
+            while self._bytes > self.capacity_bytes:
+                _, victim = self._entries.popitem(last=False)
+                self._bytes -= victim.nbytes
+                self.evictions += 1
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list[tuple[bytes, int]]:
+        """LRU-ordered key snapshot (oldest first) — test introspection."""
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> dict:
+        """Consistent counter snapshot (one lock acquisition)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "capacity_bytes": self.capacity_bytes,
+                "bytes": self._bytes,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "rejected": self.rejected,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            }
+
+    def check(self) -> None:
+        """Assert the deterministic-accounting invariants: tracked
+        bytes equal the sum of stored arrays' nbytes, the byte bound
+        holds, and every entry is read-only."""
+        with self._lock:
+            actual = sum(a.nbytes for a in self._entries.values())
+            if actual != self._bytes:
+                raise AssertionError(
+                    f"cache accounting drifted: tracked {self._bytes} B, "
+                    f"stored {actual} B"
+                )
+            if self._bytes > self.capacity_bytes:
+                raise AssertionError(
+                    f"cache over capacity: {self._bytes} B > "
+                    f"{self.capacity_bytes} B"
+                )
+            for (digest, index), arr in self._entries.items():
+                if arr.flags.writeable:
+                    raise AssertionError(
+                        f"cached chunk ({digest.hex()}, {index}) is "
+                        "writable; entries must be immutable"
+                    )

@@ -1,0 +1,55 @@
+"""Serve-layer error taxonomy and its HTTP status contract.
+
+Every error a tenant can cause carries the status it maps to, so the
+server's translation layer is one lookup instead of a scatter of
+``isinstance`` chains, and the test suite can assert the contract by
+class:
+
+* 400 — malformed request (bad shape/dtype/box spec, unparseable
+  archive bytes)
+* 404 — unknown route, or a digest the *requesting tenant's* session
+  does not hold (another tenant holding it is irrelevant by design:
+  sessions are the isolation boundary)
+* 413 — per-session byte quota exhausted (admission control of the
+  storage kind)
+* 422 — chunk corruption detected while serving
+  (:class:`~repro.core.integrity.ChunkCorruptionError` is mapped here
+  by the server; it is the one outside class in the contract)
+* 429 — admission queue full (carries ``Retry-After``)
+* 503 — request deadline expired (the work was cancelled/abandoned,
+  pools stay clean — DESIGN.md §11)
+"""
+
+from __future__ import annotations
+
+
+class ServeError(Exception):
+    """Base of the serve-layer errors; ``status`` is the HTTP reply."""
+
+    status = 500
+
+
+class BadRequest(ServeError):
+    status = 400
+
+
+class UnknownArchive(ServeError):
+    status = 404
+
+
+class QuotaExceeded(ServeError):
+    status = 413
+
+
+class ServerBusy(ServeError):
+    """Admission queue full: rejected up front, with a hint."""
+
+    status = 429
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class RequestTimeout(ServeError):
+    status = 503

@@ -1,0 +1,189 @@
+"""Minimal HTTP/1.1 request/response layer over asyncio streams.
+
+The serve layer deliberately speaks a handwritten subset of HTTP/1.1
+instead of pulling in a framework: the repo's no-new-hard-dependency
+rule aside, the subset a compression service needs is tiny — request
+line, headers, ``Content-Length`` bodies, keep-alive — and owning the
+parser means the fault-injection tests can exercise *exact* failure
+modes (mid-body disconnects, oversized bodies, garbage request lines)
+against the code that will actually see them.
+
+Scope honestly stated: no chunked transfer-encoding, no pipelining
+beyond sequential keep-alive, no TLS, bodies are read fully into
+memory (bounded by ``max_body``).  Anything outside the subset gets a
+clean 4xx via :class:`ProtocolError`, never a hang or a traceback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: request-line / single-header size bound (a malicious or confused
+#: client cannot balloon the loop's memory before Content-Length is
+#: even known)
+MAX_LINE = 16 * 1024
+MAX_HEADERS = 100
+
+STATUS_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """A request the subset cannot (or refuses to) serve; carries the
+    status the connection handler should answer with before closing."""
+
+    def __init__(self, status: int, reason: str):
+        super().__init__(reason)
+        self.status = status
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]  # keys lower-cased
+    body: bytes = b""
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
+
+    def require(self, name: str) -> str:
+        value = self.header(name)
+        if value is None:
+            raise ProtocolError(400, f"missing required header {name}")
+        return value
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> dict:
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(400, f"invalid JSON body: {exc}") from None
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""  # clean EOF between requests
+        raise ConnectionResetError("peer closed mid-line") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(400, "header line too long") from None
+    if len(line) > MAX_LINE:
+        raise ProtocolError(400, "header line too long")
+    return line[:-2]
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int
+) -> Request | None:
+    """Parse one request off the stream.
+
+    Returns ``None`` on a clean end-of-stream (keep-alive connection
+    closed between requests).  A peer that disappears *mid-request* —
+    the disconnect fault the test harness injects — surfaces as
+    :class:`ConnectionResetError` so the connection handler can drop
+    the connection without logging it as a server error.  Malformed
+    requests raise :class:`ProtocolError` with the right 4xx.
+    """
+    start = await _read_line(reader)
+    if not start:
+        return None
+    parts = start.split(b" ")
+    if len(parts) != 3 or not parts[2].startswith(b"HTTP/1."):
+        raise ProtocolError(400, "malformed request line")
+    method = parts[0].decode("ascii", "replace").upper()
+    target = parts[1].decode("ascii", "replace")
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query))
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADERS + 1):
+        line = await _read_line(reader)
+        if not line:
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(400, "malformed header")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise ProtocolError(400, "too many headers")
+    if "transfer-encoding" in headers:
+        raise ProtocolError(400, "transfer-encoding is not supported")
+    length_raw = headers.get("content-length", "0")
+    try:
+        length = int(length_raw)
+    except ValueError:
+        raise ProtocolError(400, "invalid Content-Length") from None
+    if length < 0:
+        raise ProtocolError(400, "invalid Content-Length")
+    if length > max_body:
+        raise ProtocolError(
+            413, f"body of {length} B exceeds the {max_body} B limit"
+        )
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ConnectionResetError("peer closed mid-body") from None
+    return Request(method, path, query, headers, body)
+
+
+def response_bytes(
+    status: int,
+    body: bytes = b"",
+    headers: dict[str, str] | None = None,
+    content_type: str = "application/octet-stream",
+) -> bytes:
+    """Serialize one keep-alive HTTP/1.1 response."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    merged = {
+        "Content-Type": content_type,
+        "Content-Length": str(len(body)),
+        "Connection": "keep-alive",
+    }
+    if headers:
+        merged.update(headers)
+    lines.extend(f"{k}: {v}" for k, v in merged.items())
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_bytes(
+    status: int, payload: dict, headers: dict[str, str] | None = None
+) -> bytes:
+    return response_bytes(
+        status,
+        json.dumps(payload, sort_keys=True).encode("utf-8"),
+        headers,
+        content_type="application/json",
+    )
+
+
+def error_bytes(
+    status: int, message: str, headers: dict[str, str] | None = None
+) -> bytes:
+    return json_bytes(status, {"error": message, "status": status}, headers)

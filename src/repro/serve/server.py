@@ -1,0 +1,590 @@
+"""Compression-as-a-service: the asyncio multi-tenant server.
+
+One :class:`CompressionServer` owns an asyncio TCP listener, a
+:class:`~repro.serve.engine.ServeEngine` (shared worker pool + decoded
+chunk cache) and a dict of :class:`~repro.serve.session.TenantSession`
+objects keyed by the ``X-Tenant`` header.  The event loop only parses
+and routes; every CPU-bound byte of work is admission-gated and then
+offloaded to the engine's dispatch pool, so a slow decode never stalls
+another tenant's request parsing.
+
+Endpoints (all under ``/v1``; arrays travel as raw C-order bytes with
+``X-Shape``/``X-Dtype`` headers):
+
+===========================  ===========================================
+``POST /v1/compress``        body = array; ``X-EB`` (+ ``X-EB-Mode``,
+                             ``X-Chunks``, ``X-Codec``); returns the
+                             checksummed sharded archive, stores it in
+                             the session, ``X-Archive-Digest`` names it
+``POST /v1/archives``        body = archive; parse, store, return digest
+``POST /v1/decompress``      ``?digest=``; returns the full array
+``GET  /v1/roi``             ``?digest=&box=a:b,c:d,..``; returns the box
+``POST /v1/stream/open``     ``X-EB``/``X-Shape``/``X-Dtype`` (+
+                             ``X-Keyframe-Interval``): open a streaming
+                             compressor for this session
+``POST /v1/stream/append``   body = one step; returns frame accounting
+``POST /v1/stream/close``    finalize; returns the multi-frame archive
+``GET  /v1/stats``           engine + cache + per-tenant counters
+``GET  /v1/health``          liveness
+===========================  ===========================================
+
+Admission control: at most ``max_inflight`` gated requests execute
+concurrently; up to ``max_queue`` more wait; beyond that the server
+answers **429 immediately** with ``Retry-After`` — a full service
+sheds load at the door instead of queueing unboundedly (the
+closed-loop bench measures exactly this knee).  Each gated request
+carries a deadline (``request_timeout``, counted from admission
+*request*, so time spent queued burns budget too); expiry surfaces as
+**503** and, through ``execute_map``'s timeout, cancels or abandons
+the pooled work without poisoning the shared pool.
+
+Error contract (:mod:`repro.serve.errors`): every response a tenant
+receives is either a 2xx with verified bytes or a structured 4xx/5xx —
+corruption detected while serving is **422**, never silently decoded
+garbage (the fault-injection suite's "hard error bounds on every
+served byte" assertion).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import KNOWN_CODECS, STZConfig
+from repro.core.integrity import ChunkCorruptionError
+from repro.core.streaming import (
+    DEFAULT_KEYFRAME_INTERVAL,
+    StreamingCompressor,
+)
+from repro.serve.engine import ServeEngine
+from repro.serve.errors import (
+    BadRequest,
+    RequestTimeout,
+    ServeError,
+    ServerBusy,
+)
+from repro.serve.http import (
+    ProtocolError,
+    Request,
+    error_bytes,
+    json_bytes,
+    read_request,
+    response_bytes,
+)
+from repro.serve.session import ActiveStream, ServedArchive, TenantSession
+
+_DTYPES = ("float32", "float64")
+
+
+@dataclass
+class ServeConfig:
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral (tests); CLI defaults to 8641
+    #: gated requests executing concurrently / waiting; beyond = 429
+    max_inflight: int = 4
+    max_queue: int = 16
+    #: Retry-After hint on 429 (seconds)
+    retry_after: float = 1.0
+    #: per-request wall-clock budget, queued time included; None = off
+    request_timeout: float | None = 30.0
+    #: per-tenant byte quota (stored archives + streamed steps)
+    quota_bytes: int = 256 * 1024 * 1024
+    #: decoded-chunk cache capacity; 0 disables (bench baseline)
+    cache_bytes: int = 64 * 1024 * 1024
+    max_body: int = 512 * 1024 * 1024
+    executor: str = "thread"
+    workers: int = 2
+
+
+class AdmissionGate:
+    """Bounded two-stage admission: run now, wait, or 429.
+
+    ``asyncio.Semaphore`` provides the run-now/wait split; the queue
+    bound is an explicit counter checked *before* waiting, so a
+    request either starts waiting with a reserved queue slot or is
+    rejected immediately — there is no state where more than
+    ``max_queue`` requests sit behind the semaphore.
+    """
+
+    def __init__(self, max_inflight: int, max_queue: int, retry_after: float):
+        self._sem = asyncio.Semaphore(max_inflight)
+        self._queued = 0
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.retry_after = retry_after
+        self.admitted = 0
+        self.rejected = 0
+
+    @contextlib.asynccontextmanager
+    async def admit(self):
+        if self._sem.locked() and self._queued >= self.max_queue:
+            self.rejected += 1
+            raise ServerBusy(
+                f"admission queue full ({self.max_inflight} in flight, "
+                f"{self._queued} queued)",
+                retry_after=self.retry_after,
+            )
+        self._queued += 1
+        try:
+            await self._sem.acquire()
+        finally:
+            self._queued -= 1
+        self.admitted += 1
+        try:
+            yield
+        finally:
+            self._sem.release()
+
+    def stats(self) -> dict:
+        return {
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "queued": self._queued,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+        }
+
+
+def _parse_shape(spec: str) -> tuple[int, ...]:
+    try:
+        shape = tuple(int(s) for s in spec.split(","))
+    except ValueError:
+        raise BadRequest(f"invalid X-Shape {spec!r}") from None
+    if not shape or any(n < 1 for n in shape):
+        raise BadRequest(f"invalid X-Shape {spec!r}")
+    return shape
+
+
+def _parse_dtype(spec: str) -> np.dtype:
+    # closed allowlist: the dtype string comes off the wire, and only
+    # the pipeline's two float types are servable anyway
+    if spec not in _DTYPES:
+        raise BadRequest(f"X-Dtype must be one of {_DTYPES}, got {spec!r}")
+    return np.dtype(spec)
+
+
+def _parse_box(spec: str, ndim: int) -> tuple:
+    """Parse 'a:b,c:d,e' into a per-axis ROI tuple (CLI grammar)."""
+    parts = spec.split(",")
+    if len(parts) != ndim:
+        raise BadRequest(
+            f"box {spec!r} has {len(parts)} axes; archive has {ndim}"
+        )
+    roi = []
+    try:
+        for part in parts:
+            if part == ":":
+                roi.append(slice(None))
+            elif ":" in part:
+                lo, hi = part.split(":", 1)
+                roi.append(
+                    slice(int(lo) if lo else None, int(hi) if hi else None)
+                )
+            else:
+                roi.append(int(part))
+    except ValueError:
+        raise BadRequest(f"invalid box spec {spec!r}") from None
+    return tuple(roi)
+
+
+def _parse_chunks(spec: str | None) -> int | tuple[int, ...] | None:
+    if spec is None:
+        return None
+    try:
+        parts = [int(s) for s in spec.split(",")]
+    except ValueError:
+        raise BadRequest(f"invalid X-Chunks {spec!r}") from None
+    return parts[0] if len(parts) == 1 else tuple(parts)
+
+
+def _parse_eb(req: Request) -> tuple[float, str]:
+    try:
+        eb = float(req.require("X-EB"))
+    except ValueError:
+        raise BadRequest("X-EB must be a float") from None
+    mode = req.header("X-EB-Mode", "abs")
+    if mode not in ("abs", "rel"):
+        raise BadRequest(f"X-EB-Mode must be abs|rel, got {mode!r}")
+    return eb, mode
+
+
+def _array_from_request(req: Request) -> np.ndarray:
+    shape = _parse_shape(req.require("X-Shape"))
+    dtype = _parse_dtype(req.require("X-Dtype"))
+    expected = int(np.prod(shape)) * dtype.itemsize
+    if len(req.body) != expected:
+        raise BadRequest(
+            f"body is {len(req.body)} B; shape {shape} {dtype} needs "
+            f"{expected} B"
+        )
+    return np.frombuffer(req.body, dtype=dtype).reshape(shape)
+
+
+def _array_response(arr: np.ndarray, extra: dict | None = None) -> bytes:
+    headers = {
+        "X-Shape": ",".join(map(str, arr.shape)),
+        "X-Dtype": str(arr.dtype),
+    }
+    if extra:
+        headers.update(extra)
+    return response_bytes(
+        200, np.ascontiguousarray(arr).tobytes(), headers
+    )
+
+
+class CompressionServer:
+    """The serve-layer composition root (see module docstring)."""
+
+    def __init__(self, config: ServeConfig, engine: ServeEngine | None = None):
+        self.config = config
+        self.engine = engine or ServeEngine(
+            executor=config.executor,
+            workers=config.workers,
+            cache_bytes=config.cache_bytes,
+            dispatchers=config.max_inflight + 2,
+        )
+        self._owns_engine = engine is None
+        self.gate = AdmissionGate(
+            config.max_inflight, config.max_queue, config.retry_after
+        )
+        self.sessions: dict[str, TenantSession] = {}
+        self._server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self.requests = 0
+        self.disconnects = 0
+        self.responses_by_status: dict[int, int] = {}
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "server not started"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # idle keep-alive connections sit parked in read_request();
+        # cancel their handler tasks so shutdown never strands a task
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(
+                *self._conn_tasks, return_exceptions=True
+            )
+        for session in self.sessions.values():
+            stream = session.stream
+            if stream is not None:
+                session.stream = None
+                # finalize off-loop: close() drains the encode chain
+                await self.engine.run(stream.compressor.close)
+        if self._owns_engine:
+            self.engine.close()
+
+    # -- connection / routing ---------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    req = await read_request(reader, self.config.max_body)
+                except ProtocolError as exc:
+                    # malformed framing: answer once, then drop — the
+                    # stream position is no longer trustworthy
+                    self._count(exc.status)
+                    writer.write(
+                        error_bytes(
+                            exc.status, str(exc), {"Connection": "close"}
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if req is None:
+                    break
+                self.requests += 1
+                response = await self._dispatch(req)
+                writer.write(response)
+                await writer.drain()
+                if not req.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            # mid-request disconnect: the tenant is gone; nothing to
+            # answer, nothing to log as a server fault
+            self.disconnects += 1
+        finally:
+            writer.close()
+            # CancelledError included: a shutdown cancel landing on this
+            # last await must end the handler *normally* — a handler
+            # task that finishes "cancelled" trips asyncio's stream
+            # protocol callback (task.exception() on a cancelled task)
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+            # deregister only after the last await: a task that parks
+            # here during shutdown must still be visible to close()'s
+            # cancel+gather sweep, or loop teardown would strand it
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    def _count(self, status: int) -> None:
+        self.responses_by_status[status] = (
+            self.responses_by_status.get(status, 0) + 1
+        )
+
+    def _session(self, req: Request) -> TenantSession:
+        tenant = req.require("X-Tenant")
+        session = self.sessions.get(tenant)
+        if session is None:
+            session = TenantSession(tenant, self.config.quota_bytes)
+            self.sessions[tenant] = session
+        return session
+
+    async def _dispatch(self, req: Request) -> bytes:
+        """Route one request and translate the error taxonomy."""
+        try:
+            response = await self._route(req)
+        except ServerBusy as exc:
+            response = error_bytes(
+                exc.status,
+                str(exc),
+                {"Retry-After": f"{exc.retry_after:g}"},
+            )
+        except ChunkCorruptionError as exc:
+            # detected corruption: a structured refusal, never bytes
+            # whose error bound cannot be vouched for
+            response = error_bytes(422, str(exc))
+        except ServeError as exc:
+            response = error_bytes(exc.status, str(exc))
+        except ProtocolError as exc:
+            response = error_bytes(exc.status, str(exc))
+        except (ValueError, TypeError) as exc:
+            response = error_bytes(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 — last-resort 500
+            response = error_bytes(500, f"{type(exc).__name__}: {exc}")
+        status = int(response.split(b" ", 2)[1])
+        self._count(status)
+        if status >= 400 and req.header("X-Tenant"):
+            session = self.sessions.get(req.header("X-Tenant"))
+            if session is not None:
+                session.errors += 1
+        return response
+
+    async def _route(self, req: Request) -> bytes:
+        path, method = req.path, req.method
+        if path == "/v1/health":
+            return json_bytes(200, {"status": "ok"})
+        if path == "/v1/stats":
+            return json_bytes(200, self.stats())
+        session = self._session(req)
+        session.requests += 1
+        routes = {
+            ("POST", "/v1/compress"): self._compress,
+            ("POST", "/v1/archives"): self._upload,
+            ("POST", "/v1/decompress"): self._decompress,
+            ("GET", "/v1/roi"): self._roi,
+            ("POST", "/v1/stream/open"): self._stream_open,
+            ("POST", "/v1/stream/append"): self._stream_append,
+            ("POST", "/v1/stream/close"): self._stream_close,
+        }
+        handler = routes.get((method, path))
+        if handler is None:
+            known = {p for (_, p) in routes}
+            if path in known:
+                return error_bytes(405, f"{method} not allowed on {path}")
+            return error_bytes(404, f"unknown route {path}")
+        return await handler(req, session)
+
+    def _deadline(self) -> float | None:
+        timeout = self.config.request_timeout
+        return None if timeout is None else time.monotonic() + timeout
+
+    # -- handlers ----------------------------------------------------------
+
+    async def _compress(self, req: Request, session: TenantSession) -> bytes:
+        data = _array_from_request(req)
+        eb, mode = _parse_eb(req)
+        chunks = _parse_chunks(req.header("X-Chunks"))
+        codec = req.header("X-Codec", "stz")
+        if codec not in KNOWN_CODECS:
+            raise BadRequest(
+                f"X-Codec must be one of {KNOWN_CODECS}, got {codec!r}"
+            )
+        config = STZConfig(codec=codec)
+        deadline = self._deadline()
+        async with self.gate.admit():
+            blob = await self.engine.run(
+                self.engine.compress, data, eb, mode, config, chunks,
+                deadline,
+            )
+        archive = ServedArchive.open(blob)
+        session.add_archive(archive)
+        return response_bytes(
+            200, blob, {"X-Archive-Digest": archive.hex}
+        )
+
+    async def _upload(self, req: Request, session: TenantSession) -> bytes:
+        if not req.body:
+            raise BadRequest("empty archive upload")
+        archive = ServedArchive.open(req.body)
+        key = session.add_archive(archive)
+        return json_bytes(
+            201,
+            {
+                "digest": key,
+                "nchunks": archive.reader.nchunks,
+                "shape": list(archive.reader.shape),
+                "dtype": str(archive.reader.dtype),
+            },
+        )
+
+    def _requested_archive(
+        self, req: Request, session: TenantSession
+    ) -> ServedArchive:
+        digest = req.query.get("digest") or req.header("X-Archive-Digest")
+        if not digest:
+            raise BadRequest("digest is required (?digest= or header)")
+        return session.get_archive(digest)
+
+    async def _decompress(self, req: Request, session: TenantSession) -> bytes:
+        archive = self._requested_archive(req, session)
+        deadline = self._deadline()
+        async with self.gate.admit():
+            arr = await self.engine.run(
+                self.engine.decode_full, archive, deadline
+            )
+        return _array_response(arr, {"X-Archive-Digest": archive.hex})
+
+    async def _roi(self, req: Request, session: TenantSession) -> bytes:
+        archive = self._requested_archive(req, session)
+        box_spec = req.query.get("box")
+        if not box_spec:
+            raise BadRequest("box is required (?box=a:b,c:d,..)")
+        roi = _parse_box(box_spec, len(archive.reader.shape))
+        deadline = self._deadline()
+        async with self.gate.admit():
+            arr = await self.engine.run(
+                self.engine.decode_roi, archive, roi, deadline
+            )
+        return _array_response(arr, {"X-Archive-Digest": archive.hex})
+
+    async def _stream_open(self, req: Request, session: TenantSession) -> bytes:
+        eb, mode = _parse_eb(req)
+        shape = _parse_shape(req.require("X-Shape"))
+        dtype = _parse_dtype(req.require("X-Dtype"))
+        try:
+            interval = int(
+                req.header(
+                    "X-Keyframe-Interval", str(DEFAULT_KEYFRAME_INTERVAL)
+                )
+            )
+        except ValueError:
+            raise BadRequest("X-Keyframe-Interval must be an int") from None
+        async with session.stream_lock:
+            if session.stream is not None:
+                raise BadRequest(
+                    "session already has an open stream; close it first"
+                )
+            compressor = StreamingCompressor(
+                eb, mode, keyframe_interval=interval
+            )
+            session.stream = ActiveStream(compressor, shape, dtype)
+        return json_bytes(201, {"frames": 0})
+
+    async def _stream_append(
+        self, req: Request, session: TenantSession
+    ) -> bytes:
+        async with session.stream_lock:
+            stream = session.stream
+            if stream is None:
+                raise BadRequest("no open stream (POST /v1/stream/open)")
+            expected = (
+                int(np.prod(stream.shape)) * stream.dtype.itemsize
+            )
+            if len(req.body) != expected:
+                raise BadRequest(
+                    f"step is {len(req.body)} B; stream frame "
+                    f"{stream.shape} {stream.dtype} needs {expected} B"
+                )
+            session.charge(len(req.body), "stream step")
+            step = np.frombuffer(req.body, dtype=stream.dtype).reshape(
+                stream.shape
+            )
+            async with self.gate.admit():
+                stats = await self.engine.run(
+                    stream.compressor.append, step
+                )
+            stream.frames += 1
+            return json_bytes(
+                200,
+                {
+                    "frame": stats.index,
+                    "nbytes": stats.nbytes,
+                    "is_delta": bool(stats.is_delta),
+                },
+            )
+
+    async def _stream_close(
+        self, req: Request, session: TenantSession
+    ) -> bytes:
+        async with session.stream_lock:
+            stream = session.stream
+            if stream is None:
+                raise BadRequest("no open stream to close")
+            session.stream = None
+            async with self.gate.admit():
+                blob = await self.engine.run(stream.compressor.close)
+        return response_bytes(
+            200, blob or b"", {"X-Frames": str(stream.frames)}
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "requests": self.requests,
+            "disconnects": self.disconnects,
+            "responses": {
+                str(k): v
+                for k, v in sorted(self.responses_by_status.items())
+            },
+            "admission": self.gate.stats(),
+            "engine": self.engine.stats(),
+            "tenants": {
+                t: s.stats() for t, s in sorted(self.sessions.items())
+            },
+        }
+
+
+async def run_server(config: ServeConfig) -> None:
+    """CLI entry: start and serve until cancelled (Ctrl-C)."""
+    server = CompressionServer(config)
+    await server.start()
+    print(
+        f"stz serve: listening on {config.host}:{server.port} "
+        f"(executor={server.engine.kind} x{server.engine.workers}, "
+        f"cache={config.cache_bytes // (1024 * 1024)} MiB)"
+    )
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.close()

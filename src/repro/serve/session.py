@@ -1,0 +1,135 @@
+"""Per-tenant session state: archives, stream, quota.
+
+A *session* is the multi-tenant isolation boundary.  Every request
+names its tenant (``X-Tenant``) and resolves to one
+:class:`TenantSession`; everything a tenant can address — uploaded or
+compressed archives (by content digest), the open append stream, the
+remaining byte quota — lives inside the session.  Tenant B asking for
+tenant A's digest gets 404, full stop: the server never consults other
+sessions, so cross-tenant bleed is structurally impossible rather than
+access-controlled.  (The *decoded-chunk cache* is deliberately shared
+across tenants — it is keyed by content digest, so two tenants can
+only ever share cache entries for byte-identical archives, which leak
+nothing either tenant did not already hold.  DESIGN.md §11.)
+
+Quota accounting charges bytes a session causes the server to *retain*
+or *ingest*: stored archive bytes and appended stream-step bytes.
+Charges are all-or-nothing (:meth:`TenantSession.charge` raises before
+mutating), so a 413 response leaves the session exactly as it was.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.stream import ShardedReader
+from repro.core.streaming import StreamingCompressor
+from repro.serve.cache import archive_digest
+from repro.serve.errors import BadRequest, QuotaExceeded, UnknownArchive
+
+
+@dataclass(frozen=True)
+class ServedArchive:
+    """One immutable, content-addressed archive held by a session.
+
+    The :class:`~repro.core.stream.ShardedReader` is parsed once at
+    admission (an unparseable upload is rejected as 400 before it can
+    occupy quota) and reused by every later request; the raw ``blob``
+    stays alive alongside it because the reader's chunk payloads are
+    zero-copy views into it, and because pool workers read payloads
+    straight from the (fork-inherited) buffer.
+    """
+
+    blob: bytes
+    digest: bytes
+    reader: ShardedReader
+
+    @classmethod
+    def open(cls, blob: bytes) -> "ServedArchive":
+        try:
+            reader = ShardedReader(blob)
+        except Exception as exc:  # noqa: BLE001 — any parse failure is 400
+            raise BadRequest(
+                f"not a sharded STZ archive: {exc}"
+            ) from exc
+        return cls(blob, archive_digest(blob), reader)
+
+    @property
+    def hex(self) -> str:
+        return self.digest.hex()
+
+
+class ActiveStream:
+    """One open ``StreamingCompressor`` plus the frame geometry every
+    append must match (the wire carries raw bytes; shape/dtype are
+    fixed at open time so appends cannot silently reinterpret)."""
+
+    def __init__(
+        self,
+        compressor: StreamingCompressor,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+    ):
+        self.compressor = compressor
+        self.shape = shape
+        self.dtype = dtype
+        self.frames = 0
+
+
+class TenantSession:
+    """Everything one tenant can see or spend."""
+
+    def __init__(self, tenant: str, quota_bytes: int):
+        self.tenant = tenant
+        self.quota_bytes = int(quota_bytes)
+        self.used_bytes = 0
+        self.archives: dict[str, ServedArchive] = {}
+        self.stream: ActiveStream | None = None
+        #: serializes this tenant's *stream* mutations — the
+        #: StreamingCompressor is a stateful delta chain, so two
+        #: concurrent appends from one tenant must run in arrival
+        #: order, while other tenants (and this tenant's read-only
+        #: archive requests) proceed untouched
+        self.stream_lock = asyncio.Lock()
+        self.requests = 0
+        self.errors = 0
+
+    def charge(self, nbytes: int, what: str) -> None:
+        """Reserve quota or raise (without mutating) — 413's source."""
+        if self.used_bytes + nbytes > self.quota_bytes:
+            raise QuotaExceeded(
+                f"{what} of {nbytes} B exceeds tenant {self.tenant!r} "
+                f"quota ({self.used_bytes}/{self.quota_bytes} B used)"
+            )
+        self.used_bytes += nbytes
+
+    def add_archive(self, archive: ServedArchive) -> str:
+        """Store an archive under its digest (idempotent: re-adding
+        identical bytes re-uses the entry and charges nothing)."""
+        key = archive.hex
+        if key not in self.archives:
+            self.charge(len(archive.blob), "archive")
+            self.archives[key] = archive
+        return key
+
+    def get_archive(self, hex_digest: str) -> ServedArchive:
+        archive = self.archives.get(hex_digest)
+        if archive is None:
+            raise UnknownArchive(
+                f"tenant {self.tenant!r} holds no archive {hex_digest!r}"
+            )
+        return archive
+
+    def stats(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "quota_bytes": self.quota_bytes,
+            "used_bytes": self.used_bytes,
+            "archives": len(self.archives),
+            "stream_open": self.stream is not None,
+            "requests": self.requests,
+            "errors": self.errors,
+        }

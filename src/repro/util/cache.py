@@ -7,6 +7,28 @@ same structure — blake2b key, lock-guarded ``OrderedDict``, LRU
 eviction — so it lives here once instead of drifting apart in two
 copies.  Values must be treated as immutable by callers (the caches
 hand out the stored object, not a copy).
+
+Concurrency contract (audited for the multi-tenant serve layer, where
+every request thread hits both process-wide caches):
+
+* every individual ``get``/``put``/``clear``/``len`` holds
+  ``self._lock`` for its whole critical section, so the underlying
+  ``OrderedDict`` is never observed mid-mutation — there is no torn
+  insert to see;
+* the callers' compound *get → miss → build → put* sequence is
+  deliberately **not** atomic.  That race is benign by invariant, not
+  by luck: cached values are pure functions of the key (the key is a
+  content digest of exactly the build inputs), so two threads that
+  miss concurrently build identical values and the last ``put`` wins
+  — the only cost is one redundant build.  Values are immutable
+  (decode tables are ``setflags(write=False)`` arrays, probe results
+  are copied dicts), so a value handed out before a concurrent
+  refresh is still correct.  ``tests/test_serve.py`` stress-tests
+  both caches under eviction churn to pin this invariant.
+
+Callers that cache anything *not* a pure function of the key must not
+use this pattern — they need the whole compound sequence under one
+lock.
 """
 
 from __future__ import annotations

@@ -340,6 +340,116 @@ class TestExecutorLayer:
             assert out == [2, 3, 4]
             assert pool._proc is None
 
+    def test_execute_map_timeout_serial(self):
+        import time as _time
+
+        def slow(state, x):
+            _time.sleep(0.05)
+            return x
+
+        with pytest.raises(TimeoutError, match="deadline expired"):
+            execute_map(slow, list(range(50)), None, "serial", 1,
+                        timeout=0.12)
+
+    def test_execute_map_timeout_thread_pool_not_poisoned(self):
+        # a timed-out map raises TimeoutError — never per-item failure
+        # markers, even with retry budget (a retry pass re-running the
+        # abandoned items serially would defeat the timeout) — and the
+        # warm pool keeps working for the next caller
+        import time as _time
+
+        def slow(state, x):
+            _time.sleep(0.3)
+            return x * 2
+
+        with WorkerPool("thread", 2) as pool:
+            t0 = _time.monotonic()
+            with pytest.raises(TimeoutError, match="still"):
+                execute_map(slow, list(range(8)), None, "thread", 2,
+                            retry=1, pool=pool, timeout=0.2)
+            # the waiter came back at the deadline, not after the queue
+            assert _time.monotonic() - t0 < 1.0
+            out = execute_map(
+                lambda s, x: x + 1, list(range(6)), None, "thread", 2,
+                pool=pool,
+            )
+            assert out == [1, 2, 3, 4, 5, 6]
+
+    def test_execute_map_timeout_one_shot_thread_returns_promptly(self):
+        import time as _time
+
+        def slow(state, x):
+            _time.sleep(0.5)
+            return x
+
+        t0 = _time.monotonic()
+        with pytest.raises(TimeoutError):
+            execute_map(slow, list(range(8)), None, "thread", 2,
+                        timeout=0.15)
+        # teardown must not block behind abandoned in-flight items
+        assert _time.monotonic() - t0 < 0.45
+
+    @pytest.mark.skipif(not fork_available(), reason="no fork")
+    def test_execute_map_timeout_discards_warm_fork_pool(self):
+        # drain-or-discard: a torn-away waiter must leave the warm
+        # handle without live orphaned slices — the pool is discarded
+        # (without waiting) and the fork lock freed, so the next map on
+        # the same handle forks fresh instead of interleaving with work
+        # the previous caller abandoned
+        import time as _time
+
+        import repro.core.parallel as par
+
+        state = (np.arange(8), 2.0)
+
+        def fn(st, i):
+            arr, scale = st
+            if scale > 2.0:  # only the slow_state maps stall
+                _time.sleep(0.8)
+            return float(arr[int(i)]) * scale
+
+        slow_state = (np.arange(8), 3.0)
+        with WorkerPool("process", 2) as pool:
+            out = execute_map(fn, [0, 1, 2], state, "process", 2, pool=pool)
+            assert out == [0.0, 2.0, 4.0]
+            assert pool._proc is not None
+            t0 = _time.monotonic()
+            with pytest.raises(TimeoutError):
+                execute_map(fn, list(range(8)), slow_state, "process", 2,
+                            retry=1, pool=pool, timeout=0.25)
+            assert _time.monotonic() - t0 < 0.7  # no drain of orphans
+            # the abandoned pool is gone and the fork lock is free for
+            # whoever maps next (one-shot or warm alike)
+            assert pool._proc is None
+            assert par._FORK_LOCK.acquire(blocking=False)
+            par._FORK_LOCK.release()
+            # the handle itself is immediately reusable: a fresh fork
+            # pool, fresh snapshot, correct results
+            out = execute_map(fn, [3, 4], state, "process", 2, pool=pool)
+            assert out == [6.0, 8.0]
+
+    @pytest.mark.skipif(not fork_available(), reason="no fork")
+    def test_execute_map_timeout_one_shot_fork_releases_lock(self):
+        import time as _time
+
+        import repro.core.parallel as par
+
+        def slow(st, i):
+            _time.sleep(0.8)
+            return i
+
+        with pytest.raises(TimeoutError):
+            execute_map(slow, list(range(8)), None, "process", 2,
+                        timeout=0.25)
+        # the module lock and published state were restored on the way
+        # out; a follow-up map can fork immediately
+        assert par._FORK_STATE is None
+        assert par._FORK_LOCK.acquire(blocking=False)
+        par._FORK_LOCK.release()
+        assert execute_map(
+            lambda s, x: x * x, list(range(5)), None, "process", 2
+        ) == [0, 1, 4, 9, 16]
+
 
 # ---------------------------------------------------------------------------
 # round trips and seam conformance

@@ -1,0 +1,208 @@
+"""Property-based tests for the decoded-chunk LRU cache.
+
+The cache's contract is small but load-bearing (DESIGN.md §11): a
+**byte**-capacity LRU whose accounting is exactly the sum of stored
+arrays' nbytes at all times, whose eviction order is recency, and
+whose keys — ``(archive digest, chunk index)`` — isolate archives from
+one another.  Hypothesis drives arbitrary put/get interleavings
+against a transparent reference model; the seeded-random sweep below
+runs the same properties without the dependency (harness policy shared
+with ``test_property_encoding.py``).
+"""
+
+import random
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import DecodedChunkCache, archive_digest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - optional dependency
+    HAVE_HYPOTHESIS = False
+
+DIGESTS = [bytes([d]) * 16 for d in range(4)]
+
+
+def _chunk(digest: bytes, index: int, nbytes: int) -> np.ndarray:
+    """A chunk whose *content* encodes its key, so any cross-key mixup
+    (the isolation property) is detectable from the value alone."""
+    seed = (digest[0] << 16) | (index << 8) | nbytes
+    return np.full(nbytes, seed % 251, dtype=np.uint8)
+
+
+class ModelLRU:
+    """Transparent reference: same semantics, zero cleverness."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.entries: "OrderedDict[tuple[bytes, int], np.ndarray]" = (
+            OrderedDict()
+        )
+
+    def get(self, key):
+        if key in self.entries:
+            self.entries.move_to_end(key)
+            return self.entries[key]
+        return None
+
+    def put(self, key, chunk):
+        if chunk.nbytes > self.capacity:
+            return False
+        self.entries.pop(key, None)
+        self.entries[key] = chunk
+        while sum(a.nbytes for a in self.entries.values()) > self.capacity:
+            self.entries.popitem(last=False)
+        return True
+
+    @property
+    def bytes(self):
+        return sum(a.nbytes for a in self.entries.values())
+
+
+def run_ops(capacity: int, ops: list[tuple[int, int, int, int]]) -> None:
+    """Apply an op sequence to cache and model, asserting equivalence
+    after every step.  Each op is ``(kind, digest_i, index, nbytes)``
+    with kind 0 = get, else put."""
+    cache = DecodedChunkCache(capacity)
+    model = ModelLRU(capacity)
+    hits = misses = 0
+    for kind, digest_i, index, nbytes in ops:
+        digest = DIGESTS[digest_i]
+        key = (digest, index)
+        if kind == 0:
+            got = cache.get(digest, index)
+            want = model.get(key)
+            if want is None:
+                assert got is None
+                misses += 1
+            else:
+                assert got is not None
+                assert np.array_equal(got, want)
+                hits += 1
+        else:
+            chunk = _chunk(digest, index, nbytes)
+            kept = cache.put(digest, index, chunk)
+            assert kept == model.put(key, chunk)
+        # step invariants: identical key set *and* recency order,
+        # byte accounting exact, capacity bound never exceeded
+        assert cache.keys() == list(model.entries)
+        stats = cache.stats()
+        assert stats["bytes"] == model.bytes
+        assert stats["bytes"] <= capacity
+        assert stats["hits"] == hits and stats["misses"] == misses
+        cache.check()
+
+
+def random_ops(rng: random.Random, n: int) -> list[tuple[int, int, int, int]]:
+    return [
+        (
+            rng.randrange(3),  # get twice as rarely as put
+            rng.randrange(len(DIGESTS)),
+            rng.randrange(5),
+            rng.randrange(1, 65),
+        )
+        for _ in range(n)
+    ]
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("capacity", [64, 130, 1024])
+def test_lru_matches_model_seeded(seed, capacity):
+    run_ops(capacity, random_ops(random.Random(seed), 120))
+
+
+def test_eviction_is_lru_order_and_get_refreshes():
+    cache = DecodedChunkCache(3 * 32)
+    d = DIGESTS[0]
+    for i in range(3):
+        cache.put(d, i, _chunk(d, i, 32))
+    assert cache.keys() == [(d, 0), (d, 1), (d, 2)]
+    cache.get(d, 0)  # refresh the oldest
+    cache.put(d, 3, _chunk(d, 3, 32))  # must evict 1, not 0
+    assert cache.keys() == [(d, 2), (d, 0), (d, 3)]
+    assert cache.stats()["evictions"] == 1
+
+
+def test_oversized_put_rejected_without_eviction():
+    cache = DecodedChunkCache(64)
+    d = DIGESTS[0]
+    assert cache.put(d, 0, _chunk(d, 0, 40))
+    assert not cache.put(d, 1, _chunk(d, 1, 65))
+    assert cache.keys() == [(d, 0)]  # nothing was displaced for it
+    assert cache.stats()["rejected"] == 1
+    cache.check()
+
+
+def test_digest_keyed_isolation():
+    """Entries under one digest are untouchable through another: equal
+    chunk indices under different digests coexist, and churning digest
+    B never corrupts what digest A returns."""
+    cache = DecodedChunkCache(1 << 16)
+    a, b = DIGESTS[0], DIGESTS[1]
+    chunk_a = _chunk(a, 0, 64)
+    cache.put(a, 0, chunk_a)
+    for i in range(16):
+        cache.put(b, i % 4, _chunk(b, i % 4, 48))
+        got = cache.get(a, 0)
+        assert got is not None and np.array_equal(got, chunk_a)
+    assert cache.get(b, 0) is not None
+    cache.check()
+
+
+def test_reput_replaces_without_double_count():
+    cache = DecodedChunkCache(256)
+    d = DIGESTS[0]
+    cache.put(d, 0, _chunk(d, 0, 64))
+    cache.put(d, 0, _chunk(d, 0, 32))  # racing tenants re-decode
+    stats = cache.stats()
+    assert stats["entries"] == 1 and stats["bytes"] == 32
+    cache.check()
+
+
+def test_zero_capacity_disables():
+    cache = DecodedChunkCache(0)
+    d = DIGESTS[0]
+    assert not cache.enabled
+    assert not cache.put(d, 0, _chunk(d, 0, 1))
+    assert cache.get(d, 0) is None
+    assert len(cache) == 0
+
+
+def test_entries_are_read_only():
+    cache = DecodedChunkCache(256)
+    d = DIGESTS[0]
+    chunk = _chunk(d, 0, 16)
+    cache.put(d, 0, chunk)
+    got = cache.get(d, 0)
+    with pytest.raises(ValueError):
+        got[0] = 99  # immutability contract: archives are content-addressed
+
+
+def test_archive_digest_is_content_address():
+    assert archive_digest(b"abc") == archive_digest(b"abc")
+    assert archive_digest(b"abc") != archive_digest(b"abd")
+    assert len(archive_digest(b"")) == 16
+
+
+if HAVE_HYPOTHESIS:
+
+    op_strategy = st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=len(DIGESTS) - 1),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=1, max_value=64),
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=256),
+        ops=st.lists(op_strategy, max_size=60),
+    )
+    def test_lru_matches_model_hypothesis(capacity, ops):
+        run_ops(capacity, ops)
