@@ -1,17 +1,23 @@
-"""Decompression-throughput benchmark (serial + threaded, 128^3 f32).
+"""Decompression-throughput benchmark (jit x threads, 128^3 f32).
 
-Decode speed went unbenchmarked while three PRs of encode work landed;
-this file closes the gap and records the decode trajectory the same way
-``bench_encode_batched.py`` records the encode one.  The serial path
-exercises the level-fused entropy decode (``huffman_decode_many``, with
-the digest-cached window tables) plus the level-wide fused
-``dequantize_many`` reconstruction; the threaded path exercises the
-paper's OMP mode, where the per-sub-block predict+dequantize chain
-spreads across the pool.  Both paths must reproduce the input within
-the bound and agree with each other bit for bit (the fused/per-block
-primitives are bit-identical by construction).
+Decode is now a two-axis story (DESIGN.md §10):
 
-Results land in ``BENCH_speed.json`` under ``decode_batched``.
+* **jit on/off** — the compiled decode kernels (`stz_huff_decode`'s
+  8-lane lockstep Huffman walk, the fused `stz_dqc_*`
+  predict+dequantize, the `stz_scatter*` reassembly) versus the pure
+  NumPy reference.  Both produce bit-identical output; jit-on serial is
+  gated at ``MIN_JIT_SPEEDUP`` over the NumPy baseline when the kernels
+  are available (they may legitimately be absent: no C compiler).
+* **serial/threaded** — the compiled kernels are called through ctypes,
+  which releases the GIL, so the thread fan-outs in
+  ``huffman_decode_many`` and the chunk/sub-block executors genuinely
+  overlap.  Threaded >= serial is asserted only on hosts with enough
+  usable cores (``parallel_capacity()``); a 1-core runner records the
+  rows but skips the gate with a reason, like ``bench_chunked``.
+
+All four cells must agree bit for bit — the kernels replicate the
+reference op order exactly.  Results land in ``BENCH_speed.json`` under
+``decode_batched``.
 """
 
 from __future__ import annotations
@@ -22,6 +28,8 @@ import time
 import numpy as np
 
 from repro.core.pipeline import stz_compress, stz_decompress
+from repro.core.parallel import parallel_capacity
+from repro.util import jit
 
 from conftest import fmt_table, record_bench, smooth_field
 
@@ -29,42 +37,78 @@ GRID = (128, 128, 128)
 REL_EB = 1e-3
 REPS = 7
 THREADS = 8
+#: jit-on serial decode must beat the NumPy baseline by this factor
+#: when the compiled kernels are available.  The kernels measure ~3x on
+#: a quiet host; the gate keeps slack for noisy shared runners while
+#: still catching a real regression to scalar-ish speed.
+MIN_JIT_SPEEDUP = 1.8
+#: threaded decode must at least match serial on hosts with this many
+#: usable cores (same bar as bench_chunked's pool gate)
+MIN_CORES_FOR_THREAD_GATE = 4
+
+
+def _median_time(fn) -> float:
+    out = []
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        fn()
+        out.append(time.perf_counter() - t0)
+    return statistics.median(out)
 
 
 def test_decode_batched_throughput(artifact):
     data = smooth_field(GRID, seed=11).astype(np.float32)
     blob = stz_compress(data, REL_EB, "rel")
-
-    # correctness first: both decode paths within the bound, bit-equal
     vr = float(data.max() - data.min())
-    rec_serial = stz_decompress(blob)
-    rec_threaded = stz_decompress(blob, threads=THREADS)
-    assert rec_serial.tobytes() == rec_threaded.tobytes()
-    err = np.max(
-        np.abs(rec_serial.astype(np.float64) - data.astype(np.float64))
-    )
-    assert err <= REL_EB * vr
 
-    t_serial, t_threaded = [], []
-    for _ in range(REPS):  # interleaved to decorrelate machine noise
-        t0 = time.perf_counter()
-        stz_decompress(blob)
-        t_serial.append(time.perf_counter() - t0)
-        t0 = time.perf_counter()
-        stz_decompress(blob, threads=THREADS)
-        t_threaded.append(time.perf_counter() - t0)
-    m_serial = statistics.median(t_serial)
-    m_threaded = statistics.median(t_threaded)
+    # correctness first: every (jit, threads) cell within the bound and
+    # bit-identical to the jit-off serial reference
+    with jit.override(False):
+        ref = stz_decompress(blob)
+    err = np.max(np.abs(ref.astype(np.float64) - data.astype(np.float64)))
+    assert err <= REL_EB * vr
+    cells = {}
+    for jit_on in (False, True):
+        with jit.override(jit_on):
+            cells[(jit_on, "serial")] = stz_decompress(blob)
+            cells[(jit_on, "threaded")] = stz_decompress(blob, threads=THREADS)
+    for key, rec in cells.items():
+        assert rec.tobytes() == ref.tobytes(), key
+
+    # interleaved timing to decorrelate machine noise
+    med = {k: [] for k in cells}
+    for _ in range(REPS):
+        for jit_on in (False, True):
+            with jit.override(jit_on):
+                t0 = time.perf_counter()
+                stz_decompress(blob)
+                med[(jit_on, "serial")].append(time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                stz_decompress(blob, threads=THREADS)
+                med[(jit_on, "threaded")].append(time.perf_counter() - t0)
+    times = {k: statistics.median(v) for k, v in med.items()}
 
     mbs = data.nbytes / 1e6
     rows = [
-        ["serial (fused)", m_serial * 1e3, mbs / m_serial],
-        [f"threaded ({THREADS})", m_threaded * 1e3, mbs / m_threaded],
+        [
+            f"jit={'on' if j else 'off'} {path}",
+            times[(j, path)] * 1e3,
+            mbs / times[(j, path)],
+        ]
+        for j in (False, True)
+        for path in ("serial", "threaded")
     ]
+    cores = parallel_capacity()
+    jit_speedup = times[(False, "serial")] / times[(True, "serial")]
+    thread_speedup = times[(True, "serial")] / times[(True, "threaded")]
     artifact(
         "decode_batched",
         fmt_table(["path", "decomp (ms)", "MB/s"], rows)
-        + f"CR {data.nbytes / len(blob):.2f} at rel eb {REL_EB}\n",
+        + f"CR {data.nbytes / len(blob):.2f} at rel eb {REL_EB}; "
+        f"jit {'available' if jit.available() else 'unavailable'}; "
+        f"jit-on serial speedup {jit_speedup:.2f}x; "
+        f"threaded/serial (jit on) {thread_speedup:.2f}x; "
+        f"{cores} usable cores\n",
     )
     record_bench(
         "decode_batched",
@@ -73,10 +117,31 @@ def test_decode_batched_throughput(artifact):
             "dtype": "float32",
             "rel_eb": REL_EB,
             "threads": THREADS,
-            "serial_ms": round(m_serial * 1e3, 2),
-            "threaded_ms": round(m_threaded * 1e3, 2),
-            "serial_mb_s": round(mbs / m_serial, 2),
-            "threaded_mb_s": round(mbs / m_threaded, 2),
+            "cores": cores,
+            "jit_available": jit.available(),
+            "numpy_serial_ms": round(times[(False, "serial")] * 1e3, 2),
+            "numpy_threaded_ms": round(times[(False, "threaded")] * 1e3, 2),
+            "jit_serial_ms": round(times[(True, "serial")] * 1e3, 2),
+            "jit_threaded_ms": round(times[(True, "threaded")] * 1e3, 2),
+            "jit_serial_mb_s": round(mbs / times[(True, "serial")], 2),
+            "jit_serial_speedup": round(jit_speedup, 2),
+            "threaded_speedup_jit": round(thread_speedup, 2),
             "cr": round(data.nbytes / len(blob), 3),
         },
     )
+
+    if jit.available():
+        assert jit_speedup >= MIN_JIT_SPEEDUP, (
+            f"jit-on serial decode only {jit_speedup:.2f}x the NumPy "
+            f"baseline (gate {MIN_JIT_SPEEDUP}x)"
+        )
+    if cores >= MIN_CORES_FOR_THREAD_GATE:
+        assert thread_speedup >= 1.0, (
+            f"threaded decode slower than serial ({thread_speedup:.2f}x) "
+            f"on a {cores}-core host"
+        )
+    else:
+        print(
+            f"\nthread gate skipped: {cores} usable core(s) < "
+            f"{MIN_CORES_FOR_THREAD_GATE} (threads cannot win here)"
+        )

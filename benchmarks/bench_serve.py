@@ -12,7 +12,11 @@ the previous response lands — over real TCP against the in-process
   dict lookup plus the ROI copy,
 * **cache disabled** — ``cache_bytes=0``; the identical code path
   re-decodes the chunk (checksum + Huffman + interpolation) on every
-  request.
+  request.  This cold-miss run happens twice, under ``jit.override``
+  on and off, because every cold miss now rides the compiled decode
+  kernels (DESIGN.md §10) — the jit-keyed pair records how much of the
+  cold-miss p50 the kernels buy back, and gates that jit-on is never
+  slower than the NumPy path.
 
 Reported per run: p50/p99 request latency, closed-loop request
 throughput, and the server's own cache hit rate.  Three gates double
@@ -37,6 +41,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.testing import ServerHarness, smooth_field
+from repro.util import jit
 
 from conftest import fmt_table, record_bench
 
@@ -98,10 +103,13 @@ def _drive(harness, digest: str) -> dict:
     }
 
 
-def _serve_workload(cache_bytes: int) -> dict:
+def _serve_workload(cache_bytes: int, jit_mode: bool | None = None) -> dict:
+    """One full harness run.  ``jit_mode`` pins the compiled-kernel
+    facade on/off for the in-process server's decode threads (None
+    follows the environment, i.e. the default jit-on path)."""
     data = smooth_field(GRID, seed=11).astype(np.float32)
     eb = REL_EB * float(data.max() - data.min())
-    with ServerHarness(
+    with jit.override(jit_mode), ServerHarness(
         executor="thread",
         workers=2,
         cache_bytes=cache_bytes,
@@ -117,18 +125,24 @@ def _serve_workload(cache_bytes: int) -> dict:
 
 
 def test_serve_repeated_roi(artifact):
-    """Warm-cache vs cache-disabled repeated-ROI latency, plus the
-    tail-latency and hit-rate smoke gates."""
+    """Warm-cache vs cache-disabled repeated-ROI latency, the jit-keyed
+    cold-miss pair, plus the tail-latency and hit-rate smoke gates."""
     warm = _serve_workload(cache_bytes=64 * (1 << 20))
-    cold = _serve_workload(cache_bytes=0)
+    cold = _serve_workload(cache_bytes=0)  # env default (jit on)
+    # cold misses are pure decode: re-run with the kernels pinned off
+    # to record what the compiled decode path buys on a cache miss
+    cold_numpy = _serve_workload(cache_bytes=0, jit_mode=False)
 
     speedup = cold["p50_ms"] / warm["p50_ms"]
     tail_ratio = warm["p99_ms"] / warm["p50_ms"]
+    jit_cold_speedup = cold_numpy["p50_ms"] / cold["p50_ms"]
     rows = [
         ["warm cache", warm["p50_ms"], warm["p99_ms"], warm["req_per_s"],
          warm["cache_hit_rate"]],
-        ["cache off", cold["p50_ms"], cold["p99_ms"], cold["req_per_s"],
-         cold["cache_hit_rate"]],
+        ["cache off (jit)", cold["p50_ms"], cold["p99_ms"],
+         cold["req_per_s"], cold["cache_hit_rate"]],
+        ["cache off (numpy)", cold_numpy["p50_ms"], cold_numpy["p99_ms"],
+         cold_numpy["req_per_s"], cold_numpy["cache_hit_rate"]],
     ]
     artifact(
         "serve_repeated_roi",
@@ -138,7 +152,8 @@ def test_serve_repeated_roi(artifact):
         + f"(grid {'x'.join(map(str, GRID))}, chunks {CHUNKS}^3, "
         f"{CLIENTS} closed-loop clients x {REQS_PER_CLIENT} ROI reqs; "
         f"cache p50 speedup {speedup:.1f}x, warm tail p99/p50 "
-        f"{tail_ratio:.1f})\n",
+        f"{tail_ratio:.1f}; jit {'available' if jit.available() else 'unavailable'}, "
+        f"cold-miss p50 jit speedup {jit_cold_speedup:.2f}x)\n",
     )
     record_bench(
         "serve",
@@ -150,8 +165,14 @@ def test_serve_repeated_roi(artifact):
             "hot_boxes": len(HOT_BOXES),
             "executor": "thread",
             "workers": 2,
+            "jit_available": jit.available(),
             "warm_cache": warm,
             "cache_disabled": cold,
+            "cold_miss": {
+                "jit_on": cold,
+                "jit_off": cold_numpy,
+                "p50_jit_speedup": round(jit_cold_speedup, 2),
+            },
             "cache_p50_speedup": round(speedup, 2),
             "warm_tail_p99_over_p50": round(tail_ratio, 2),
         },
@@ -162,3 +183,8 @@ def test_serve_repeated_roi(artifact):
     assert tail_ratio <= MAX_TAIL_RATIO, warm
     # closed-loop load within max_inflight: admission must not reject
     assert warm["rejected"] == 0 and cold["rejected"] == 0
+    assert cold_numpy["rejected"] == 0
+    if jit.available():
+        # compiled cold-miss decode must not lose to the NumPy path
+        # (slack for shared-runner noise; a quiet host shows ~1.5-3x)
+        assert jit_cold_speedup >= 0.9, (cold, cold_numpy)

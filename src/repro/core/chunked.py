@@ -22,7 +22,11 @@ per-array pipeline over each chunk independently:
   into a caller-supplied output array or a freshly allocated one.  A
   ``np.memmap`` output under the *serial* executor keeps the reverse
   direction O(chunk) too; the parallel executors leave decoded pages
-  resident (speed over the memory bound — DESIGN.md §8).
+  resident (speed over the memory bound — DESIGN.md §8).  With the
+  compiled decode kernels engaged (DESIGN.md §10) the hot per-chunk
+  work — Huffman walk, fused predict+dequantize, reassembly scatter —
+  runs inside GIL-releasing ctypes calls, so the *thread* executor
+  gets real chunk-level concurrency, not interpreter turn-taking.
 * **random access** (:func:`decompress_chunked_roi`) uses the chunk
   table to touch only the chunks intersecting the query box, and
   within STZ-coded chunks reuses the sub-chunk random-access path.

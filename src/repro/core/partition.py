@@ -31,6 +31,8 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.util import jit
+
 Offset = tuple[int, ...]
 Box = tuple[tuple[int, int], ...]  # per-axis (lo, hi), hi exclusive
 
@@ -80,8 +82,14 @@ def subblock_view_in(data: np.ndarray, eps: Offset, stride: int) -> np.ndarray:
 
 
 def place_subblock(fine: np.ndarray, eps: Offset, values: np.ndarray) -> None:
-    """Scatter a sub-block back into its lattice positions."""
+    """Scatter a sub-block back into its lattice positions.
+
+    Routes through the compiled strided-scatter kernel when available
+    (a pure bit copy, exactly NumPy's assignment) — the reassembly
+    stage is a large strided write on the decode hot path."""
     sl = tuple(slice(e, None, 2) for e in eps)
+    if values.size and jit.scatter(fine[sl], values):
+        return
     fine[sl] = values
 
 

@@ -44,6 +44,7 @@ from repro.core.parallel import effective_threads, parallel_capacity, pmap
 from repro.core.predict import (
     populate_shift_cache,
     predict_block,
+    predict_dequant_block,
     uses_shift_cache,
 )
 from repro.core.stream import (
@@ -62,7 +63,12 @@ from repro.encoding.huffman import (
     huffman_encode_many,
 )
 from repro.encoding.lossless import compress_bytes, decompress_bytes
-from repro.encoding.quantizer import dequantize_many, quantize, quantize_many
+from repro.encoding.quantizer import (
+    _f32_mode,
+    dequantize_many,
+    quantize,
+    quantize_many,
+)
 from repro.sz3.compressor import (
     sz3_compress,
     sz3_compress_with_recon,
@@ -508,12 +514,19 @@ def _reconstruct_level_q(
 ) -> dict[Offset, np.ndarray]:
     """Predict + dequantize all sub-blocks of one level, batched.
 
-    The decode-side mirror of :func:`_encode_residual_level`: prediction
-    runs per sub-block (it is geometry-bound), then a single fused
-    :func:`dequantize_many` pass reconstructs every residual stream at
-    once — bit-identical to per-block :func:`dequantize`, since the
-    core is element-wise (DESIGN.md §2).
+    The decode-side mirror of :func:`_encode_residual_level`.  Each
+    sub-block first tries the compiled fused
+    :func:`~repro.core.predict.predict_dequant_block` kernel — predict
+    combine and dequantize arithmetic in one GIL-releasing native pass,
+    no materialized prediction array (DESIGN.md §10).  Sub-blocks the
+    kernel declines run the reference: prediction per sub-block (it is
+    geometry-bound), then a single fused :func:`dequantize_many` pass —
+    bit-identical to the compiled path and to per-block
+    :func:`dequantize`, since the core is element-wise (DESIGN.md §2).
     """
+    f32_mode = config.f32_quant and _f32_mode(
+        dtype, dtype, ebl, config.quant_radius
+    )
     blocks: dict[Offset, np.ndarray] = {}
     live: list[tuple[Offset, tuple[int, ...]]] = []
     codes, preds, positions, values = [], [], [], []
@@ -523,6 +536,15 @@ def _reconstruct_level_q(
             blocks[eps] = np.empty(ts, dtype=dtype)
             continue
         c, pos, val = payload
+        rec = predict_dequant_block(
+            C, eps, ts, config.interp, config.cubic_mode, shift_cache,
+            c, ebl, config.quant_radius, f32_mode,
+        )
+        if rec is not None:
+            if pos.size:
+                rec.reshape(-1)[pos] = val
+            blocks[eps] = rec
+            continue
         pred = predict_block(
             C, eps, ts, config.interp, config.cubic_mode, shift_cache
         )
@@ -568,10 +590,13 @@ def _decode_level(
     """Entropy-decode all sub-blocks of one level.
 
     Quantized sub-blocks are batched into one
-    :func:`huffman_decode_many` call — a single interleaved decode loop
-    for the whole level, which beats per-segment decoding even against
-    a thread pool (the loop is numpy-dispatch-bound, and batching
-    amortizes the dispatch across every stream at once).
+    :func:`huffman_decode_many` call.  With the compiled decoder that
+    is one GIL-releasing native call per segment (threaded across the
+    pool when ``threads`` asks for it); on the pure-NumPy reference it
+    is a single interleaved decode loop for the whole level, which
+    beats per-segment decoding even against a thread pool (the loop is
+    numpy-dispatch-bound and holds the GIL, so batching amortizes the
+    dispatch across every stream at once).
     """
     if config.residual_codec != "quantize":
         return pmap(
@@ -594,7 +619,10 @@ def _decode_level(
         )
         parts.append((eps, len(huffs), pos, val))
         huffs.append(huff)
-    decoded_codes = huffman_decode_many(huffs) if huffs else []
+    # threads fan the compiled per-segment decoders across a pool (the
+    # kernels release the GIL); on the reference path the batched
+    # lockstep loop ignores them — it already amortizes across streams
+    decoded_codes = huffman_decode_many(huffs, threads=threads) if huffs else []
     out: list[tuple[Offset, object]] = []
     for eps, idx, pos, val in parts:
         if idx is None:

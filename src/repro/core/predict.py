@@ -265,6 +265,126 @@ def predict_block(
     return pred
 
 
+def predict_dequant_block(
+    C: np.ndarray,
+    eps: Offset,
+    ts: tuple[int, ...],
+    interp: str,
+    mode: str,
+    shift_cache: dict | None,
+    codes: np.ndarray,
+    eb: float,
+    radius: int,
+    f32_mode: bool,
+) -> np.ndarray | None:
+    """Fused predict + dequantize of one sub-block (DESIGN.md §10).
+
+    Mirrors :func:`predict_block`'s region decomposition exactly, but
+    each region runs the compiled ``jit.combine_dequant`` kernel, which
+    computes the combine *and* the quantizer reconstruction formula in
+    one pass, writing straight into the sub-block — no materialized
+    prediction array, no second dequantize sweep.  Returns the
+    reconstruction (shape ``ts``, outliers **not** yet scattered), or
+    None whenever the compiled path cannot run — the caller falls back
+    to ``predict_block`` + ``dequantize``, which is bit-identical: the
+    kernel replicates the per-element op order of both stages.
+
+    Eligibility: the compiled kernels loaded, linear or diagonal-cubic
+    interpolation (direct and tensor-cubic stay on the reference), at
+    most 4 dims, and region corner counts within the kernel's 16-view
+    limit.
+    """
+    if interp not in ("linear", "cubic") or (
+        interp == "cubic" and mode == "tensor"
+    ):
+        return None
+    if not jit.has("dqc_f32"):
+        return None
+    odd = _validate(C, eps, ts)
+    if any(t == 0 for t in ts):
+        return np.empty(ts, dtype=C.dtype)
+    j = len(odd)
+    narr = (1 << j) * (2 if interp == "cubic" else 1)
+    if C.ndim > 4 or narr > 16:
+        return None
+    if codes.size != int(np.prod(ts)):
+        return None
+
+    restrict = tuple(
+        slice(0, ts[a]) if a in set(odd) else slice(None)
+        for a in range(C.ndim)
+    )
+    shifted = _fill_shifts(
+        C, shift_cache if shift_cache is not None else {}, odd
+    )
+    out = np.empty(ts, dtype=C.dtype)
+    qv = codes.reshape(ts)
+
+    def linear_region(region: tuple[slice, ...] | None) -> bool:
+        corners = []
+        for delta in itertools.product((0, 1), repeat=j):
+            arr = shifted[frozenset(a for a, d in zip(odd, delta) if d)][
+                restrict
+            ]
+            corners.append(arr if region is None else arr[region])
+        q = qv if region is None else qv[region]
+        o = out if region is None else out[region]
+        return jit.combine_dequant(
+            corners, (), 0.5**j, 0.0, q, o, eb, radius, f32_mode
+        )
+
+    if interp == "linear":
+        return out if linear_region(None) else None
+
+    los = {a: 1 for a in odd}
+    his = {a: min(C.shape[a] - 2, ts[a]) for a in odd}
+    if any(his[a] <= los[a] for a in odd):
+        return out if linear_region(None) else None
+
+    def slab(delta_map: dict[int, int]) -> tuple[slice, ...]:
+        return tuple(
+            slice(los[a] + delta_map[a], his[a] + delta_map[a])
+            if a in set(odd)
+            else slice(None)
+            for a in range(C.ndim)
+        )
+
+    near = [
+        C[slab({a: d for a, d in zip(odd, delta)})]
+        for delta in itertools.product((0, 1), repeat=j)
+    ]
+    outer = [
+        C[slab({a: d for a, d in zip(odd, delta)})]
+        for delta in itertools.product((-1, 2), repeat=j)
+    ]
+    target = tuple(
+        slice(los[a], his[a]) if a in set(odd) else slice(None)
+        for a in range(C.ndim)
+    )
+    wn, wo = _CUBIC_WEIGHTS[j]
+    if not jit.combine_dequant(
+        near, outer, wn, wo, qv[target], out[target], eb, radius, f32_mode
+    ):
+        return None
+    for idx_a, a in enumerate(odd):
+        for lo, hi in ((0, los[a]), (his[a], ts[a])):
+            if hi <= lo:
+                continue
+            region = tuple(
+                slice(lo, hi)
+                if ax == a
+                else (
+                    slice(los[ax], his[ax])
+                    if ax in odd[:idx_a]
+                    else slice(None)
+                )
+                for ax in range(C.ndim)
+            )
+            if not linear_region(region):
+                return None
+    return out
+
+
 def interp_axis_midpoints(
     C: np.ndarray, axis: int, t: int, interp: str = "cubic"
 ) -> np.ndarray:

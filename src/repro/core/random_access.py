@@ -200,7 +200,12 @@ def stz_decompress_roi(
                 )
                 for eps, _, _, _ in needed
             ]
-            code_arrays = huffman_decode_many([p[0] for p in parts])
+            # compiled per-segment decoders release the GIL, so the
+            # thread fan-out inside huffman_decode_many overlaps the
+            # entropy stage — the dominant cost of sub-chunk ROI reads
+            code_arrays = huffman_decode_many(
+                [p[0] for p in parts], threads=threads
+            )
         decoded_count += len(needed)
 
         # pass 3 — predict/reconstruct only the windowed points

@@ -24,7 +24,10 @@ Decoding
     then advances all chunks in lockstep: iteration ``t`` decodes symbol
     ``t`` of every chunk simultaneously with batched gathers.  Total work
     is O(m) gathers for m symbols, and the chunks also parallelize across
-    threads.
+    threads.  When the compiled kernels are available the same table
+    walk runs as one GIL-releasing native call per segment
+    (``jit.huffman_decode``), bit-identical by construction; the
+    lockstep loop remains the ``STZ_JIT=0`` reference.
 
 The segment produced by :func:`huffman_encode` is self-describing bytes;
 :func:`huffman_decode` needs nothing else.
@@ -468,16 +471,43 @@ def _parse_segment(blob: bytes | memoryview):
     return ("stream", (chunk, m, lengths, sync, payload))
 
 
+def _decode_stream_compiled(spec) -> np.ndarray | None:
+    """One stream through the compiled table-driven decoder, or None.
+
+    The kernel decodes each chunk sequentially from its sync offset —
+    the symbols are a pure function of the (table, payload, sync) walk,
+    so the output is bit-identical to the reference lockstep loop (and
+    already in symbol order: no transpose pass).  The ctypes call
+    releases the GIL, which is what lets :func:`huffman_decode_many`'s
+    thread fan-out (and the chunk-parallel decode executors above it)
+    actually overlap entropy decoding."""
+    chunk, m, lengths, sync, payload = spec
+    return jit.huffman_decode(
+        np.frombuffer(payload, dtype=np.uint8),
+        _decode_table(lengths),
+        sync,
+        chunk,
+        m,
+    )
+
+
 def huffman_decode_many(
     blobs: list[bytes | memoryview],
+    threads: int | None = None,
 ) -> list[np.ndarray]:
     """Decode several segments in one interleaved chunk-parallel loop.
 
-    Decoding advances all chunks of *all* segments in lockstep, so the
-    per-step numpy dispatch overhead is shared across every stream —
-    this is what makes decompressing the many per-sub-block segments of
-    an STZ level as cheap as one monolithic stream.  Per-segment code
-    tables are fused into one array indexed by ``(segment_base | window)``.
+    When the compiled decoder (``repro.util.jit``, DESIGN.md §10) is
+    available, each stream decodes through one GIL-releasing native
+    call instead; ``threads`` (optional) fans the per-stream calls
+    across a thread pool — profitable exactly because the kernel drops
+    the GIL.  The pure-NumPy path below is the byte-identical reference
+    and the ``STZ_JIT=0`` fallback: it advances all chunks of *all*
+    segments in lockstep, so the per-step numpy dispatch overhead is
+    shared across every stream — this is what makes decompressing the
+    many per-sub-block segments of an STZ level as cheap as one
+    monolithic stream.  Per-segment code tables are fused into one
+    array indexed by ``(segment_base | window)``.
     """
     parsed = [_parse_segment(b) for b in blobs]
     streams = [
@@ -488,6 +518,23 @@ def huffman_decode_many(
     ]
     if not streams:
         return results  # type: ignore[return-value]
+
+    if jit.has("huff_decode"):
+        specs = [spec for _i, spec in streams]
+        if threads is not None and len(specs) > 1:
+            # lazy import: encoding stays import-independent of the
+            # executor layer except on this opt-in threaded branch
+            from repro.core.parallel import pmap
+
+            decoded = pmap(_decode_stream_compiled, specs, threads)
+        else:
+            decoded = [_decode_stream_compiled(s) for s in specs]
+        if all(d is not None for d in decoded):
+            for (i, _spec), syms in zip(streams, decoded):
+                results[i] = syms
+            return results  # type: ignore[return-value]
+        # a stream declined (corrupt sync geometry): the whole batch
+        # falls back so damaged archives keep the reference behavior
 
     tables = []
     payload_parts: list[np.ndarray] = []
@@ -586,6 +633,23 @@ def huffman_decode_range(
     steps = chunk if nchunks > 1 else (
         min(start + count - first_chunk * chunk, last_total)
     )
+    lo = start - first_chunk * chunk
+
+    # compiled chunk-bounded decode: same O(count + chunk) bound (the
+    # kernel walks only the selected chunks' bits), same symbols by
+    # construction; codeword-suffix window bits past the last chunk's
+    # boundary cannot change a canonical-table lookup, so slicing the
+    # payload is unnecessary here
+    total = (nchunks - 1) * chunk + (last_total if nchunks > 1 else steps)
+    syms = jit.huffman_decode(
+        buf,
+        table,
+        np.ascontiguousarray(sync[first_chunk : last_chunk + 1]),
+        chunk,
+        total,
+    )
+    if syms is not None:
+        return syms[lo : lo + count]
     # touch only the bytes covering the selected chunks, so a sliver
     # read stays O(count) instead of O(m): the window runs from the
     # first selected chunk's sync position to the next chunk boundary
@@ -617,7 +681,6 @@ def huffman_decode_range(
         out[t] = e
         pos += e & low5
     syms = np.ascontiguousarray(out.T).reshape(-1) >> np.uint32(5)
-    lo = start - first_chunk * chunk
     return syms[lo : lo + count]
 
 

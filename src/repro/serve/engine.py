@@ -12,7 +12,11 @@ All tenants' CPU-bound work funnels through one :class:`ServeEngine`:
   across tenants instead of per-request pool startup.  The fork side
   of a ``WorkerPool`` is not thread-safe (its warm-pool key is caller
   state), so process-executor maps are serialized by ``_fork_mutex``;
-  the thread side is driven concurrently as designed;
+  the thread side is driven concurrently as designed — and since the
+  compiled decode kernels (DESIGN.md §10) release the GIL for the
+  Huffman/reconstruction work, concurrent cache-miss decodes on the
+  thread executor genuinely overlap instead of serializing on the
+  interpreter;
 * the process-wide :class:`~repro.serve.cache.DecodedChunkCache`,
   consulted before any decode work is scheduled and populated only
   with *verified* chunks (checksum passed and decode succeeded —

@@ -3,11 +3,22 @@
 The pure-NumPy implementations in :mod:`repro.encoding`,
 :mod:`repro.szx` and :mod:`repro.core.predict` are the *reference*:
 always importable, always tested.  This module compiles a small C
-translation of the three profiled hot spots — quantize/predict
-arithmetic, Huffman bit-packing, SZx plane-major packing — once per
-host into a cached shared library and exposes them through wrappers
-that return ``None`` whenever the compiled path cannot (or must not)
-run, so every call site degrades to the reference with one ``if``.
+translation of the profiled hot spots — quantize/predict arithmetic,
+Huffman bit-packing *and* table-driven decoding, the fused
+dequantize+predict-combine reconstruction, SZx plane-major packing —
+once per host into a cached shared library and exposes them through
+wrappers that return ``None`` whenever the compiled path cannot (or
+must not) run, so every call site degrades to the reference with one
+``if``.
+
+Every kernel is called through :mod:`ctypes` ``CDLL``, which releases
+the GIL for the duration of the call.  That is a load-bearing part of
+the decode story: the thread executors in :mod:`repro.core.parallel` /
+:mod:`repro.core.chunked` only beat the serial walk when the per-chunk
+work actually runs concurrently, and the compiled Huffman decoder +
+fused reconstruction kernels turn the decompress path from a
+GIL-bound Python loop into native code that threads can overlap
+(DESIGN.md §10).
 
 Contract (the reason this is safe to engage silently):
 
@@ -56,9 +67,12 @@ __all__ = [
     "quantize",
     "dequantize",
     "huffman_pack",
+    "huffman_decode",
     "szx_pack",
     "szx_unpack",
     "combine",
+    "combine_dequant",
+    "scatter",
 ]
 
 _C_SOURCE = r"""
@@ -190,6 +204,109 @@ API int64_t stz_huff_pack(
     if (accbits)
         out[ob++] = (uint8_t)(acc << (8 - accbits));
     return total;
+}
+
+/* Guarded 16-bit window read for the decoder's tail: bytes past the
+   payload end read as zero, exactly like the zero padding the NumPy
+   reference appends before its vectorized window gather. */
+static uint32_t stz_win16(const uint8_t *p, int64_t plen, int64_t pos)
+{
+    int64_t byte = pos >> 3;
+    uint32_t w = 0;
+    for (int k = 0; k < 3; k++) {
+        uint32_t b = (byte + k < plen) ? p[byte + k] : 0u;
+        w = (w << 8) | b;
+    }
+    return (w >> (8 - (pos & 7))) & 0xFFFFu;
+}
+
+/* Unguarded window read for the hot loop: one 4-byte load swapped to
+   big-endian order, valid while pos >> 3 <= plen - 4.  Identical to
+   stz_win16 for in-bounds positions. */
+static inline uint32_t stz_win16_fast(const uint8_t *p, int64_t pos)
+{
+    uint32_t w;
+    memcpy(&w, p + (pos >> 3), 4);
+#if !defined(__BYTE_ORDER__) || __BYTE_ORDER__ != __ORDER_BIG_ENDIAN__
+    w = __builtin_bswap32(w);
+#endif
+    return (w >> (16 - (pos & 7))) & 0xFFFFu;
+}
+
+/* Table-driven canonical Huffman decoder: the compiled twin of the
+   interleaved lockstep loop in huffman.huffman_decode_many (and the
+   chunk-bounded huffman_decode_range).  `table` is the fused 2^16
+   window table ((symbol << 5) | length); `sync` holds the absolute
+   bit offset of each selected chunk's first codeword.  Chunks decode
+   sequentially — the output is a pure function of the table walk, so
+   the symbols are identical to the reference's lockstep/transpose by
+   construction, already in symbol order (no transpose needed).
+   Returns 0, or -1 when a sync position lies outside the payload
+   (corrupt segment: the caller falls back to the reference so damaged
+   archives keep their established failure behavior). */
+API int32_t stz_huff_decode(
+    const uint8_t *p, int64_t plen, const uint32_t *table,
+    const int64_t *sync, int64_t nchunks, int64_t chunk, int64_t total,
+    uint32_t *out)
+{
+    const int64_t safe4 = 8 * (plen - 4) + 7;  /* 4-byte fast-load bound */
+    int64_t c = 0;
+    /* Hot path: eight full chunks in lockstep.  Each chunk's bit
+       cursor only depends on its own codeword lengths, so the lanes
+       give the CPU eight independent dependency chains — the compiled
+       analogue of the reference's vectorized segment interleave.
+       (lp[0]|..|lp[7]) > safe4 over-approximates "any lane near the
+       payload end"; those rare tails finish on the guarded path, which
+       reads identical windows. */
+    for (; c + 8 <= nchunks && (c + 8) * chunk <= total; c += 8) {
+        int64_t lp[8];
+        uint32_t *lo[8];
+        for (int l = 0; l < 8; l++) {
+            lp[l] = sync[c + l];
+            if (lp[l] < 0 || lp[l] >= 8 * plen)
+                return -1;
+            lo[l] = out + (c + l) * chunk;
+        }
+        int64_t k = 0;
+        for (; k < chunk; k++) {
+            int64_t m = lp[0] | lp[1] | lp[2] | lp[3]
+                      | lp[4] | lp[5] | lp[6] | lp[7];
+            if (m > safe4)
+                break;
+            for (int l = 0; l < 8; l++) {
+                uint32_t e = table[stz_win16_fast(p, lp[l])];
+                lo[l][k] = e >> 5;
+                lp[l] += e & 31u;
+            }
+        }
+        for (int l = 0; k < chunk && l < 8; l++) {
+            /* payload-end tail (or corrupt overrun) */
+            int64_t pos = lp[l];
+            for (int64_t kk = k; kk < chunk; kk++) {
+                uint32_t e = table[stz_win16(p, plen, pos)];
+                lo[l][kk] = e >> 5;
+                pos += e & 31u;
+            }
+        }
+    }
+    for (; c < nchunks; c++) {
+        int64_t i = c * chunk;
+        int64_t i1 = (i + chunk < total) ? i + chunk : total;
+        int64_t pos = sync[c];
+        if (pos < 0 || pos >= 8 * plen)
+            return -1;
+        while (i < i1 && pos <= safe4) {
+            uint32_t e = table[stz_win16_fast(p, pos)];
+            out[i++] = e >> 5;
+            pos += e & 31u;
+        }
+        while (i < i1) {  /* corrupt overrun: decode zero-filled bits */
+            uint32_t e = table[stz_win16(p, plen, pos)];
+            out[i++] = e >> 5;
+            pos += e & 31u;
+        }
+    }
+    return 0;
 }
 
 /* Two-queue Huffman over ascending leaf frequencies: the compiled
@@ -334,6 +451,165 @@ API void NAME(const char **ptrs, int32_t nnear, int32_t nouter,         \
 }
 DEFINE_COMBINE(stz_combine_f32, float)
 DEFINE_COMBINE(stz_combine_f64, double)
+
+/* Fused predict-combine + dequantize: the decode-side reconstruction
+   out = dequant(sum(near)*wn - sum(outer)*wo, code) in one pass, so
+   stz_decompress never materializes the prediction array.  Same
+   strided-view walk as DEFINE_COMBINE, with the quantization codes
+   read through their own strides and the result written through
+   strided `out` (a region view of the sub-block) — region writes land
+   in place.  BODY is the per-element dequantize formula, replicating
+   quantizer.dequantize's op order exactly (pv is the combine result
+   in the payload dtype T, `code` the uint32 quantizer code). */
+/* Fixed-count unit-stride inner loop: NN/NO are literal constants, so
+   the t-loops fully unroll and the i3 loop vectorizes.  The add order
+   (ap[0] + ap[1] + ...) matches predict._sum_seq exactly; elementwise
+   SIMD keeps results bit-identical to the scalar walk. */
+#define STZ_DQ_UNIT(T, NN, NO, BODY)                                    \
+    for (int64_t i3 = 0; i3 < shape[3]; i3++) {                         \
+        T sn = ap[0][i3];                                               \
+        for (int32_t t = 1; t < (NN); t++)                              \
+            sn += ap[t][i3];                                            \
+        T pv;                                                           \
+        if ((NO) > 0) {                                                 \
+            T so = ap[NN][i3];                                          \
+            for (int32_t t = (NN) + 1; t < (NN) + (NO); t++)            \
+                so += ap[t][i3];                                        \
+            pv = sn * wn - so * wo;                                     \
+        } else {                                                        \
+            pv = sn * wn;                                               \
+        }                                                               \
+        uint32_t code = q[i3];                                          \
+        o[i3] = (BODY);                                                 \
+    }
+
+/* Fixed-count strided inner loop (rotated boundary shells land here:
+   long inner extent, non-unit strides).  Same add order as the
+   runtime-count walk; the literal NN/NO just let the t-loops unroll. */
+#define STZ_DQ_STRIDED(T, NN, NO, BODY)                                 \
+    for (int64_t i3 = 0; i3 < shape[3]; i3++) {                         \
+        T sn = *(const T *)(row[0] + i3 * strides[3]);                  \
+        for (int32_t t = 1; t < (NN); t++)                              \
+            sn += *(const T *)(row[t] + i3 * strides[4 * t + 3]);       \
+        T pv;                                                           \
+        if ((NO) > 0) {                                                 \
+            T so = *(const T *)(row[NN] + i3 * strides[4 * (NN) + 3]);  \
+            for (int32_t t = (NN) + 1; t < (NN) + (NO); t++)            \
+                so += *(const T *)(row[t] + i3 * strides[4 * t + 3]);   \
+            pv = sn * wn - so * wo;                                     \
+        } else {                                                        \
+            pv = sn * wn;                                               \
+        }                                                               \
+        uint32_t code = *(const uint32_t *)(qrow + i3 * qs[3]);         \
+        *(T *)(orow + i3 * os[3]) = (BODY);                             \
+    }
+
+#define DEFINE_DQ_COMBINE(NAME, T, BODY)                                \
+API void NAME(const char **ptrs, int32_t nnear, int32_t nouter,         \
+              const int64_t *strides, const int64_t *shape,             \
+              T wn, T wo,                                               \
+              const char *codes, const int64_t *qs,                     \
+              char *out, const int64_t *os,                             \
+              double two_eb, int64_t radius)                            \
+{                                                                       \
+    const int32_t narr = nnear + nouter;                                \
+    const float twf = (float)two_eb;                                    \
+    const float frad = (float)radius;                                   \
+    (void)twf; (void)frad;                                              \
+    /* unit-stride last dim on every operand -> vectorizable loops */   \
+    int unit = qs[3] == (int64_t)sizeof(uint32_t)                       \
+               && os[3] == (int64_t)sizeof(T);                          \
+    for (int32_t t = 0; t < narr; t++)                                  \
+        unit = unit && strides[4 * t + 3] == (int64_t)sizeof(T);        \
+    for (int64_t i0 = 0; i0 < shape[0]; i0++)                           \
+    for (int64_t i1 = 0; i1 < shape[1]; i1++)                           \
+    for (int64_t i2 = 0; i2 < shape[2]; i2++) {                         \
+        const char *row[16];                                            \
+        for (int32_t t = 0; t < narr; t++)                              \
+            row[t] = ptrs[t] + i0 * strides[4 * t]                      \
+                             + i1 * strides[4 * t + 1]                  \
+                             + i2 * strides[4 * t + 2];                 \
+        const char *qrow = codes + i0 * qs[0] + i1 * qs[1] + i2 * qs[2];\
+        char *orow = out + i0 * os[0] + i1 * os[1] + i2 * os[2];        \
+        int done = 0;                                                   \
+        if (unit) {                                                     \
+            /* every cubic/linear corner count the predictor emits */   \
+            const T *ap[16];                                            \
+            const uint32_t *q = (const uint32_t *)qrow;                 \
+            T *o = (T *)orow;                                           \
+            for (int32_t t = 0; t < narr; t++)                          \
+                ap[t] = (const T *)row[t];                              \
+            done = 1;                                                   \
+            if      (nnear == 2 && nouter == 2) { STZ_DQ_UNIT(T, 2, 2, BODY) } \
+            else if (nnear == 4 && nouter == 4) { STZ_DQ_UNIT(T, 4, 4, BODY) } \
+            else if (nnear == 8 && nouter == 8) { STZ_DQ_UNIT(T, 8, 8, BODY) } \
+            else if (nnear == 2 && nouter == 0) { STZ_DQ_UNIT(T, 2, 0, BODY) } \
+            else if (nnear == 4 && nouter == 0) { STZ_DQ_UNIT(T, 4, 0, BODY) } \
+            else if (nnear == 8 && nouter == 0) { STZ_DQ_UNIT(T, 8, 0, BODY) } \
+            else if (nnear == 1 && nouter == 0) { STZ_DQ_UNIT(T, 1, 0, BODY) } \
+            else done = 0;                                              \
+        }                                                               \
+        if (done)                                                       \
+            continue;                                                   \
+        /* strided fallback: fixed corner counts unroll the t-loop */   \
+        if      (nnear == 2 && nouter == 0) { STZ_DQ_STRIDED(T, 2, 0, BODY) } \
+        else if (nnear == 4 && nouter == 0) { STZ_DQ_STRIDED(T, 4, 0, BODY) } \
+        else if (nnear == 8 && nouter == 0) { STZ_DQ_STRIDED(T, 8, 0, BODY) } \
+        else if (nnear == 2 && nouter == 2) { STZ_DQ_STRIDED(T, 2, 2, BODY) } \
+        else if (nnear == 4 && nouter == 4) { STZ_DQ_STRIDED(T, 4, 4, BODY) } \
+        else if (nnear == 8 && nouter == 8) { STZ_DQ_STRIDED(T, 8, 8, BODY) } \
+        else {                                                          \
+        for (int64_t i3 = 0; i3 < shape[3]; i3++) {                     \
+            T sn = *(const T *)(row[0] + i3 * strides[3]);              \
+            for (int32_t t = 1; t < nnear; t++)                         \
+                sn += *(const T *)(row[t] + i3 * strides[4 * t + 3]);   \
+            T pv;                                                       \
+            if (nouter > 0) {                                           \
+                T so = *(const T *)(row[nnear]                          \
+                                    + i3 * strides[4 * nnear + 3]);     \
+                for (int32_t t = nnear + 1; t < narr; t++)              \
+                    so += *(const T *)(row[t]                           \
+                                       + i3 * strides[4 * t + 3]);      \
+                pv = sn * wn - so * wo;                                 \
+            } else {                                                    \
+                pv = sn * wn;                                           \
+            }                                                           \
+            uint32_t code = *(const uint32_t *)(qrow + i3 * qs[3]);     \
+            *(T *)(orow + i3 * os[3]) = (BODY);                        \
+        }                                                               \
+        }                                                               \
+    }                                                                   \
+}
+/* f32 fast path: qf = (float)code - radius; pv + qf * two_eb, all in
+   float32 — quantizer.dequantize's f32_mode formula. */
+DEFINE_DQ_COMBINE(stz_dqc_f32, float,
+    pv + ((float)code - frad) * twf)
+/* f64 reference formula: (double)pv + (double)(code - radius) * 2eb,
+   cast back to the payload dtype. */
+DEFINE_DQ_COMBINE(stz_dqc_f64, double,
+    pv + (double)((int64_t)code - radius) * two_eb)
+DEFINE_DQ_COMBINE(stz_dqc_f64_f32, float,
+    (float)((double)pv + (double)((int64_t)code - radius) * two_eb))
+
+/* Strided scatter: copy a C-contiguous source into a strided view of
+   <= 4 dims (leading dims padded, strides in bytes) — the reassembly
+   step that places parity sub-blocks back into the fine lattice.  A
+   pure bit copy, so one kernel per element width covers all dtypes. */
+#define DEFINE_SCATTER(NAME, T)                                         \
+API void NAME(const T *src, char *dst, const int64_t *ds,               \
+              const int64_t *shape)                                     \
+{                                                                       \
+    int64_t si = 0;                                                     \
+    for (int64_t i0 = 0; i0 < shape[0]; i0++)                           \
+    for (int64_t i1 = 0; i1 < shape[1]; i1++)                           \
+    for (int64_t i2 = 0; i2 < shape[2]; i2++) {                         \
+        char *drow = dst + i0 * ds[0] + i1 * ds[1] + i2 * ds[2];        \
+        for (int64_t i3 = 0; i3 < shape[3]; i3++)                       \
+            *(T *)(drow + i3 * ds[3]) = src[si++];                      \
+    }                                                                   \
+}
+DEFINE_SCATTER(stz_scatter32, uint32_t)
+DEFINE_SCATTER(stz_scatter64, uint64_t)
 """
 
 _VERSION = 1  # bump to invalidate caches when the ABI (not source) changes
@@ -357,6 +633,9 @@ _SIGNATURES: dict[str, tuple[list, object]] = {
     "stz_dequant_f64": ([_ptr, _ptr, _i64, _f64, _i64, _ptr], None),
     "stz_dequant_f64_f32": ([_ptr, _ptr, _i64, _f64, _i64, _ptr], None),
     "stz_huff_pack": ([_ptr, _i64, _ptr, _i64, _ptr, _ptr], _i64),
+    "stz_huff_decode": (
+        [_ptr, _i64, _ptr, _ptr, _i64, _i64, _i64, _ptr], _i32
+    ),
     "stz_huff_tree": ([_ptr, _i64, _ptr], _i32),
     "stz_huff_limit": ([_ptr, _ptr, _ptr, _i64, _i32], None),
     "stz_szx_pack": ([_ptr, _i64, _i32, _ptr], None),
@@ -367,6 +646,20 @@ _SIGNATURES: dict[str, tuple[list, object]] = {
     "stz_combine_f64": (
         [_ptr, _i32, _i32, _ptr, _ptr, _f64, _f64, _ptr], None
     ),
+    "stz_dqc_f32": (
+        [_ptr, _i32, _i32, _ptr, _ptr, _f32, _f32, _ptr, _ptr, _ptr,
+         _ptr, _f64, _i64], None
+    ),
+    "stz_dqc_f64": (
+        [_ptr, _i32, _i32, _ptr, _ptr, _f64, _f64, _ptr, _ptr, _ptr,
+         _ptr, _f64, _i64], None
+    ),
+    "stz_dqc_f64_f32": (
+        [_ptr, _i32, _i32, _ptr, _ptr, _f32, _f32, _ptr, _ptr, _ptr,
+         _ptr, _f64, _i64], None
+    ),
+    "stz_scatter32": ([_ptr, _ptr, _ptr, _ptr], None),
+    "stz_scatter64": ([_ptr, _ptr, _ptr, _ptr], None),
 }
 
 _LOCK = threading.Lock()
@@ -634,6 +927,43 @@ def huffman_pack(
     return out[: (nbits + 7) >> 3], int(nbits), sync
 
 
+def huffman_decode(
+    payload: np.ndarray,
+    table: np.ndarray,
+    sync: np.ndarray,
+    chunk: int,
+    total: int,
+) -> np.ndarray | None:
+    """Compiled table-driven Huffman decode of one segment (or a
+    chunk-bounded slice of one): uint32 symbols in order, or None.
+
+    ``payload`` is the segment's byte buffer (its 4-byte zero tail pad
+    included), ``table`` the fused 2^16 window table of
+    ``huffman._decode_table``, ``sync`` the absolute bit offsets of the
+    selected chunks' first codewords, ``total`` the number of symbols
+    those chunks hold.  Declines (None) when a sync offset lies outside
+    the payload or the sync/total geometry is inconsistent — corrupt
+    segments fall back to the reference loop so damaged archives keep
+    byte-for-byte the failure behavior they had before the compiled
+    decoder existed."""
+    lib = _lib()
+    if lib is None:
+        return None
+    if not (_eligible(payload, np.uint8) and _eligible(table, np.uint32)):
+        return None
+    if chunk <= 0 or total <= 0:
+        return None
+    sync = np.ascontiguousarray(sync, dtype=np.int64)
+    if sync.size != -(-total // chunk):
+        return None
+    out = np.empty(total, dtype=np.uint32)
+    rc = lib.stz_huff_decode(
+        payload.ctypes.data, payload.size, table.ctypes.data,
+        sync.ctypes.data, sync.size, chunk, total, out.ctypes.data,
+    )
+    return out if rc == 0 else None
+
+
 def huffman_tree(leaf_freq: np.ndarray) -> np.ndarray | None:
     """Compiled two-queue Huffman: uint8 leaf depths for ascending
     ``leaf_freq`` (>= 2 leaves), or None."""
@@ -736,3 +1066,111 @@ def combine(
         scalar(dt.type(wn)), scalar(dt.type(wo)), out.ctypes.data,
     )
     return out
+
+
+def combine_dequant(
+    near,
+    outer,
+    wn: float,
+    wo: float,
+    codes: np.ndarray,
+    out: np.ndarray,
+    eb: float,
+    radius: int,
+    f32_mode: bool,
+) -> bool:
+    """Fused combine + dequantize into a region view: computes
+    ``dequant(sum(near)*wn - sum(outer)*wo, codes)`` and writes it
+    through the (possibly strided) ``out`` view in one pass — the
+    decode-side reconstruction without a materialized prediction
+    array.  ``codes`` is the matching uint32 region view; ``f32_mode``
+    selects the float32 fast formula (caller has already validated
+    ``_f32_mode`` against the container flag).  Returns False when the
+    compiled path cannot run (caller falls back to predict + dequantize,
+    which is bit-identical)."""
+    lib = _lib()
+    if lib is None:
+        return False
+    arrs = list(near) + list(outer)
+    a0 = arrs[0]
+    dt = a0.dtype
+    if out.dtype != dt or codes.dtype != np.uint32:
+        return False
+    if dt == np.float32:
+        fn = lib.stz_dqc_f32 if f32_mode else lib.stz_dqc_f64_f32
+        scalar = _f32
+    elif dt == np.float64:
+        if f32_mode:
+            return False
+        fn, scalar = lib.stz_dqc_f64, _f64
+    else:
+        return False
+    shape = a0.shape
+    ndim = a0.ndim
+    if ndim == 0 or ndim > 4 or len(arrs) > 16 or a0.size == 0:
+        return False
+    if out.shape != shape or codes.shape != shape:
+        return False
+    for a in arrs[1:]:
+        if a.dtype != dt or a.shape != shape:
+            return False
+    if ndim >= 2 and shape[-1] < 8:
+        # Boundary-shell regions fix one axis to a 1-2 element run; with
+        # that axis innermost the kernel pays full per-row setup for
+        # every element.  Rotate the longest axis innermost — a pure
+        # view permutation applied to every operand, so the elementwise
+        # walk (and hence the result) is unchanged.
+        best = max(range(ndim), key=lambda a: shape[a])
+        if shape[best] > shape[-1]:
+            perm = tuple(a for a in range(ndim) if a != best) + (best,)
+            arrs = [a.transpose(perm) for a in arrs]
+            codes = codes.transpose(perm)
+            out = out.transpose(perm)
+            shape = arrs[0].shape
+    pad = 4 - ndim
+    c_shape = (ctypes.c_int64 * 4)(*([1] * pad), *shape)
+    flat_strides: list[int] = []
+    for a in arrs:
+        flat_strides.extend([0] * pad)
+        flat_strides.extend(a.strides)
+    c_strides = (ctypes.c_int64 * (4 * len(arrs)))(*flat_strides)
+    c_ptrs = (ctypes.c_void_p * len(arrs))(*[a.ctypes.data for a in arrs])
+    c_qs = (ctypes.c_int64 * 4)(*([0] * pad), *codes.strides)
+    c_os = (ctypes.c_int64 * 4)(*([0] * pad), *out.strides)
+    fn(
+        c_ptrs, len(near), len(outer), c_strides, c_shape,
+        scalar(dt.type(wn)), scalar(dt.type(wo)),
+        codes.ctypes.data, c_qs, out.ctypes.data, c_os,
+        _f64(2.0 * eb), radius,
+    )
+    return True
+
+
+def scatter(dst: np.ndarray, src: np.ndarray) -> bool:
+    """Compiled strided scatter: ``dst[...] = src`` where ``dst`` is a
+    strided view and ``src`` a C-contiguous array of the same shape —
+    the lattice-reassembly step of decode.  A pure bit copy (4- or
+    8-byte elements), so the result is exactly NumPy's assignment.
+    Returns False when the compiled path cannot run."""
+    lib = _lib()
+    if lib is None:
+        return False
+    if dst.shape != src.shape or dst.dtype != src.dtype:
+        return False
+    if not src.flags.c_contiguous:
+        return False
+    ndim = dst.ndim
+    if ndim == 0 or ndim > 4 or dst.size == 0:
+        return False
+    itemsize = dst.dtype.itemsize
+    if itemsize == 4:
+        fn = lib.stz_scatter32
+    elif itemsize == 8:
+        fn = lib.stz_scatter64
+    else:
+        return False
+    pad = 4 - ndim
+    c_shape = (ctypes.c_int64 * 4)(*([1] * pad), *dst.shape)
+    c_ds = (ctypes.c_int64 * 4)(*([0] * pad), *dst.strides)
+    fn(src.ctypes.data, dst.ctypes.data, c_ds, c_shape)
+    return True

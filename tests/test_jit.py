@@ -27,8 +27,14 @@ import numpy as np
 import pytest
 
 from repro.core.api import compress, compress_chunked, decompress
+from repro.core.random_access import stz_decompress_roi
 from repro.core.stream import MULTI_MAGIC
 from repro.core.streaming import StreamingDecompressor
+from repro.encoding.huffman import (
+    huffman_decode,
+    huffman_decode_range,
+    huffman_encode,
+)
 from repro.util import jit
 
 GOLDEN = Path(__file__).parent / "golden"
@@ -132,6 +138,109 @@ class TestValueEdgeIdentity:
         assert on == off
 
 
+class TestDecodeKernels:
+    """The decode-side kernels (DESIGN.md §10): the compiled Huffman
+    walk, the fused predict+dequantize, and the reassembly scatter must
+    be byte-identical twins of the reference path on every surface that
+    routes through them."""
+
+    @pytest.mark.parametrize("m", [5, 300, 5000, 123457])
+    def test_huffman_decode_identical_both_modes(self, m):
+        rng = np.random.default_rng(m)
+        syms = rng.integers(0, 97, size=m).astype(np.uint32)
+        syms[: m // 3] = 42  # skewed so codes have mixed lengths
+        seg = huffman_encode(syms)
+        with jit.override(True):
+            on = huffman_decode(seg)
+        with jit.override(False):
+            off = huffman_decode(seg)
+        assert on.tobytes() == off.tobytes()
+        assert np.array_equal(on, syms)
+
+    @pytest.mark.parametrize(
+        "start,count",
+        [(0, 10), (7, 1), (1000, 4096), (4095, 2), (0, 0), (12000, 457)],
+    )
+    def test_huffman_decode_range_identical_both_modes(self, start, count):
+        rng = np.random.default_rng(3)
+        syms = rng.integers(0, 300, size=12457).astype(np.uint32)
+        seg = huffman_encode(syms)
+        with jit.override(True):
+            on = huffman_decode_range(seg, start, count)
+        with jit.override(False):
+            off = huffman_decode_range(seg, start, count)
+        assert on.tobytes() == off.tobytes()
+        assert np.array_equal(on, syms[start : start + count])
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_roi_identical_both_modes(self, dtype):
+        rng = np.random.default_rng(7)
+        data = np.cumsum(
+            rng.standard_normal((40, 36, 33)), axis=0
+        ).astype(dtype)
+        blob = compress(data, 1e-3 * float(np.ptp(data)))
+        roi = (slice(5, 30), slice(10, 30), slice(17, 18))
+        with jit.override(True):
+            on = stz_decompress_roi(blob, roi)
+        with jit.override(False):
+            off = stz_decompress_roi(blob, roi)
+            full = decompress(blob)
+        assert on.data.tobytes() == off.data.tobytes()
+        # and the ROI is still a bit-exact crop of the full decode
+        assert np.array_equal(on.data, full[roi])
+
+    def test_scatter_matches_numpy(self):
+        if not jit.has("scatter32"):
+            pytest.skip("compiled kernels unavailable")
+        rng = np.random.default_rng(5)
+        for dtype in (np.float32, np.float64):
+            for eps in [(0, 1, 0), (1, 1, 1), (1, 0, 1)]:
+                fine = np.zeros((13, 11, 9), dtype=dtype)
+                ref = np.zeros_like(fine)
+                sl = tuple(slice(e, None, 2) for e in eps)
+                vals = np.ascontiguousarray(
+                    rng.standard_normal(fine[sl].shape).astype(dtype)
+                )
+                assert jit.scatter(fine[sl], vals)
+                ref[sl] = vals
+                assert fine.tobytes() == ref.tobytes(), (dtype, eps)
+
+    def test_combine_dequant_matches_reference(self):
+        """Strided region views — including the thin boundary-shell
+        shapes that trigger the axis rotation — must reproduce the
+        two-stage reference formula bit-exactly."""
+        if not jit.has("dqc_f32"):
+            pytest.skip("compiled kernels unavailable")
+        rng = np.random.default_rng(9)
+        C = rng.standard_normal((20, 19, 18)).astype(np.float32)
+        radius = 1 << 15
+        eb = 1e-4
+        for region in [
+            (slice(1, 17), slice(1, 16), slice(1, 15)),
+            (slice(0, 16), slice(2, 17), slice(17, 18)),  # last dim 1
+            (slice(3, 4), slice(0, 15), slice(0, 14)),
+        ]:
+            near = (C[region], np.roll(C, 1, 0)[region])
+            outer = (np.roll(C, 2, 1)[region], np.roll(C, 1, 2)[region])
+            shape = near[0].shape
+            codes = rng.integers(
+                radius - 500, radius + 500, size=shape
+            ).astype(np.uint32)
+            big = np.zeros((24, 24, 24), dtype=np.float32)
+            out = big[tuple(slice(0, s) for s in shape)]
+            ok = jit.combine_dequant(
+                near, outer, 9 / 16, 1 / 16, codes, out, eb, radius, True
+            )
+            assert ok
+            pred = (near[0] + near[1]) * np.float32(9 / 16) - (
+                outer[0] + outer[1]
+            ) * np.float32(1 / 16)
+            want = pred + (
+                codes.astype(np.float32) - np.float32(radius)
+            ) * np.float32(2.0 * eb)
+            assert out.tobytes() == want.tobytes(), region
+
+
 class TestKillSwitch:
     def test_stz_jit_0_disengages_facade(self, monkeypatch):
         monkeypatch.setenv("STZ_JIT", "0")
@@ -152,6 +261,22 @@ class TestKillSwitch:
             assert jit.huffman_tree(np.array([3, 2], np.int64)) is None
             assert jit.szx_pack(np.zeros(128, np.uint32), 4) is None
             assert jit.combine((x.reshape(8, 8),), (), 0.5, 0.0) is None
+            # decode-side kernels decline too (DESIGN.md §10)
+            assert jit.huffman_decode(
+                np.zeros(16, np.uint8),
+                np.zeros(1 << 16, np.uint32),
+                np.zeros(1, np.int64),
+                8,
+                8,
+            ) is None
+            assert not jit.combine_dequant(
+                (x.reshape(8, 8),), (), 1.0, 0.0,
+                np.zeros((8, 8), np.uint32), np.empty((8, 8)),
+                1e-3, 1 << 15, False,
+            )
+            assert not jit.scatter(
+                np.zeros((8, 8))[::2], np.zeros((4, 8))
+            )
             # the reference path carries the pipeline alone
             data = np.cumsum(
                 np.random.default_rng(0).standard_normal((16, 16, 16)), 0
